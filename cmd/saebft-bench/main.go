@@ -1,0 +1,80 @@
+// Command saebft-bench regenerates the paper's evaluation tables and
+// figures (§5) on the simulated cluster with compute-time accounting:
+//
+//	saebft-bench -figure all          # everything, quick scale
+//	saebft-bench -figure 3            # null-server latency table
+//	saebft-bench -figure 4            # analytic relative-cost model
+//	saebft-bench -figure 5            # response time vs load and bundle size
+//	saebft-bench -figure 6            # Andrew-N phase times
+//	saebft-bench -figure 7            # Andrew-N with failures
+//	saebft-bench -figure all -scale full   # longer runs, 1024-bit threshold keys
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		figure = flag.String("figure", "all", "which figure to regenerate: 3, 4, 5, 6, 7, or all")
+		scale  = flag.String("scale", "quick", "run scale: quick or full")
+	)
+	flag.Parse()
+
+	var sc bench.Scale
+	switch *scale {
+	case "quick":
+		sc = bench.QuickScale()
+	case "full":
+		sc = bench.FullScale()
+	default:
+		fmt.Fprintf(os.Stderr, "saebft-bench: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	run := func(name string, f func() (string, error)) {
+		fmt.Printf("=== %s ===\n", name)
+		out, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "saebft-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+
+	want := func(fig string) bool { return *figure == "all" || *figure == fig }
+
+	if want("3") {
+		run("Figure 3 (latency)", func() (string, error) {
+			out, _, err := bench.Figure3(sc)
+			return out, err
+		})
+	}
+	if want("4") {
+		run("Figure 4 (cost model)", func() (string, error) {
+			return bench.Figure4(), nil
+		})
+	}
+	if want("5") {
+		run("Figure 5 (throughput)", func() (string, error) {
+			out, _, err := bench.Figure5(sc)
+			return out, err
+		})
+	}
+	if want("6") {
+		run("Figure 6 (Andrew)", func() (string, error) {
+			out, _, err := bench.Figure6(sc)
+			return out, err
+		})
+	}
+	if want("7") {
+		run("Figure 7 (Andrew with failures)", func() (string, error) {
+			out, _, err := bench.Figure7(sc)
+			return out, err
+		})
+	}
+}

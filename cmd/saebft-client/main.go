@@ -1,0 +1,119 @@
+// Command saebft-client issues operations against a running deployment and
+// waits for certified replies (g+1 matching replies or one valid threshold
+// signature, depending on the deployment's reply mode).
+//
+// Key-value deployments (app "kv"):
+//
+//	saebft-client -config cluster.json put greeting hello
+//	saebft-client -config cluster.json get greeting
+//	saebft-client -config cluster.json del greeting
+//	saebft-client -config cluster.json list prefix/
+//
+// Counter deployments (app "counter"):
+//
+//	saebft-client -config cluster.json inc
+//	saebft-client -config cluster.json add 41
+//	saebft-client -config cluster.json get-count
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/apps/kv"
+	"repro/internal/deploy"
+	"repro/internal/types"
+)
+
+func main() {
+	var (
+		cfgPath = flag.String("config", "cluster.json", "cluster config file")
+		id      = flag.Int("id", 1000, "client identity")
+		timeout = flag.Duration("timeout", 15*time.Second, "per-request timeout")
+	)
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "saebft-client: no operation given (try: put K V | get K | del K | list P | cas K OLD NEW | inc | add N | get-count)")
+		os.Exit(2)
+	}
+	cfg, err := deploy.Load(*cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "saebft-client:", err)
+		os.Exit(1)
+	}
+	op, err := encodeOp(cfg.App, args)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "saebft-client:", err)
+		os.Exit(2)
+	}
+	client, err := deploy.NewTCPClient(cfg, types.NodeID(*id))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "saebft-client:", err)
+		os.Exit(1)
+	}
+	defer client.Close()
+	client.SetQuiet()
+
+	reply, err := client.Call(op, *timeout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "saebft-client:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s\n", reply)
+}
+
+// encodeOp maps command-line words to application operations.
+func encodeOp(app string, args []string) ([]byte, error) {
+	switch app {
+	case "kv", "":
+		switch args[0] {
+		case "put":
+			if len(args) != 3 {
+				return nil, fmt.Errorf("usage: put KEY VALUE")
+			}
+			return kv.Put(args[1], []byte(args[2])), nil
+		case "get":
+			if len(args) != 2 {
+				return nil, fmt.Errorf("usage: get KEY")
+			}
+			return kv.GetOp(args[1]), nil
+		case "del":
+			if len(args) != 2 {
+				return nil, fmt.Errorf("usage: del KEY")
+			}
+			return kv.Del(args[1]), nil
+		case "list":
+			prefix := ""
+			if len(args) > 1 {
+				prefix = args[1]
+			}
+			return kv.List(prefix), nil
+		case "cas":
+			if len(args) != 4 {
+				return nil, fmt.Errorf("usage: cas KEY OLD NEW")
+			}
+			return kv.CAS(args[1], []byte(args[2]), []byte(args[3])), nil
+		default:
+			return nil, fmt.Errorf("unknown kv operation %q", args[0])
+		}
+	case "counter":
+		switch args[0] {
+		case "inc":
+			return []byte("inc"), nil
+		case "add":
+			if len(args) != 2 {
+				return nil, fmt.Errorf("usage: add N")
+			}
+			return []byte("add " + args[1]), nil
+		case "get-count", "get":
+			return []byte("get"), nil
+		default:
+			return nil, fmt.Errorf("unknown counter operation %q", args[0])
+		}
+	default:
+		return nil, fmt.Errorf("no CLI encoding for app %q; drive it programmatically", app)
+	}
+}

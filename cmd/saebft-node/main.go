@@ -1,0 +1,54 @@
+// Command saebft-node runs one replica — agreement, execution, or privacy
+// firewall filter — as its own OS process, communicating over TCP with the
+// rest of the deployment described by the shared config file.
+//
+//	saebft-node -config cluster.json -id 0
+//
+// The node's role is determined by its identity in the config topology. The
+// process runs until interrupted.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/deploy"
+	"repro/internal/types"
+)
+
+func main() {
+	var (
+		cfgPath = flag.String("config", "cluster.json", "cluster config file (from saebft-keygen)")
+		id      = flag.Int("id", -1, "node identity to run")
+		quiet   = flag.Bool("quiet", false, "suppress transport logging")
+	)
+	flag.Parse()
+	if *id < 0 {
+		fmt.Fprintln(os.Stderr, "saebft-node: -id is required")
+		os.Exit(2)
+	}
+	cfg, err := deploy.Load(*cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "saebft-node:", err)
+		os.Exit(1)
+	}
+	node, err := deploy.StartNode(cfg, types.NodeID(*id))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "saebft-node:", err)
+		os.Exit(1)
+	}
+	if *quiet {
+		node.Net.SetLogf(func(string, ...interface{}) {})
+	}
+	fmt.Printf("saebft-node: %s replica %d listening on %s (%s/%s)\n",
+		node.Role, *id, node.Net.Addr(), cfg.Mode, cfg.App)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("saebft-node: shutting down")
+	node.Close()
+}

@@ -1,0 +1,68 @@
+// Package counter is a minimal deterministic state machine used by the
+// quickstart example and integration tests: a replicated counter with
+// increment, add, and read operations.
+//
+// Operations (ASCII):
+//
+//	"inc"    → increment by one, reply with the new value
+//	"add N"  → add decimal N, reply with the new value
+//	"get"    → reply with the current value
+//
+// Replies are the decimal value. Unknown operations reply "ERR".
+package counter
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/types"
+)
+
+// Counter is the state machine. The zero value is ready to use.
+type Counter struct {
+	value int64
+}
+
+// New returns a counter starting at zero.
+func New() *Counter { return &Counter{} }
+
+// Value returns the current count (for test assertions).
+func (c *Counter) Value() int64 { return c.value }
+
+// Execute implements sm.StateMachine.
+func (c *Counter) Execute(op []byte, nd types.NonDet) []byte {
+	s := string(op)
+	switch {
+	case s == "inc":
+		c.value++
+	case s == "get":
+		// fall through to reply
+	case strings.HasPrefix(s, "add "):
+		n, err := strconv.ParseInt(strings.TrimPrefix(s, "add "), 10, 64)
+		if err != nil {
+			return []byte("ERR")
+		}
+		c.value += n
+	default:
+		return []byte("ERR")
+	}
+	return []byte(fmt.Sprintf("%d", c.value))
+}
+
+// Checkpoint implements sm.StateMachine.
+func (c *Counter) Checkpoint() []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(c.value))
+	return b[:]
+}
+
+// Restore implements sm.StateMachine.
+func (c *Counter) Restore(data []byte) error {
+	if len(data) != 8 {
+		return fmt.Errorf("counter: malformed checkpoint (%d bytes)", len(data))
+	}
+	c.value = int64(binary.BigEndian.Uint64(data))
+	return nil
+}

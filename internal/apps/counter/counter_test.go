@@ -1,0 +1,50 @@
+package counter
+
+import (
+	"testing"
+
+	"repro/internal/types"
+)
+
+var nd types.NonDet
+
+func TestOperations(t *testing.T) {
+	c := New()
+	cases := []struct {
+		op, want string
+	}{
+		{"inc", "1"},
+		{"inc", "2"},
+		{"add 40", "42"},
+		{"get", "42"},
+		{"add -2", "40"},
+		{"add x", "ERR"},
+		{"bogus", "ERR"},
+		{"get", "40"},
+	}
+	for _, tc := range cases {
+		if got := string(c.Execute([]byte(tc.op), nd)); got != tc.want {
+			t.Errorf("%q = %q, want %q", tc.op, got, tc.want)
+		}
+	}
+	if c.Value() != 40 {
+		t.Errorf("Value = %d", c.Value())
+	}
+}
+
+func TestCheckpointRestore(t *testing.T) {
+	c := New()
+	c.Execute([]byte("add 7"), nd)
+	ckpt := c.Checkpoint()
+
+	c2 := New()
+	if err := c2.Restore(ckpt); err != nil {
+		t.Fatal(err)
+	}
+	if c2.Value() != 7 {
+		t.Errorf("restored value = %d", c2.Value())
+	}
+	if err := c2.Restore([]byte{1}); err == nil {
+		t.Error("Restore accepted a short checkpoint")
+	}
+}

@@ -1,0 +1,171 @@
+// Package kv is a replicated key-value store state machine with a small
+// text protocol, used by examples and benchmarks that need a service with
+// meaningful confidential state.
+//
+// Operations (length-framed binary via internal/wire):
+//
+//	PUT key value → "OK"
+//	GET key       → value, or "ERR: no such key"
+//	DEL key       → "OK", or "ERR: no such key"
+//	LIST prefix   → keys joined by '\n' (sorted, deterministic)
+//	CAS key old new → "OK" or "ERR: mismatch"
+//
+// All iteration is over sorted keys so replicas never diverge.
+package kv
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// Op codes.
+const (
+	OpPut uint8 = iota + 1
+	OpGet
+	OpDel
+	OpList
+	OpCAS
+)
+
+// Store is the state machine. The zero value is not ready; use New.
+type Store struct {
+	data map[string][]byte
+
+	// Metrics counts applied operations for tests and benchmarks.
+	Ops uint64
+}
+
+// New returns an empty store.
+func New() *Store { return &Store{data: make(map[string][]byte)} }
+
+// Len returns the number of keys (for assertions).
+func (s *Store) Len() int { return len(s.data) }
+
+// Get reads a key directly (test helper; not part of the replicated API).
+func (s *Store) Get(key string) ([]byte, bool) {
+	v, ok := s.data[key]
+	return v, ok
+}
+
+// --- operation encoding ------------------------------------------------------
+
+// Put encodes a PUT operation.
+func Put(key string, value []byte) []byte { return encode(OpPut, key, value, nil) }
+
+// GetOp encodes a GET operation.
+func GetOp(key string) []byte { return encode(OpGet, key, nil, nil) }
+
+// Del encodes a DEL operation.
+func Del(key string) []byte { return encode(OpDel, key, nil, nil) }
+
+// List encodes a LIST operation.
+func List(prefix string) []byte { return encode(OpList, prefix, nil, nil) }
+
+// CAS encodes a compare-and-swap operation.
+func CAS(key string, old, new []byte) []byte { return encode(OpCAS, key, old, new) }
+
+func encode(code uint8, key string, a, b []byte) []byte {
+	var w wire.Writer
+	w.U8(code)
+	w.Bytes([]byte(key))
+	w.Bytes(a)
+	w.Bytes(b)
+	return w.B
+}
+
+// ErrMalformed reports an undecodable operation.
+var ErrMalformed = errors.New("kv: malformed operation")
+
+func decode(op []byte) (code uint8, key string, a, b []byte, err error) {
+	r := wire.NewReader(op)
+	code = r.U8()
+	key = string(r.Bytes())
+	a = r.Bytes()
+	b = r.Bytes()
+	if r.Err() != nil || r.Remaining() != 0 {
+		return 0, "", nil, nil, ErrMalformed
+	}
+	return code, key, a, b, nil
+}
+
+// Execute implements sm.StateMachine.
+func (s *Store) Execute(op []byte, nd types.NonDet) []byte {
+	s.Ops++
+	code, key, a, b, err := decode(op)
+	if err != nil {
+		return []byte("ERR: malformed")
+	}
+	switch code {
+	case OpPut:
+		s.data[key] = append([]byte(nil), a...)
+		return []byte("OK")
+	case OpGet:
+		v, ok := s.data[key]
+		if !ok {
+			return []byte("ERR: no such key")
+		}
+		return append([]byte(nil), v...)
+	case OpDel:
+		if _, ok := s.data[key]; !ok {
+			return []byte("ERR: no such key")
+		}
+		delete(s.data, key)
+		return []byte("OK")
+	case OpList:
+		keys := make([]string, 0, len(s.data))
+		for k := range s.data {
+			if strings.HasPrefix(k, key) {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		return []byte(strings.Join(keys, "\n"))
+	case OpCAS:
+		cur, ok := s.data[key]
+		if !ok || !bytes.Equal(cur, a) {
+			return []byte("ERR: mismatch")
+		}
+		s.data[key] = append([]byte(nil), b...)
+		return []byte("OK")
+	default:
+		return []byte("ERR: unknown op")
+	}
+}
+
+// Checkpoint implements sm.StateMachine with a canonical (sorted) encoding.
+func (s *Store) Checkpoint() []byte {
+	keys := make([]string, 0, len(s.data))
+	for k := range s.data {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var w wire.Writer
+	w.Len(len(keys))
+	for _, k := range keys {
+		w.Bytes([]byte(k))
+		w.Bytes(s.data[k])
+	}
+	return w.B
+}
+
+// Restore implements sm.StateMachine.
+func (s *Store) Restore(data []byte) error {
+	r := wire.NewReader(data)
+	n := r.SliceLen()
+	m := make(map[string][]byte, n)
+	for i := 0; i < n; i++ {
+		k := string(r.Bytes())
+		m[k] = r.Bytes()
+	}
+	if r.Err() != nil || r.Remaining() != 0 {
+		return fmt.Errorf("kv: malformed checkpoint")
+	}
+	s.data = m
+	return nil
+}

@@ -1,0 +1,127 @@
+package kv
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/types"
+)
+
+var nd = types.NonDet{Time: 1}
+
+func TestPutGetDel(t *testing.T) {
+	s := New()
+	if got := string(s.Execute(Put("k", []byte("v")), nd)); got != "OK" {
+		t.Fatalf("put = %q", got)
+	}
+	if got := string(s.Execute(GetOp("k"), nd)); got != "v" {
+		t.Fatalf("get = %q", got)
+	}
+	if got := string(s.Execute(Del("k"), nd)); got != "OK" {
+		t.Fatalf("del = %q", got)
+	}
+	if got := string(s.Execute(GetOp("k"), nd)); got != "ERR: no such key" {
+		t.Fatalf("get after del = %q", got)
+	}
+	if got := string(s.Execute(Del("k"), nd)); got != "ERR: no such key" {
+		t.Fatalf("del missing = %q", got)
+	}
+}
+
+func TestListSortedByPrefix(t *testing.T) {
+	s := New()
+	for _, k := range []string{"b/2", "a/1", "b/1", "c"} {
+		s.Execute(Put(k, []byte("x")), nd)
+	}
+	if got := string(s.Execute(List("b/"), nd)); got != "b/1\nb/2" {
+		t.Errorf("list b/ = %q", got)
+	}
+	if got := string(s.Execute(List(""), nd)); got != "a/1\nb/1\nb/2\nc" {
+		t.Errorf("list all = %q", got)
+	}
+}
+
+func TestCAS(t *testing.T) {
+	s := New()
+	s.Execute(Put("k", []byte("old")), nd)
+	if got := string(s.Execute(CAS("k", []byte("wrong"), []byte("new")), nd)); got != "ERR: mismatch" {
+		t.Errorf("cas wrong old = %q", got)
+	}
+	if got := string(s.Execute(CAS("k", []byte("old"), []byte("new")), nd)); got != "OK" {
+		t.Errorf("cas = %q", got)
+	}
+	if got := string(s.Execute(GetOp("k"), nd)); got != "new" {
+		t.Errorf("get after cas = %q", got)
+	}
+	if got := string(s.Execute(CAS("missing", nil, []byte("v")), nd)); got != "ERR: mismatch" {
+		t.Errorf("cas missing = %q", got)
+	}
+}
+
+func TestMalformedOps(t *testing.T) {
+	s := New()
+	for _, op := range [][]byte{nil, {0}, {99, 0, 0, 0, 1}, {OpPut}} {
+		got := string(s.Execute(op, nd))
+		if got != "ERR: malformed" && got != "ERR: unknown op" {
+			t.Errorf("Execute(%v) = %q, want an error", op, got)
+		}
+	}
+}
+
+func TestValueIsolation(t *testing.T) {
+	// Stored values must be copies: mutating the op buffer afterward must
+	// not corrupt the store.
+	s := New()
+	op := Put("k", []byte("aaa"))
+	s.Execute(op, nd)
+	for i := range op {
+		op[i] = 0xFF
+	}
+	if got := string(s.Execute(GetOp("k"), nd)); got != "aaa" {
+		t.Errorf("stored value aliased the op buffer: %q", got)
+	}
+}
+
+func TestCheckpointRestore(t *testing.T) {
+	s := New()
+	s.Execute(Put("a", []byte("1")), nd)
+	s.Execute(Put("b", []byte("2")), nd)
+	ckpt := s.Checkpoint()
+
+	s2 := New()
+	if err := s2.Restore(ckpt); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(s2.Execute(GetOp("b"), nd)); got != "2" {
+		t.Errorf("restored get = %q", got)
+	}
+	if !bytes.Equal(s2.Checkpoint(), ckpt) {
+		t.Error("checkpoint not canonical after restore")
+	}
+	if err := s2.Restore([]byte{1, 2}); err == nil {
+		t.Error("Restore accepted garbage")
+	}
+}
+
+func TestQuickReplicaDeterminism(t *testing.T) {
+	f := func(keys []string, vals [][]byte) bool {
+		s1, s2 := New(), New()
+		for i, k := range keys {
+			var v []byte
+			if i < len(vals) {
+				v = vals[i]
+			}
+			ops := [][]byte{Put(k, v), GetOp(k), List(""), Del(k)}
+			for _, op := range ops[:1+i%3] {
+				if !bytes.Equal(s1.Execute(op, nd), s2.Execute(op, nd)) {
+					return false
+				}
+			}
+		}
+		return bytes.Equal(s1.Checkpoint(), s2.Checkpoint())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,611 @@
+// Package nfs is an in-memory network-file-service state machine modeled on
+// the NFSv2-level interface the paper replicates (§5.4): LOOKUP, CREATE,
+// MKDIR, READ, WRITE, GETATTR, SETATTR, REMOVE, RMDIR, RENAME, and READDIR.
+//
+// The interesting part is the abstraction layer of §3.1.4: a native NFS
+// server picks file handles and modification times nondeterministically,
+// which would make replicas diverge. Here both are deterministic functions
+// of the agreement cluster's oblivious nondeterministic inputs: new file
+// handles derive from the agreed pseudo-random bits (H(rand ‖ dir ‖ name)),
+// and timestamps come from the agreed primary-proposed time. All directory
+// iteration is over sorted names, so replicas can never diverge.
+package nfs
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// Handle identifies a file or directory. RootHandle names the root.
+type Handle uint64
+
+// RootHandle is the preallocated root directory handle.
+const RootHandle Handle = 1
+
+// FileType distinguishes inode kinds.
+type FileType uint8
+
+// Inode kinds.
+const (
+	TypeFile FileType = iota + 1
+	TypeDir
+)
+
+// Attr is the subset of NFS fattr the benchmarks exercise.
+type Attr struct {
+	Handle Handle
+	Type   FileType
+	Mode   uint32
+	Size   uint64
+	Mtime  types.Timestamp
+	Ctime  types.Timestamp
+}
+
+type inode struct {
+	attr     Attr
+	data     []byte
+	children map[string]Handle // directories only
+}
+
+// Server is the file-service state machine.
+type Server struct {
+	inodes map[Handle]*inode
+
+	// Metrics counts applied operations.
+	Ops uint64
+}
+
+// New returns a file service containing only the root directory.
+func New() *Server {
+	s := &Server{inodes: make(map[Handle]*inode)}
+	s.inodes[RootHandle] = &inode{
+		attr:     Attr{Handle: RootHandle, Type: TypeDir, Mode: 0o755},
+		children: make(map[string]Handle),
+	}
+	return s
+}
+
+// NumInodes returns the inode count (for assertions).
+func (s *Server) NumInodes() int { return len(s.inodes) }
+
+// --- operation encoding --------------------------------------------------------
+
+// Op codes.
+const (
+	OpLookup uint8 = iota + 1
+	OpCreate
+	OpMkdir
+	OpRead
+	OpWrite
+	OpGetattr
+	OpSetattr
+	OpRemove
+	OpRmdir
+	OpRename
+	OpReaddir
+)
+
+// Status codes returned in the first reply byte.
+const (
+	StatusOK uint8 = iota
+	StatusNoEnt
+	StatusExist
+	StatusNotDir
+	StatusIsDir
+	StatusNotEmpty
+	StatusStale
+	StatusBad
+)
+
+// StatusName renders a status code for error messages.
+func StatusName(s uint8) string {
+	switch s {
+	case StatusOK:
+		return "OK"
+	case StatusNoEnt:
+		return "ENOENT"
+	case StatusExist:
+		return "EEXIST"
+	case StatusNotDir:
+		return "ENOTDIR"
+	case StatusIsDir:
+		return "EISDIR"
+	case StatusNotEmpty:
+		return "ENOTEMPTY"
+	case StatusStale:
+		return "ESTALE"
+	default:
+		return "EBAD"
+	}
+}
+
+// Lookup encodes a LOOKUP request.
+func Lookup(dir Handle, name string) []byte { return encNamed(OpLookup, dir, name, 0) }
+
+// Create encodes a CREATE request.
+func Create(dir Handle, name string, mode uint32) []byte { return encNamed(OpCreate, dir, name, mode) }
+
+// Mkdir encodes a MKDIR request.
+func Mkdir(dir Handle, name string, mode uint32) []byte { return encNamed(OpMkdir, dir, name, mode) }
+
+// Remove encodes a REMOVE request.
+func Remove(dir Handle, name string) []byte { return encNamed(OpRemove, dir, name, 0) }
+
+// Rmdir encodes a RMDIR request.
+func Rmdir(dir Handle, name string) []byte { return encNamed(OpRmdir, dir, name, 0) }
+
+// Readdir encodes a READDIR request.
+func Readdir(dir Handle) []byte { return encNamed(OpReaddir, dir, "", 0) }
+
+// Getattr encodes a GETATTR request.
+func Getattr(fh Handle) []byte { return encNamed(OpGetattr, fh, "", 0) }
+
+// Setattr encodes a SETATTR request (mode update plus truncate-to-size).
+func Setattr(fh Handle, mode uint32, size uint64) []byte {
+	var w wire.Writer
+	w.U8(OpSetattr)
+	w.U64(uint64(fh))
+	w.U32(mode)
+	w.U64(size)
+	return w.B
+}
+
+// Read encodes a READ request.
+func Read(fh Handle, offset, count uint32) []byte {
+	var w wire.Writer
+	w.U8(OpRead)
+	w.U64(uint64(fh))
+	w.U32(offset)
+	w.U32(count)
+	return w.B
+}
+
+// Write encodes a WRITE request.
+func Write(fh Handle, offset uint32, data []byte) []byte {
+	var w wire.Writer
+	w.U8(OpWrite)
+	w.U64(uint64(fh))
+	w.U32(offset)
+	w.Bytes(data)
+	return w.B
+}
+
+// Rename encodes a RENAME request.
+func Rename(fromDir Handle, fromName string, toDir Handle, toName string) []byte {
+	var w wire.Writer
+	w.U8(OpRename)
+	w.U64(uint64(fromDir))
+	w.Bytes([]byte(fromName))
+	w.U64(uint64(toDir))
+	w.Bytes([]byte(toName))
+	return w.B
+}
+
+func encNamed(code uint8, h Handle, name string, mode uint32) []byte {
+	var w wire.Writer
+	w.U8(code)
+	w.U64(uint64(h))
+	w.Bytes([]byte(name))
+	w.U32(mode)
+	return w.B
+}
+
+// --- reply decoding ---------------------------------------------------------------
+
+// DecodeAttrReply parses a reply carrying (status, attr).
+func DecodeAttrReply(b []byte) (uint8, Attr, error) {
+	r := wire.NewReader(b)
+	st := r.U8()
+	var a Attr
+	if st == StatusOK {
+		a = getAttr(r)
+	}
+	if r.Err() != nil {
+		return StatusBad, Attr{}, fmt.Errorf("nfs: malformed reply")
+	}
+	return st, a, nil
+}
+
+// DecodeDataReply parses a READ reply carrying (status, data).
+func DecodeDataReply(b []byte) (uint8, []byte, error) {
+	r := wire.NewReader(b)
+	st := r.U8()
+	var data []byte
+	if st == StatusOK {
+		data = r.Bytes()
+	}
+	if r.Err() != nil {
+		return StatusBad, nil, fmt.Errorf("nfs: malformed reply")
+	}
+	return st, data, nil
+}
+
+// DecodeDirReply parses a READDIR reply carrying (status, names).
+func DecodeDirReply(b []byte) (uint8, []string, error) {
+	r := wire.NewReader(b)
+	st := r.U8()
+	var names []string
+	if st == StatusOK {
+		n := r.SliceLen()
+		for i := 0; i < n; i++ {
+			names = append(names, string(r.Bytes()))
+		}
+	}
+	if r.Err() != nil {
+		return StatusBad, nil, fmt.Errorf("nfs: malformed reply")
+	}
+	return st, names, nil
+}
+
+func putAttr(w *wire.Writer, a Attr) {
+	w.U64(uint64(a.Handle))
+	w.U8(uint8(a.Type))
+	w.U32(a.Mode)
+	w.U64(a.Size)
+	w.TS(a.Mtime)
+	w.TS(a.Ctime)
+}
+
+func getAttr(r *wire.Reader) Attr {
+	return Attr{
+		Handle: Handle(r.U64()),
+		Type:   FileType(r.U8()),
+		Mode:   r.U32(),
+		Size:   r.U64(),
+		Mtime:  r.TS(),
+		Ctime:  r.TS(),
+	}
+}
+
+func statusReply(st uint8) []byte { return []byte{st} }
+
+func attrReply(a Attr) []byte {
+	var w wire.Writer
+	w.U8(StatusOK)
+	putAttr(&w, a)
+	return w.B
+}
+
+// --- abstraction layer -------------------------------------------------------------
+
+// newHandle derives a fresh deterministic handle from the agreed
+// nondeterministic inputs (§3.1.4). Collisions fall back to rehashing with a
+// counter, so the mapping stays deterministic across replicas.
+func (s *Server) newHandle(nd types.NonDet, dir Handle, name string) Handle {
+	for i := uint32(0); ; i++ {
+		var buf []byte
+		buf = append(buf, nd.Rand[:]...)
+		buf = binary.BigEndian.AppendUint64(buf, uint64(dir))
+		buf = append(buf, name...)
+		buf = binary.BigEndian.AppendUint32(buf, i)
+		d := types.DigestBytes(buf)
+		h := Handle(binary.BigEndian.Uint64(d[:8]))
+		if h <= RootHandle {
+			continue // reserve 0 (invalid) and 1 (root)
+		}
+		if _, taken := s.inodes[h]; !taken {
+			return h
+		}
+	}
+}
+
+// --- execution ----------------------------------------------------------------------
+
+// Execute implements sm.StateMachine.
+func (s *Server) Execute(op []byte, nd types.NonDet) []byte {
+	s.Ops++
+	r := wire.NewReader(op)
+	code := r.U8()
+	if r.Err() != nil {
+		return statusReply(StatusBad)
+	}
+	switch code {
+	case OpLookup:
+		dir, name, _ := s.decNamed(r)
+		return s.lookup(dir, name)
+	case OpCreate:
+		dir, name, mode := s.decNamed(r)
+		return s.create(dir, name, mode, TypeFile, nd)
+	case OpMkdir:
+		dir, name, mode := s.decNamed(r)
+		return s.create(dir, name, mode, TypeDir, nd)
+	case OpRead:
+		fh := Handle(r.U64())
+		off, cnt := r.U32(), r.U32()
+		return s.read(fh, off, cnt)
+	case OpWrite:
+		fh := Handle(r.U64())
+		off := r.U32()
+		data := r.Bytes()
+		if r.Err() != nil {
+			return statusReply(StatusBad)
+		}
+		return s.write(fh, off, data, nd)
+	case OpGetattr:
+		fh := Handle(r.U64())
+		return s.getattr(fh)
+	case OpSetattr:
+		fh := Handle(r.U64())
+		mode := r.U32()
+		size := r.U64()
+		return s.setattr(fh, mode, size, nd)
+	case OpRemove:
+		dir, name, _ := s.decNamed(r)
+		return s.remove(dir, name, false)
+	case OpRmdir:
+		dir, name, _ := s.decNamed(r)
+		return s.remove(dir, name, true)
+	case OpRename:
+		fd := Handle(r.U64())
+		fn := string(r.Bytes())
+		td := Handle(r.U64())
+		tn := string(r.Bytes())
+		if r.Err() != nil {
+			return statusReply(StatusBad)
+		}
+		return s.rename(fd, fn, td, tn, nd)
+	case OpReaddir:
+		dir, _, _ := s.decNamed(r)
+		return s.readdir(dir)
+	default:
+		return statusReply(StatusBad)
+	}
+}
+
+func (s *Server) decNamed(r *wire.Reader) (Handle, string, uint32) {
+	h := Handle(r.U64())
+	name := string(r.Bytes())
+	mode := r.U32()
+	return h, name, mode
+}
+
+func (s *Server) dir(h Handle) (*inode, uint8) {
+	in, ok := s.inodes[h]
+	if !ok {
+		return nil, StatusStale
+	}
+	if in.attr.Type != TypeDir {
+		return nil, StatusNotDir
+	}
+	return in, StatusOK
+}
+
+func (s *Server) lookup(dir Handle, name string) []byte {
+	d, st := s.dir(dir)
+	if st != StatusOK {
+		return statusReply(st)
+	}
+	h, ok := d.children[name]
+	if !ok {
+		return statusReply(StatusNoEnt)
+	}
+	return attrReply(s.inodes[h].attr)
+}
+
+func (s *Server) create(dir Handle, name string, mode uint32, ft FileType, nd types.NonDet) []byte {
+	d, st := s.dir(dir)
+	if st != StatusOK {
+		return statusReply(st)
+	}
+	if name == "" {
+		return statusReply(StatusBad)
+	}
+	if _, exists := d.children[name]; exists {
+		return statusReply(StatusExist)
+	}
+	h := s.newHandle(nd, dir, name)
+	in := &inode{attr: Attr{Handle: h, Type: ft, Mode: mode, Mtime: nd.Time, Ctime: nd.Time}}
+	if ft == TypeDir {
+		in.children = make(map[string]Handle)
+	}
+	s.inodes[h] = in
+	d.children[name] = h
+	d.attr.Mtime = nd.Time
+	return attrReply(in.attr)
+}
+
+func (s *Server) read(fh Handle, off, cnt uint32) []byte {
+	in, ok := s.inodes[fh]
+	if !ok {
+		return statusReply(StatusStale)
+	}
+	if in.attr.Type != TypeFile {
+		return statusReply(StatusIsDir)
+	}
+	var data []byte
+	if int(off) < len(in.data) {
+		end := int(off) + int(cnt)
+		if end > len(in.data) {
+			end = len(in.data)
+		}
+		data = in.data[off:end]
+	}
+	var w wire.Writer
+	w.U8(StatusOK)
+	w.Bytes(data)
+	return w.B
+}
+
+func (s *Server) write(fh Handle, off uint32, data []byte, nd types.NonDet) []byte {
+	in, ok := s.inodes[fh]
+	if !ok {
+		return statusReply(StatusStale)
+	}
+	if in.attr.Type != TypeFile {
+		return statusReply(StatusIsDir)
+	}
+	end := int(off) + len(data)
+	if end > len(in.data) {
+		grown := make([]byte, end)
+		copy(grown, in.data)
+		in.data = grown
+	}
+	copy(in.data[off:], data)
+	in.attr.Size = uint64(len(in.data))
+	in.attr.Mtime = nd.Time
+	return attrReply(in.attr)
+}
+
+func (s *Server) getattr(fh Handle) []byte {
+	in, ok := s.inodes[fh]
+	if !ok {
+		return statusReply(StatusStale)
+	}
+	return attrReply(in.attr)
+}
+
+func (s *Server) setattr(fh Handle, mode uint32, size uint64, nd types.NonDet) []byte {
+	in, ok := s.inodes[fh]
+	if !ok {
+		return statusReply(StatusStale)
+	}
+	in.attr.Mode = mode
+	if in.attr.Type == TypeFile && size != in.attr.Size {
+		if size < uint64(len(in.data)) {
+			in.data = in.data[:size]
+		} else {
+			grown := make([]byte, size)
+			copy(grown, in.data)
+			in.data = grown
+		}
+		in.attr.Size = size
+	}
+	in.attr.Ctime = nd.Time
+	return attrReply(in.attr)
+}
+
+func (s *Server) remove(dir Handle, name string, wantDir bool) []byte {
+	d, st := s.dir(dir)
+	if st != StatusOK {
+		return statusReply(st)
+	}
+	h, ok := d.children[name]
+	if !ok {
+		return statusReply(StatusNoEnt)
+	}
+	in := s.inodes[h]
+	if wantDir {
+		if in.attr.Type != TypeDir {
+			return statusReply(StatusNotDir)
+		}
+		if len(in.children) != 0 {
+			return statusReply(StatusNotEmpty)
+		}
+	} else if in.attr.Type == TypeDir {
+		return statusReply(StatusIsDir)
+	}
+	delete(d.children, name)
+	delete(s.inodes, h)
+	return statusReply(StatusOK)
+}
+
+func (s *Server) rename(fromDir Handle, fromName string, toDir Handle, toName string, nd types.NonDet) []byte {
+	fd, st := s.dir(fromDir)
+	if st != StatusOK {
+		return statusReply(st)
+	}
+	td, st := s.dir(toDir)
+	if st != StatusOK {
+		return statusReply(st)
+	}
+	h, ok := fd.children[fromName]
+	if !ok {
+		return statusReply(StatusNoEnt)
+	}
+	if toName == "" {
+		return statusReply(StatusBad)
+	}
+	if existing, exists := td.children[toName]; exists {
+		ex := s.inodes[existing]
+		if ex.attr.Type == TypeDir && len(ex.children) != 0 {
+			return statusReply(StatusNotEmpty)
+		}
+		delete(s.inodes, existing)
+	}
+	delete(fd.children, fromName)
+	td.children[toName] = h
+	fd.attr.Mtime = nd.Time
+	td.attr.Mtime = nd.Time
+	return statusReply(StatusOK)
+}
+
+func (s *Server) readdir(dir Handle) []byte {
+	d, st := s.dir(dir)
+	if st != StatusOK {
+		return statusReply(st)
+	}
+	names := make([]string, 0, len(d.children))
+	for name := range d.children {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var w wire.Writer
+	w.U8(StatusOK)
+	w.Len(len(names))
+	for _, n := range names {
+		w.Bytes([]byte(n))
+	}
+	return w.B
+}
+
+// --- checkpointing ---------------------------------------------------------------------
+
+// Checkpoint implements sm.StateMachine with a canonical (handle-sorted)
+// encoding.
+func (s *Server) Checkpoint() []byte {
+	handles := make([]Handle, 0, len(s.inodes))
+	for h := range s.inodes {
+		handles = append(handles, h)
+	}
+	sort.Slice(handles, func(i, j int) bool { return handles[i] < handles[j] })
+	var w wire.Writer
+	w.Len(len(handles))
+	for _, h := range handles {
+		in := s.inodes[h]
+		putAttr(&w, in.attr)
+		w.Bytes(in.data)
+		names := make([]string, 0, len(in.children))
+		for n := range in.children {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		w.Len(len(names))
+		for _, n := range names {
+			w.Bytes([]byte(n))
+			w.U64(uint64(in.children[n]))
+		}
+	}
+	return w.B
+}
+
+// Restore implements sm.StateMachine.
+func (s *Server) Restore(data []byte) error {
+	r := wire.NewReader(data)
+	n := r.SliceLen()
+	inodes := make(map[Handle]*inode, n)
+	for i := 0; i < n; i++ {
+		attr := getAttr(r)
+		in := &inode{attr: attr, data: r.Bytes()}
+		k := r.SliceLen()
+		if attr.Type == TypeDir {
+			in.children = make(map[string]Handle, k)
+		}
+		for j := 0; j < k; j++ {
+			name := string(r.Bytes())
+			child := Handle(r.U64())
+			if in.children != nil {
+				in.children[name] = child
+			}
+		}
+		inodes[attr.Handle] = in
+	}
+	if r.Err() != nil || r.Remaining() != 0 {
+		return fmt.Errorf("nfs: malformed checkpoint")
+	}
+	s.inodes = inodes
+	return nil
+}

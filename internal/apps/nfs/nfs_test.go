@@ -1,0 +1,243 @@
+package nfs
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/types"
+)
+
+func nd(i int) types.NonDet {
+	t := types.Timestamp(1000 + i)
+	return types.NonDet{Time: t, Rand: types.ComputeNonDetRand(types.SeqNum(i), t)}
+}
+
+func mustAttr(t *testing.T, s *Server, op []byte, step int) Attr {
+	t.Helper()
+	st, a, err := DecodeAttrReply(s.Execute(op, nd(step)))
+	if err != nil || st != StatusOK {
+		t.Fatalf("op failed: status=%s err=%v", StatusName(st), err)
+	}
+	return a
+}
+
+func TestCreateLookupReadWrite(t *testing.T) {
+	s := New()
+	f := mustAttr(t, s, Create(RootHandle, "hello.txt", 0o644), 1)
+	if f.Type != TypeFile || f.Handle == 0 || f.Handle == RootHandle {
+		t.Fatalf("bad create attr: %+v", f)
+	}
+	// Lookup finds it with identical attributes.
+	l := mustAttr(t, s, Lookup(RootHandle, "hello.txt"), 2)
+	if l.Handle != f.Handle {
+		t.Fatalf("lookup handle %d != create handle %d", l.Handle, f.Handle)
+	}
+	// Write then read back.
+	w := mustAttr(t, s, Write(f.Handle, 0, []byte("hello world")), 3)
+	if w.Size != 11 {
+		t.Errorf("size after write = %d", w.Size)
+	}
+	if w.Mtime != nd(3).Time {
+		t.Errorf("mtime = %d, want agreed time %d", w.Mtime, nd(3).Time)
+	}
+	st, data, err := DecodeDataReply(s.Execute(Read(f.Handle, 6, 100), nd(4)))
+	if err != nil || st != StatusOK || string(data) != "world" {
+		t.Errorf("read = %s %q %v", StatusName(st), data, err)
+	}
+	// Sparse write extends with zeros.
+	mustAttr(t, s, Write(f.Handle, 20, []byte("x")), 5)
+	st, data, _ = DecodeDataReply(s.Execute(Read(f.Handle, 0, 100), nd(6)))
+	if st != StatusOK || len(data) != 21 || data[15] != 0 {
+		t.Errorf("sparse read status=%s len=%d", StatusName(st), len(data))
+	}
+}
+
+func TestMkdirReaddirRemove(t *testing.T) {
+	s := New()
+	d := mustAttr(t, s, Mkdir(RootHandle, "src", 0o755), 1)
+	mustAttr(t, s, Create(d.Handle, "a.go", 0o644), 2)
+	mustAttr(t, s, Create(d.Handle, "b.go", 0o644), 3)
+	st, names, err := DecodeDirReply(s.Execute(Readdir(d.Handle), nd(4)))
+	if err != nil || st != StatusOK {
+		t.Fatalf("readdir: %s %v", StatusName(st), err)
+	}
+	if len(names) != 2 || names[0] != "a.go" || names[1] != "b.go" {
+		t.Errorf("readdir = %v, want sorted [a.go b.go]", names)
+	}
+	// Removing a non-empty directory fails.
+	if st := s.Execute(Rmdir(RootHandle, "src"), nd(5))[0]; st != StatusNotEmpty {
+		t.Errorf("rmdir non-empty = %s", StatusName(st))
+	}
+	if st := s.Execute(Remove(d.Handle, "a.go"), nd(6))[0]; st != StatusOK {
+		t.Errorf("remove = %s", StatusName(st))
+	}
+	if st := s.Execute(Remove(d.Handle, "b.go"), nd(7))[0]; st != StatusOK {
+		t.Errorf("remove = %s", StatusName(st))
+	}
+	if st := s.Execute(Rmdir(RootHandle, "src"), nd(8))[0]; st != StatusOK {
+		t.Errorf("rmdir empty = %s", StatusName(st))
+	}
+	if s.NumInodes() != 1 {
+		t.Errorf("inodes = %d, want only root", s.NumInodes())
+	}
+}
+
+func TestRename(t *testing.T) {
+	s := New()
+	f := mustAttr(t, s, Create(RootHandle, "old", 0o644), 1)
+	mustAttr(t, s, Write(f.Handle, 0, []byte("content")), 2)
+	if st := s.Execute(Rename(RootHandle, "old", RootHandle, "new"), nd(3))[0]; st != StatusOK {
+		t.Fatalf("rename = %s", StatusName(st))
+	}
+	if st := s.Execute(Lookup(RootHandle, "old"), nd(4))[0]; st != StatusNoEnt {
+		t.Error("old name still resolves")
+	}
+	l := mustAttr(t, s, Lookup(RootHandle, "new"), 5)
+	if l.Handle != f.Handle {
+		t.Error("rename changed the handle")
+	}
+	// Rename over an existing file replaces it.
+	mustAttr(t, s, Create(RootHandle, "other", 0o644), 6)
+	if st := s.Execute(Rename(RootHandle, "new", RootHandle, "other"), nd(7))[0]; st != StatusOK {
+		t.Fatalf("rename-over = %s", StatusName(st))
+	}
+	l = mustAttr(t, s, Lookup(RootHandle, "other"), 8)
+	if l.Handle != f.Handle {
+		t.Error("rename-over lost the source inode")
+	}
+}
+
+func TestSetattrTruncateAndExtend(t *testing.T) {
+	s := New()
+	f := mustAttr(t, s, Create(RootHandle, "t", 0o644), 1)
+	mustAttr(t, s, Write(f.Handle, 0, []byte("0123456789")), 2)
+	a := mustAttr(t, s, Setattr(f.Handle, 0o600, 4), 3)
+	if a.Size != 4 || a.Mode != 0o600 {
+		t.Errorf("attr after truncate: %+v", a)
+	}
+	st, data, _ := DecodeDataReply(s.Execute(Read(f.Handle, 0, 100), nd(4)))
+	if st != StatusOK || string(data) != "0123" {
+		t.Errorf("read after truncate = %q", data)
+	}
+	a = mustAttr(t, s, Setattr(f.Handle, 0o600, 8), 5)
+	if a.Size != 8 {
+		t.Errorf("size after extend = %d", a.Size)
+	}
+}
+
+func TestErrorCases(t *testing.T) {
+	s := New()
+	f := mustAttr(t, s, Create(RootHandle, "f", 0o644), 1)
+	cases := []struct {
+		op   []byte
+		want uint8
+		desc string
+	}{
+		{Lookup(999, "x"), StatusStale, "lookup in missing dir"},
+		{Lookup(f.Handle, "x"), StatusNotDir, "lookup in a file"},
+		{Create(RootHandle, "f", 0o644), StatusExist, "create duplicate"},
+		{Create(RootHandle, "", 0o644), StatusBad, "create empty name"},
+		{Read(999, 0, 1), StatusStale, "read stale handle"},
+		{Read(RootHandle, 0, 1), StatusIsDir, "read a directory"},
+		{Write(RootHandle, 0, []byte("x")), StatusIsDir, "write a directory"},
+		{Remove(RootHandle, "missing"), StatusNoEnt, "remove missing"},
+		{Remove(RootHandle, "f"), StatusOK, "remove file"},
+		{[]byte{99}, StatusBad, "unknown op"},
+		{nil, StatusBad, "empty op"},
+	}
+	for i, c := range cases {
+		if st := s.Execute(c.op, nd(10+i)); len(st) == 0 || st[0] != c.want {
+			t.Errorf("%s: status = %s, want %s", c.desc, StatusName(st[0]), StatusName(c.want))
+		}
+	}
+}
+
+func TestHandlesDeterministicAcrossReplicas(t *testing.T) {
+	// Two replicas executing the same ops with the same agreed
+	// nondeterminism must assign identical handles (§3.1.4).
+	s1, s2 := New(), New()
+	for i := 0; i < 20; i++ {
+		op := Create(RootHandle, fmt.Sprintf("f%d", i), 0o644)
+		_, a1, _ := DecodeAttrReply(s1.Execute(op, nd(i)))
+		_, a2, _ := DecodeAttrReply(s2.Execute(op, nd(i)))
+		if a1.Handle != a2.Handle {
+			t.Fatalf("replicas diverged on handle for f%d: %d vs %d", i, a1.Handle, a2.Handle)
+		}
+	}
+	// But handles differ when the agreed randomness differs.
+	s3 := New()
+	_, a3, _ := DecodeAttrReply(s3.Execute(Create(RootHandle, "f0", 0o644), nd(999)))
+	_, a1, _ := DecodeAttrReply(New().Execute(Create(RootHandle, "f0", 0o644), nd(0)))
+	if a3.Handle == a1.Handle {
+		t.Error("handles do not depend on the agreed randomness")
+	}
+}
+
+func TestCheckpointRestoreRoundTrip(t *testing.T) {
+	s := New()
+	d := mustAttr(t, s, Mkdir(RootHandle, "dir", 0o755), 1)
+	f := mustAttr(t, s, Create(d.Handle, "file", 0o644), 2)
+	mustAttr(t, s, Write(f.Handle, 0, []byte("payload")), 3)
+
+	ckpt := s.Checkpoint()
+	s2 := New()
+	if err := s2.Restore(ckpt); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(s2.Checkpoint(), ckpt) {
+		t.Fatal("restore-then-checkpoint is not idempotent")
+	}
+	st, data, _ := DecodeDataReply(s2.Execute(Read(f.Handle, 0, 100), nd(4)))
+	if st != StatusOK || string(data) != "payload" {
+		t.Errorf("restored read = %s %q", StatusName(st), data)
+	}
+	// Checkpoints are canonical: same logical state, same bytes.
+	if !bytes.Equal(s.Checkpoint(), s2.Checkpoint()) {
+		t.Error("checkpoint encoding is not canonical")
+	}
+}
+
+func TestRestoreRejectsGarbage(t *testing.T) {
+	s := New()
+	if err := s.Restore([]byte{1, 2, 3}); err == nil {
+		t.Error("Restore accepted garbage")
+	}
+}
+
+func TestQuickDeterminism(t *testing.T) {
+	// Property: any sequence of create/write/read ops replayed on two
+	// replicas yields byte-identical replies and checkpoints.
+	f := func(names []string, payloads [][]byte) bool {
+		s1, s2 := New(), New()
+		step := 0
+		for i, name := range names {
+			if name == "" {
+				name = "x"
+			}
+			step++
+			op := Create(RootHandle, name, 0o644)
+			r1 := s1.Execute(op, nd(step))
+			r2 := s2.Execute(op, nd(step))
+			if !bytes.Equal(r1, r2) {
+				return false
+			}
+			if i < len(payloads) {
+				_, a, err := DecodeAttrReply(r1)
+				if err != nil || a.Handle == 0 {
+					continue
+				}
+				step++
+				w := Write(a.Handle, 0, payloads[i])
+				if !bytes.Equal(s1.Execute(w, nd(step)), s2.Execute(w, nd(step))) {
+					return false
+				}
+			}
+		}
+		return bytes.Equal(s1.Checkpoint(), s2.Checkpoint())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

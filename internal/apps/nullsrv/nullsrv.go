@@ -1,0 +1,69 @@
+// Package nullsrv is the paper's null-server microbenchmark application
+// (§5.2): it reads a request of a specified size and produces a reply of a
+// specified size with no additional processing. A configurable synthetic
+// processing cost supports the relative-cost experiments of Figure 4, where
+// application execution time is the independent variable.
+package nullsrv
+
+import (
+	"encoding/binary"
+	"repro/internal/types"
+)
+
+// Server is the null state machine.
+type Server struct {
+	// ReplySize is the reply body size in bytes.
+	ReplySize int
+	// Spin, when positive, burns approximately that many iterations of
+	// deterministic work per request, standing in for application
+	// processing time (Figure 4's x axis).
+	Spin int
+
+	// Executed counts requests (for assertions).
+	Executed uint64
+
+	sink uint64
+}
+
+// New returns a null server producing replySize-byte replies.
+func New(replySize int) *Server { return &Server{ReplySize: replySize} }
+
+// MakeRequest builds a request body of the given size.
+func MakeRequest(size int) []byte {
+	b := make([]byte, size)
+	for i := range b {
+		b[i] = byte(i)
+	}
+	return b
+}
+
+// Execute implements sm.StateMachine: echo-shaped, fixed-size reply.
+func (s *Server) Execute(op []byte, nd types.NonDet) []byte {
+	s.Executed++
+	for i := 0; i < s.Spin; i++ {
+		s.sink = s.sink*1103515245 + 12345 // deterministic busy-work
+	}
+	reply := make([]byte, s.ReplySize)
+	// Echo a fingerprint of the request so correctness is checkable.
+	d := types.DigestBytes(op)
+	copy(reply, d[:])
+	if s.ReplySize >= 40 {
+		binary.BigEndian.PutUint64(reply[32:40], s.Executed)
+	}
+	return reply
+}
+
+// Checkpoint implements sm.StateMachine.
+func (s *Server) Checkpoint() []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], s.Executed)
+	return b[:]
+}
+
+// Restore implements sm.StateMachine.
+func (s *Server) Restore(data []byte) error {
+	if len(data) == 8 {
+		s.Executed = binary.BigEndian.Uint64(data)
+	}
+	return nil
+}

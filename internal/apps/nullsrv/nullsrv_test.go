@@ -1,0 +1,62 @@
+package nullsrv
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/types"
+)
+
+func TestReplySizeAndFingerprint(t *testing.T) {
+	s := New(4096)
+	req := MakeRequest(40)
+	reply := s.Execute(req, types.NonDet{})
+	if len(reply) != 4096 {
+		t.Fatalf("reply size = %d", len(reply))
+	}
+	want := types.DigestBytes(req)
+	if !bytes.Equal(reply[:32], want[:]) {
+		t.Error("reply does not fingerprint the request")
+	}
+	if s.Executed != 1 {
+		t.Errorf("Executed = %d", s.Executed)
+	}
+}
+
+func TestSmallReply(t *testing.T) {
+	s := New(8)
+	reply := s.Execute(MakeRequest(4096), types.NonDet{})
+	if len(reply) != 8 {
+		t.Fatalf("reply size = %d", len(reply))
+	}
+}
+
+func TestSpinBurnsDeterministically(t *testing.T) {
+	a, b := New(40), New(40)
+	a.Spin, b.Spin = 1000, 1000
+	ra := a.Execute(MakeRequest(40), types.NonDet{})
+	rb := b.Execute(MakeRequest(40), types.NonDet{})
+	if !bytes.Equal(ra, rb) {
+		t.Error("spinning servers diverged")
+	}
+}
+
+func TestCheckpointRestore(t *testing.T) {
+	s := New(40)
+	s.Execute(MakeRequest(1), types.NonDet{})
+	s.Execute(MakeRequest(1), types.NonDet{})
+	ckpt := s.Checkpoint()
+	s2 := New(40)
+	if err := s2.Restore(ckpt); err != nil {
+		t.Fatal(err)
+	}
+	if s2.Executed != 2 {
+		t.Errorf("restored Executed = %d", s2.Executed)
+	}
+	// Replies embed the counter, so restored replicas stay consistent.
+	r1 := s.Execute(MakeRequest(2), types.NonDet{})
+	r2 := s2.Execute(MakeRequest(2), types.NonDet{})
+	if !bytes.Equal(r1, r2) {
+		t.Error("restored replica diverged")
+	}
+}

@@ -1,0 +1,220 @@
+package auth
+
+import (
+	"crypto/ed25519"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/types"
+)
+
+var master = []byte("test-master-secret")
+
+func macSchemes(t *testing.T, ids ...types.NodeID) map[types.NodeID]*MACScheme {
+	t.Helper()
+	out := make(map[types.NodeID]*MACScheme, len(ids))
+	for _, id := range ids {
+		out[id] = NewMACScheme(NewKeyRing(master, id, ids))
+	}
+	return out
+}
+
+func TestPairSecretSymmetric(t *testing.T) {
+	if string(PairSecret(master, 1, 2)) != string(PairSecret(master, 2, 1)) {
+		t.Error("PairSecret is not symmetric")
+	}
+	if string(PairSecret(master, 1, 2)) == string(PairSecret(master, 1, 3)) {
+		t.Error("PairSecret collides across pairs")
+	}
+}
+
+func TestMACAttestVerify(t *testing.T) {
+	s := macSchemes(t, 1, 2, 3, 4)
+	d := types.DigestBytes([]byte("payload"))
+	att, err := s[1].Attest(KindCommit, d, []types.NodeID{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if att.Node != 1 {
+		t.Errorf("attestation node = %v, want 1", att.Node)
+	}
+	if err := s[2].Verify(KindCommit, d, att); err != nil {
+		t.Errorf("node 2 verify: %v", err)
+	}
+	if err := s[3].Verify(KindCommit, d, att); err != nil {
+		t.Errorf("node 3 verify: %v", err)
+	}
+	// Node 4 was not a destination: no slot.
+	if err := s[4].Verify(KindCommit, d, att); err != ErrNoSlot {
+		t.Errorf("node 4 verify = %v, want ErrNoSlot", err)
+	}
+}
+
+func TestMACVerifyRejectsWrongDigestAndKind(t *testing.T) {
+	s := macSchemes(t, 1, 2)
+	d := types.DigestBytes([]byte("payload"))
+	att, _ := s[1].Attest(KindCommit, d, []types.NodeID{2})
+	if err := s[2].Verify(KindCommit, types.DigestBytes([]byte("other")), att); err != ErrBadMAC {
+		t.Errorf("wrong digest: got %v, want ErrBadMAC", err)
+	}
+	if err := s[2].Verify(KindPrepare, d, att); err != ErrBadMAC {
+		t.Errorf("wrong kind (domain separation): got %v, want ErrBadMAC", err)
+	}
+}
+
+func TestMACVerifyRejectsForgedSender(t *testing.T) {
+	s := macSchemes(t, 1, 2, 3)
+	d := types.DigestBytes([]byte("payload"))
+	att, _ := s[1].Attest(KindCommit, d, []types.NodeID{2})
+	att.Node = 3 // node 1 pretends to be node 3
+	if err := s[2].Verify(KindCommit, d, att); err == nil {
+		t.Error("verify accepted attestation with forged sender")
+	}
+}
+
+func TestMACVectorDeduplicatesAndSkipsSelf(t *testing.T) {
+	s := macSchemes(t, 1, 2)
+	d := types.DigestBytes([]byte("x"))
+	att, err := s[1].Attest(KindReply, d, []types.NodeID{2, 2, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s[2].Verify(KindReply, d, att); err != nil {
+		t.Error(err)
+	}
+	// vector header(4) + one slot (4 + 16)
+	if len(att.Proof) != 4+4+16 {
+		t.Errorf("proof len = %d, want one deduplicated slot", len(att.Proof))
+	}
+}
+
+func TestMACVerifyMalformedProof(t *testing.T) {
+	s := macSchemes(t, 1, 2)
+	d := types.DigestBytes([]byte("x"))
+	for _, proof := range [][]byte{nil, {1}, {0, 0, 0, 5, 1, 2, 3}} {
+		if err := s[2].Verify(KindReply, d, Attestation{Node: 1, Proof: proof}); err == nil {
+			t.Errorf("verify accepted malformed proof %v", proof)
+		}
+	}
+}
+
+func sigSchemes(t *testing.T, ids ...types.NodeID) map[types.NodeID]*SigScheme {
+	t.Helper()
+	dir := NewDirectory(nil)
+	privs := make(map[types.NodeID]ed25519.PrivateKey, len(ids))
+	for _, id := range ids {
+		pub, priv, err := ed25519.GenerateKey(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dir.Add(id, pub)
+		privs[id] = priv
+	}
+	out := make(map[types.NodeID]*SigScheme, len(ids))
+	for _, id := range ids {
+		out[id] = NewSigScheme(id, privs[id], dir)
+	}
+	return out
+}
+
+func TestSigAttestVerify(t *testing.T) {
+	s := sigSchemes(t, 1, 2, 3)
+	d := types.DigestBytes([]byte("vc"))
+	att, err := s[1].Attest(KindViewChange, d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Signatures are universally verifiable and transferable.
+	for _, v := range []types.NodeID{1, 2, 3} {
+		if err := s[v].Verify(KindViewChange, d, att); err != nil {
+			t.Errorf("node %v verify: %v", v, err)
+		}
+	}
+	if err := s[2].Verify(KindNewView, d, att); err != ErrBadSignature {
+		t.Errorf("kind confusion: got %v, want ErrBadSignature", err)
+	}
+	att.Node = 2
+	if err := s[3].Verify(KindViewChange, d, att); err != ErrBadSignature {
+		t.Errorf("forged sender: got %v, want ErrBadSignature", err)
+	}
+}
+
+func TestSigVerifyUnknownNode(t *testing.T) {
+	s := sigSchemes(t, 1)
+	d := types.DigestBytes([]byte("z"))
+	att, _ := s[1].Attest(KindRequest, d, nil)
+	att.Node = 42
+	if err := s[1].Verify(KindRequest, d, att); err == nil {
+		t.Error("verify accepted attestation from unknown node")
+	}
+}
+
+func TestQuorum(t *testing.T) {
+	q := NewQuorum(3)
+	if q.Add(Attestation{Node: 1}) {
+		t.Error("quorum complete after 1")
+	}
+	if q.Add(Attestation{Node: 1}) {
+		t.Error("duplicate node counted twice")
+	}
+	q.Add(Attestation{Node: 2})
+	if !q.Add(Attestation{Node: 3}) {
+		t.Error("quorum not complete after 3 distinct")
+	}
+	atts := q.Attestations()
+	if len(atts) != 3 {
+		t.Fatalf("attestations = %d, want 3", len(atts))
+	}
+	for i := 1; i < len(atts); i++ {
+		if atts[i-1].Node >= atts[i].Node {
+			t.Error("attestations not sorted by node")
+		}
+	}
+}
+
+func TestCountDistinct(t *testing.T) {
+	s := sigSchemes(t, 1, 2, 3, 4)
+	d := types.DigestBytes([]byte("cert"))
+	var atts []Attestation
+	for _, id := range []types.NodeID{1, 2, 3, 1} { // 1 appears twice
+		a, _ := s[id].Attest(KindCommit, d, nil)
+		atts = append(atts, a)
+	}
+	// One bogus attestation.
+	atts = append(atts, Attestation{Node: 4, Proof: []byte("junk")})
+	if got := CountDistinct(s[1], KindCommit, d, atts, nil); got != 3 {
+		t.Errorf("CountDistinct = %d, want 3", got)
+	}
+	allowed := map[types.NodeID]bool{1: true, 2: true}
+	if got := CountDistinct(s[1], KindCommit, d, atts, allowed); got != 2 {
+		t.Errorf("CountDistinct with allowed set = %d, want 2", got)
+	}
+}
+
+func TestBindDomainSeparation(t *testing.T) {
+	d := types.DigestBytes([]byte("m"))
+	f := func(a, b uint8) bool {
+		if a == b {
+			return true
+		}
+		return Bind(Kind(a), d) != Bind(Kind(b), d)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMACQuickDigests(t *testing.T) {
+	s := macSchemes(t, 1, 2)
+	f := func(payload []byte) bool {
+		d := types.DigestBytes(payload)
+		att, err := s[1].Attest(KindOrder, d, []types.NodeID{2})
+		if err != nil {
+			return false
+		}
+		return s[2].Verify(KindOrder, d, att) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

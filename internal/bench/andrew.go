@@ -1,0 +1,272 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/apps/nfs"
+	"repro/internal/core"
+	"repro/internal/sm"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// This file implements the modified Andrew benchmark of §5.4 against the
+// replicated NFS service: N sequential iterations ("Andrew-N"; the paper
+// runs Andrew-500), each with the benchmark's five phases:
+//
+//	1. recursive subdirectory creation
+//	2. copying a source tree into the new directories
+//	3. examining file attributes without reading contents
+//	4. reading the files
+//	5. "compiling": reading every source and writing objects + a binary
+//
+// Phase boundaries are measured in virtual time, yielding the rows of
+// Figures 6 and 7.
+
+// AndrewConfig scales the workload.
+type AndrewConfig struct {
+	N           int // iterations (Andrew-N)
+	Dirs        int // subdirectories per iteration
+	FilesPerDir int // source files per subdirectory
+	FileSize    int // bytes per source file
+}
+
+// DefaultAndrew returns a laptop-scale Andrew-N configuration.
+func DefaultAndrew(n int) AndrewConfig {
+	return AndrewConfig{N: n, Dirs: 4, FilesPerDir: 5, FileSize: 2048}
+}
+
+// AndrewResult holds per-phase and total times.
+type AndrewResult struct {
+	Label  string
+	Phases [5]types.Time
+	Total  types.Time
+}
+
+// FmtMs renders a phase time in milliseconds.
+func (r AndrewResult) FmtMs(i int) string {
+	return fmt.Sprintf("%.1f", float64(r.Phases[i])/1e6)
+}
+
+// Invoker abstracts "send one NFS operation and wait for the certified
+// reply" over the replicated cluster and the unreplicated baseline.
+type Invoker interface {
+	Invoke(op []byte) ([]byte, error)
+	Now() types.Time
+}
+
+// clusterInvoker adapts core.Cluster.
+type clusterInvoker struct {
+	c       *core.Cluster
+	timeout types.Time
+}
+
+func (ci *clusterInvoker) Invoke(op []byte) ([]byte, error) {
+	return ci.c.Invoke(0, op, ci.timeout)
+}
+
+func (ci *clusterInvoker) Now() types.Time { return ci.c.Net.Now() }
+
+// RunAndrew executes Andrew-N through the invoker.
+func RunAndrew(label string, inv Invoker, cfg AndrewConfig) (AndrewResult, error) {
+	res := AndrewResult{Label: label}
+	start := inv.Now()
+
+	call := func(op []byte) ([]byte, error) { return inv.Invoke(op) }
+	attr := func(op []byte) (nfs.Attr, error) {
+		b, err := call(op)
+		if err != nil {
+			return nfs.Attr{}, err
+		}
+		st, a, err := nfs.DecodeAttrReply(b)
+		if err != nil {
+			return nfs.Attr{}, err
+		}
+		if st != nfs.StatusOK {
+			return nfs.Attr{}, fmt.Errorf("andrew: op failed: %s", nfs.StatusName(st))
+		}
+		return a, nil
+	}
+
+	content := make([]byte, cfg.FileSize)
+	for i := range content {
+		content[i] = byte('a' + i%26)
+	}
+
+	type dirState struct {
+		handle nfs.Handle
+		files  []nfs.Handle
+	}
+
+	for iter := 0; iter < cfg.N; iter++ {
+		rootName := fmt.Sprintf("andrew%d", iter)
+		top, err := attr(nfs.Mkdir(nfs.RootHandle, rootName, 0o755))
+		if err != nil {
+			return res, err
+		}
+		// Phase 1: recursive subdirectory creation.
+		dirs := make([]dirState, cfg.Dirs)
+		parent := top.Handle
+		for d := 0; d < cfg.Dirs; d++ {
+			a, err := attr(nfs.Mkdir(parent, fmt.Sprintf("sub%d", d), 0o755))
+			if err != nil {
+				return res, err
+			}
+			dirs[d].handle = a.Handle
+			parent = a.Handle // nested, like mkdir -p of a path
+		}
+		res.Phases[0] += inv.Now() - start
+		start = inv.Now()
+
+		// Phase 2: copy the source tree.
+		for d := range dirs {
+			for f := 0; f < cfg.FilesPerDir; f++ {
+				a, err := attr(nfs.Create(dirs[d].handle, fmt.Sprintf("src%d.c", f), 0o644))
+				if err != nil {
+					return res, err
+				}
+				if _, err := attr(nfs.Write(a.Handle, 0, content)); err != nil {
+					return res, err
+				}
+				dirs[d].files = append(dirs[d].files, a.Handle)
+			}
+		}
+		res.Phases[1] += inv.Now() - start
+		start = inv.Now()
+
+		// Phase 3: examine attributes without reading contents.
+		for d := range dirs {
+			for _, fh := range dirs[d].files {
+				if _, err := attr(nfs.Getattr(fh)); err != nil {
+					return res, err
+				}
+			}
+			if _, err := call(nfs.Readdir(dirs[d].handle)); err != nil {
+				return res, err
+			}
+		}
+		res.Phases[2] += inv.Now() - start
+		start = inv.Now()
+
+		// Phase 4: read the files.
+		for d := range dirs {
+			for _, fh := range dirs[d].files {
+				b, err := call(nfs.Read(fh, 0, uint32(cfg.FileSize)))
+				if err != nil {
+					return res, err
+				}
+				if st, data, _ := nfs.DecodeDataReply(b); st != nfs.StatusOK || len(data) != cfg.FileSize {
+					return res, fmt.Errorf("andrew: phase 4 read returned %s (%d bytes)", nfs.StatusName(st), len(data))
+				}
+			}
+		}
+		res.Phases[3] += inv.Now() - start
+		start = inv.Now()
+
+		// Phase 5: compile and link — read each source, write an object,
+		// then write one linked binary.
+		var linked int
+		for d := range dirs {
+			for f, fh := range dirs[d].files {
+				if _, err := call(nfs.Read(fh, 0, uint32(cfg.FileSize))); err != nil {
+					return res, err
+				}
+				obj, err := attr(nfs.Create(dirs[d].handle, fmt.Sprintf("obj%d.o", f), 0o644))
+				if err != nil {
+					return res, err
+				}
+				if _, err := attr(nfs.Write(obj.Handle, 0, content[:cfg.FileSize/2])); err != nil {
+					return res, err
+				}
+				linked += cfg.FileSize / 2
+			}
+		}
+		bin, err := attr(nfs.Create(top.Handle, "a.out", 0o755))
+		if err != nil {
+			return res, err
+		}
+		binContent := make([]byte, linked/4+1)
+		if _, err := attr(nfs.Write(bin.Handle, 0, binContent)); err != nil {
+			return res, err
+		}
+		res.Phases[4] += inv.Now() - start
+		start = inv.Now()
+	}
+	for _, p := range res.Phases {
+		res.Total += p
+	}
+	return res, nil
+}
+
+// AndrewClusterOptions returns cluster options for a given architecture
+// running the NFS service, sized for the Andrew benchmark.
+func AndrewClusterOptions(mode core.Mode, thresholdBits int) core.Options {
+	return core.Options{
+		Mode:               mode,
+		BatchSize:          1, // single sequential client
+		CheckpointInterval: 256,
+		WindowSize:         1024,
+		Pipeline:           128,
+		ThresholdBits:      thresholdBits,
+		RequestTimeout:     types.Millisecond(5000),
+		ClientRetransmit:   types.Millisecond(2500),
+		App:                func() sm.StateMachine { return nfs.New() },
+		Net:                transport.SimNetConfig{MeasureCompute: true},
+	}
+}
+
+// RunAndrewOnCluster builds the cluster and runs Andrew-N on it, optionally
+// crashing one replica first (Figure 7's fault rows).
+type AndrewFault int
+
+// Fault injections for Figure 7.
+const (
+	FaultNone AndrewFault = iota
+	FaultExecReplica
+	FaultAgreementReplica
+)
+
+// HardwareTSigScale models the cryptographic accelerator §5.4 assumes for
+// threshold signatures (the paper cites Shand & Vuillemin's fast RSA
+// hardware): compute on executors and filters is charged at 1/15 of its
+// measured software cost.
+const HardwareTSigScale = 1.0 / 15
+
+// RunAndrewOnCluster executes the benchmark on a fresh cluster. When
+// hwAssist is true, executor and filter compute time is scaled by
+// HardwareTSigScale, matching the paper's §5.4 assumption.
+func RunAndrewOnCluster(label string, opts core.Options, cfg AndrewConfig, fault AndrewFault) (AndrewResult, error) {
+	return runAndrewCluster(label, opts, cfg, fault, opts.Mode == core.ModeFirewall)
+}
+
+// RunAndrewOnClusterSoftware forces pure-software threshold signing.
+func RunAndrewOnClusterSoftware(label string, opts core.Options, cfg AndrewConfig, fault AndrewFault) (AndrewResult, error) {
+	return runAndrewCluster(label, opts, cfg, fault, false)
+}
+
+func runAndrewCluster(label string, opts core.Options, cfg AndrewConfig, fault AndrewFault, hwAssist bool) (AndrewResult, error) {
+	c, err := core.BuildSim(opts)
+	if err != nil {
+		return AndrewResult{}, err
+	}
+	if hwAssist {
+		for _, id := range c.Top.Execution {
+			c.Net.SetComputeScale(id, HardwareTSigScale)
+		}
+		for _, row := range c.Top.Filters {
+			for _, id := range row {
+				c.Net.SetComputeScale(id, HardwareTSigScale)
+			}
+		}
+	}
+	switch fault {
+	case FaultExecReplica:
+		if opts.Mode == core.ModeBASE {
+			return AndrewResult{}, fmt.Errorf("bench: BASE has no separate execution replicas")
+		}
+		c.CrashExec(len(c.Top.Execution) - 1)
+	case FaultAgreementReplica:
+		c.CrashAgreement(len(c.Top.Agreement) - 1) // a backup
+	}
+	return RunAndrew(label, &clusterInvoker{c: c, timeout: types.Time(120e9)}, cfg)
+}

@@ -1,0 +1,141 @@
+// Package costmodel implements the analytic relative-cost model of §5.3
+// (Figure 4): the per-request processing cost of each replication
+// architecture — application execution on every execution replica plus
+// cryptographic overhead — relative to an unreplicated server.
+//
+//	relativeCost = (numExec·procApp + overhead_req + overhead_batch/batch) / procApp
+//
+// Per-request and per-batch operation counts are the paper's, for
+// configurations tolerating one fault:
+//
+//	BASE      4 execution replicas, 8 MACs/request, 36 MACs/batch
+//	Separate  3 execution replicas, 7 MACs/request, 39 MACs/batch
+//	Sep/Priv  3 execution replicas, 7 MACs/request, 39 MACs + 3 threshold
+//	          signatures + 6 threshold verifications per batch
+//
+// Default primitive costs are also the paper's measurements (2003 hardware):
+// MAC 0.2 ms, threshold signature 15 ms, threshold verification 0.7 ms. The
+// model reproduces the paper's claims: without the firewall the separated
+// architecture is cheaper than BASE everywhere (asymptotically by the 4/3
+// replica ratio), and with the firewall it crosses below BASE at ~5 ms of
+// application processing for batch size 10 (~0.2 ms at batch 100).
+package costmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params holds cryptographic primitive costs in milliseconds.
+type Params struct {
+	MACMs     float64
+	TSignMs   float64
+	TVerifyMs float64
+}
+
+// PaperParams are the costs measured in §5.3.
+func PaperParams() Params {
+	return Params{MACMs: 0.2, TSignMs: 15, TVerifyMs: 0.7}
+}
+
+// Arch describes one architecture's replica count and per-request/per-batch
+// cryptographic operation counts.
+type Arch struct {
+	Name          string
+	NumExec       int
+	MACsPerReq    float64
+	MACsPerBatch  float64
+	TSignPerBatch float64
+	TVerPerBatch  float64
+}
+
+// The paper's three architectures, tolerating one fault.
+var (
+	BASE     = Arch{Name: "BASE", NumExec: 4, MACsPerReq: 8, MACsPerBatch: 36}
+	Separate = Arch{Name: "Sep", NumExec: 3, MACsPerReq: 7, MACsPerBatch: 39}
+	SepPriv  = Arch{Name: "Sep/Priv", NumExec: 3, MACsPerReq: 7, MACsPerBatch: 39, TSignPerBatch: 3, TVerPerBatch: 6}
+)
+
+// Archs lists the modeled architectures in the paper's order.
+func Archs() []Arch { return []Arch{SepPriv, Separate, BASE} }
+
+// RelativeCost evaluates the model for one architecture at a given
+// (unreplicated) application processing time in ms and batch size.
+func RelativeCost(a Arch, p Params, procAppMs float64, batch int) float64 {
+	if procAppMs <= 0 || batch <= 0 {
+		panic("costmodel: procAppMs and batch must be positive")
+	}
+	perReq := a.MACsPerReq * p.MACMs
+	perBatch := a.MACsPerBatch*p.MACMs + a.TSignPerBatch*p.TSignMs + a.TVerPerBatch*p.TVerifyMs
+	return (float64(a.NumExec)*procAppMs + perReq + perBatch/float64(batch)) / procAppMs
+}
+
+// CrossoverApp returns the application processing time (ms) above which
+// architecture a is cheaper than b at the given batch size, found by
+// bisection over [lo, hi]. It returns hi if a never wins, lo if a always
+// wins on the interval.
+func CrossoverApp(a, b Arch, p Params, batch int, lo, hi float64) float64 {
+	cheaper := func(app float64) bool {
+		return RelativeCost(a, p, app, batch) < RelativeCost(b, p, app, batch)
+	}
+	if cheaper(lo) {
+		return lo
+	}
+	if !cheaper(hi) {
+		return hi
+	}
+	for i := 0; i < 80; i++ {
+		mid := (lo + hi) / 2
+		if cheaper(mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi
+}
+
+// Point is one Figure 4 sample.
+type Point struct {
+	Arch    string
+	Batch   int
+	AppMs   float64
+	RelCost float64
+}
+
+// Figure4Series samples the model exactly as Figure 4 plots it: application
+// processing 1–100 ms (log-spaced), batch sizes 1, 10, and 100.
+func Figure4Series(p Params) []Point {
+	var out []Point
+	apps := logspace(1, 100, 13)
+	for _, a := range Archs() {
+		for _, batch := range []int{1, 10, 100} {
+			for _, app := range apps {
+				out = append(out, Point{
+					Arch: a.Name, Batch: batch, AppMs: app,
+					RelCost: RelativeCost(a, p, app, batch),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// logspace returns n log-spaced samples over [lo, hi].
+func logspace(lo, hi float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		f := float64(i) / float64(n-1)
+		out[i] = lo * math.Pow(hi/lo, f)
+	}
+	return out
+}
+
+// FormatFigure4 renders the series as the figure's table of rows.
+func FormatFigure4(points []Point) string {
+	out := "arch\tbatch\tapp_ms\trelative_cost\n"
+	for _, pt := range points {
+		out += fmt.Sprintf("%s\t%d\t%.2f\t%.3f\n", pt.Arch, pt.Batch, pt.AppMs, pt.RelCost)
+	}
+	return out
+}

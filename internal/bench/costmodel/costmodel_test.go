@@ -1,0 +1,150 @@
+package costmodel
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSeparateBeatsBASEEverywhere(t *testing.T) {
+	// §5.3: "Without the privacy firewall overhead, our separate
+	// architecture has a lower cost than BASE for all request sizes
+	// examined."
+	p := PaperParams()
+	for _, batch := range []int{1, 10, 100} {
+		for app := 1.0; app <= 100; app *= 1.5 {
+			sep := RelativeCost(Separate, p, app, batch)
+			base := RelativeCost(BASE, p, app, batch)
+			if sep >= base {
+				t.Errorf("Separate (%.3f) not cheaper than BASE (%.3f) at app=%.1fms batch=%d", sep, base, app, batch)
+			}
+		}
+	}
+}
+
+func TestAsymptoticAdvantageIsReplicaRatio(t *testing.T) {
+	// As application processing dominates, BASE/Separate → 4/3 (the
+	// paper's "33% advantage").
+	p := PaperParams()
+	ratio := RelativeCost(BASE, p, 1e6, 10) / RelativeCost(Separate, p, 1e6, 10)
+	if math.Abs(ratio-4.0/3.0) > 0.001 {
+		t.Errorf("asymptotic BASE/Separate = %.4f, want 4/3", ratio)
+	}
+}
+
+func TestPrivacyFirewallCrossovers(t *testing.T) {
+	// §5.3: with batch 10 the firewall beats BASE for apps over ~5 ms;
+	// with batch 100, over ~0.2 ms.
+	p := PaperParams()
+	x10 := CrossoverApp(SepPriv, BASE, p, 10, 0.01, 1000)
+	if x10 < 3 || x10 > 7 {
+		t.Errorf("batch=10 crossover = %.2f ms, paper reports ≈5 ms", x10)
+	}
+	x100 := CrossoverApp(SepPriv, BASE, p, 100, 0.01, 1000)
+	if x100 < 0.1 || x100 > 0.5 {
+		t.Errorf("batch=100 crossover = %.2f ms, paper reports ≈0.2 ms", x100)
+	}
+	// At batch=1 and small requests the firewall is much more expensive
+	// ("the privacy firewall does greatly increase cost").
+	// (61.4 vs 12.8 relative cost: a ~4.8x penalty.)
+	if RelativeCost(SepPriv, p, 1, 1)/RelativeCost(BASE, p, 1, 1) < 4 {
+		t.Error("firewall at batch=1 should cost several times BASE for 1ms apps")
+	}
+}
+
+func TestBatchingReducesCostMonotonically(t *testing.T) {
+	p := PaperParams()
+	for _, a := range Archs() {
+		prev := math.Inf(1)
+		for _, batch := range []int{1, 2, 5, 10, 50, 100} {
+			c := RelativeCost(a, p, 2, batch)
+			if c > prev {
+				t.Errorf("%s: cost increased with batch size (%d → %.3f)", a.Name, batch, c)
+			}
+			prev = c
+		}
+	}
+}
+
+func TestRelativeCostFormula(t *testing.T) {
+	// Hand-computed spot check: BASE at 10ms, batch 1:
+	// (4·10 + 8·0.2 + 36·0.2) / 10 = (40 + 1.6 + 7.2)/10 = 4.88
+	got := RelativeCost(BASE, PaperParams(), 10, 1)
+	if math.Abs(got-4.88) > 1e-9 {
+		t.Errorf("BASE(10ms, b=1) = %v, want 4.88", got)
+	}
+	// Sep/Priv at 5ms, batch 10:
+	// (3·5 + 1.4 + (7.8+45+4.2)/10)/5 = (15 + 1.4 + 5.7)/5 = 4.42
+	got = RelativeCost(SepPriv, PaperParams(), 5, 10)
+	if math.Abs(got-4.42) > 1e-9 {
+		t.Errorf("SepPriv(5ms, b=10) = %v, want 4.42", got)
+	}
+}
+
+func TestRelativeCostPanicsOnBadInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for zero app time")
+		}
+	}()
+	RelativeCost(BASE, PaperParams(), 0, 1)
+}
+
+func TestFigure4SeriesShape(t *testing.T) {
+	pts := Figure4Series(PaperParams())
+	if len(pts) != 3*3*13 {
+		t.Fatalf("series has %d points, want %d", len(pts), 3*3*13)
+	}
+	// Relative cost approaches the replica count from above as app grows.
+	for _, pt := range pts {
+		var numExec float64
+		switch pt.Arch {
+		case "BASE":
+			numExec = 4
+		default:
+			numExec = 3
+		}
+		if pt.RelCost < numExec {
+			t.Errorf("%s batch=%d app=%.1f: relative cost %.3f below replica floor %.0f",
+				pt.Arch, pt.Batch, pt.AppMs, pt.RelCost, numExec)
+		}
+	}
+	out := FormatFigure4(pts)
+	if !strings.Contains(out, "Sep/Priv") || !strings.Contains(out, "BASE") {
+		t.Error("formatted table is missing architectures")
+	}
+}
+
+func TestCrossoverBoundaries(t *testing.T) {
+	p := PaperParams()
+	// At batch=1, Separate's extra per-batch MACs (39 vs 36) make BASE
+	// cheaper for sub-millisecond applications — the paper's caveat that
+	// its overheads are higher "when applications do little processing
+	// and when aggregate load (and therefore bundle size) is small". The
+	// crossover sits below the 1–100 ms range Figure 4 examines.
+	if x := CrossoverApp(Separate, BASE, p, 1, 0.01, 1000); x < 0.1 || x > 1 {
+		t.Errorf("Separate vs BASE batch=1 crossover = %v, want sub-millisecond", x)
+	}
+	// At batch=10 the per-batch difference washes out: Separate wins from
+	// the low end, so the crossover degenerates to lo.
+	if x := CrossoverApp(Separate, BASE, p, 10, 1, 1000); x != 1 {
+		t.Errorf("Separate vs BASE batch=10 crossover = %v, want lo bound", x)
+	}
+	// An architecture strictly worse everywhere returns hi.
+	worse := Arch{Name: "worse", NumExec: 10, MACsPerReq: 100, MACsPerBatch: 100}
+	if x := CrossoverApp(worse, BASE, p, 1, 0.01, 1000); x != 1000 {
+		t.Errorf("hopeless crossover = %v, want hi bound", x)
+	}
+}
+
+func TestLogspace(t *testing.T) {
+	xs := logspace(1, 100, 13)
+	if xs[0] != 1 || math.Abs(xs[12]-100) > 1e-9 {
+		t.Errorf("logspace endpoints: %v ... %v", xs[0], xs[12])
+	}
+	for i := 1; i < len(xs); i++ {
+		if xs[i] <= xs[i-1] {
+			t.Error("logspace not increasing")
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/apps/nfs"
+	"repro/internal/bench/costmodel"
+	"repro/internal/core"
+)
+
+// This file renders each figure/table of the paper's evaluation as text,
+// shared by cmd/saebft-bench and the repository's benchmark targets.
+
+// Scale trades fidelity for runtime; Quick keeps CI fast, Full approaches
+// the paper's sample counts.
+type Scale struct {
+	LatencyRequests int
+	ThroughputReqs  int
+	AndrewN         int
+	ThresholdBits   int
+}
+
+// QuickScale is sized for CI and `go test -bench`.
+func QuickScale() Scale {
+	return Scale{LatencyRequests: 30, ThroughputReqs: 150, AndrewN: 1, ThresholdBits: 512}
+}
+
+// FullScale approaches the paper's run lengths (minutes of wall time).
+func FullScale() Scale {
+	return Scale{LatencyRequests: 200, ThroughputReqs: 1000, AndrewN: 5, ThresholdBits: 1024}
+}
+
+// Figure3 runs the latency microbenchmark for the paper's three size pairs
+// and five configurations.
+func Figure3(s Scale) (string, []LatencyResult, error) {
+	var b strings.Builder
+	var all []LatencyResult
+	fmt.Fprintf(&b, "Figure 3: null-server latency (ms), %d requests per cell\n", s.LatencyRequests)
+	fmt.Fprintf(&b, "%-28s %12s %12s %12s\n", "config", "40/40", "40/4096", "4096/40")
+	type cell struct{ mean float64 }
+	rows := map[string][3]float64{}
+	order := []string{}
+	sizes := [][2]int{{40, 40}, {40, 4096}, {4096, 40}}
+	for col, sz := range sizes {
+		for _, cfg := range Fig3Configs(sz[0], sz[1], s.LatencyRequests, s.ThresholdBits) {
+			res, err := RunLatency(cfg)
+			if err != nil {
+				return "", nil, fmt.Errorf("figure 3 %s %d/%d: %w", cfg.Label, sz[0], sz[1], err)
+			}
+			res.Label = fmt.Sprintf("%s %d/%d", cfg.Label, sz[0], sz[1])
+			all = append(all, res)
+			r := rows[cfg.Label]
+			r[col] = res.MeanMs
+			if col == 0 {
+				order = append(order, cfg.Label)
+			}
+			rows[cfg.Label] = r
+		}
+	}
+	for _, label := range order {
+		r := rows[label]
+		fmt.Fprintf(&b, "%-28s %12.2f %12.2f %12.2f\n", label, r[0], r[1], r[2])
+	}
+	return b.String(), all, nil
+}
+
+// Figure4 renders the analytic cost model.
+func Figure4() string {
+	var b strings.Builder
+	p := costmodel.PaperParams()
+	b.WriteString("Figure 4: relative processing cost ((app+overhead)/app), paper-measured primitive costs\n")
+	b.WriteString(costmodel.FormatFigure4(costmodel.Figure4Series(p)))
+	x10 := costmodel.CrossoverApp(costmodel.SepPriv, costmodel.BASE, p, 10, 0.01, 1000)
+	x100 := costmodel.CrossoverApp(costmodel.SepPriv, costmodel.BASE, p, 100, 0.01, 1000)
+	fmt.Fprintf(&b, "crossover Sep/Priv < BASE: batch=10 at %.2f ms/request, batch=100 at %.2f ms/request\n", x10, x100)
+	return b.String()
+}
+
+// Figure5 sweeps offered load for each bundle size and reports response
+// times, reproducing the hockey-stick curves.
+func Figure5(s Scale) (string, []ThroughputResult, error) {
+	var b strings.Builder
+	var all []ThroughputResult
+	fmt.Fprintf(&b, "Figure 5: response time vs offered load (privacy firewall, 1KB/1KB, threshold %d bits)\n", s.ThresholdBits)
+	fmt.Fprintf(&b, "%-8s %12s %14s %14s %12s\n", "bundle", "offered/s", "mean resp ms", "p99 resp ms", "achieved/s")
+	rates := []float64{50, 150, 300, 600, 1200, 2400}
+	for _, bundle := range []int{1, 2, 3, 5} {
+		for _, rate := range rates {
+			res, err := RunThroughput(ThroughputConfig{
+				Bundle:        bundle,
+				RatePerSec:    rate,
+				ReqSize:       1024,
+				RepSize:       1024,
+				Requests:      s.ThroughputReqs,
+				ThresholdBits: s.ThresholdBits,
+			})
+			if err != nil {
+				return "", nil, fmt.Errorf("figure 5 bundle=%d rate=%.0f: %w", bundle, rate, err)
+			}
+			all = append(all, res)
+			fmt.Fprintf(&b, "%-8d %12.0f %14.2f %14.2f %12.1f\n",
+				res.Bundle, res.OfferedPerSec, res.MeanRespMs, res.P99RespMs, res.AchievedPerSec)
+		}
+	}
+	return b.String(), all, nil
+}
+
+// Figure6 runs Andrew-N on the no-replication baseline, BASE, and the
+// privacy firewall, reporting per-phase times.
+func Figure6(s Scale) (string, []AndrewResult, error) {
+	cfg := DefaultAndrew(s.AndrewN)
+	var results []AndrewResult
+
+	norep, err := RunAndrew("No Replication", NewNoRepInvoker(nfs.New()), cfg)
+	if err != nil {
+		return "", nil, fmt.Errorf("figure 6 norep: %w", err)
+	}
+	results = append(results, norep)
+
+	base, err := RunAndrewOnCluster("BASE", AndrewClusterOptions(core.ModeBASE, s.ThresholdBits), cfg, FaultNone)
+	if err != nil {
+		return "", nil, fmt.Errorf("figure 6 BASE: %w", err)
+	}
+	results = append(results, base)
+
+	fw, err := RunAndrewOnCluster("Firewall", AndrewClusterOptions(core.ModeFirewall, s.ThresholdBits), cfg, FaultNone)
+	if err != nil {
+		return "", nil, fmt.Errorf("figure 6 firewall: %w", err)
+	}
+	results = append(results, fw)
+
+	return formatAndrew(fmt.Sprintf("Figure 6: Andrew-%d phase times (virtual ms)", cfg.N), results), results, nil
+}
+
+// Figure7 repeats the Andrew benchmark with one crashed execution replica
+// and one crashed agreement replica.
+func Figure7(s Scale) (string, []AndrewResult, error) {
+	cfg := DefaultAndrew(s.AndrewN)
+	var results []AndrewResult
+
+	base, err := RunAndrewOnCluster("BASE", AndrewClusterOptions(core.ModeBASE, s.ThresholdBits), cfg, FaultNone)
+	if err != nil {
+		return "", nil, fmt.Errorf("figure 7 BASE: %w", err)
+	}
+	results = append(results, base)
+
+	fs, err := RunAndrewOnCluster("faulty exec server", AndrewClusterOptions(core.ModeFirewall, s.ThresholdBits), cfg, FaultExecReplica)
+	if err != nil {
+		return "", nil, fmt.Errorf("figure 7 faulty server: %w", err)
+	}
+	results = append(results, fs)
+
+	fa, err := RunAndrewOnCluster("faulty agreement node", AndrewClusterOptions(core.ModeFirewall, s.ThresholdBits), cfg, FaultAgreementReplica)
+	if err != nil {
+		return "", nil, fmt.Errorf("figure 7 faulty agreement: %w", err)
+	}
+	results = append(results, fa)
+
+	return formatAndrew(fmt.Sprintf("Figure 7: Andrew-%d with failures (virtual ms)", cfg.N), results), results, nil
+}
+
+func formatAndrew(title string, results []AndrewResult) string {
+	var b strings.Builder
+	b.WriteString(title + "\n")
+	fmt.Fprintf(&b, "%-8s", "phase")
+	for _, r := range results {
+		fmt.Fprintf(&b, " %22s", r.Label)
+	}
+	b.WriteString("\n")
+	for p := 0; p < 5; p++ {
+		fmt.Fprintf(&b, "%-8d", p+1)
+		for _, r := range results {
+			fmt.Fprintf(&b, " %22s", r.FmtMs(p))
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "%-8s", "TOTAL")
+	for _, r := range results {
+		fmt.Fprintf(&b, " %22.1f", float64(r.Total)/1e6)
+	}
+	b.WriteString("\n")
+	return b.String()
+}

@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/sm"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// The unreplicated baseline of Figures 4 and 6 ("No Replication"): a single
+// server executing the application over the same simulated LAN, with no
+// agreement, no certificates, and no cryptography. Comparing against it
+// isolates the replication overhead the architectures add.
+
+const (
+	norepServer types.NodeID = 1
+	norepClient types.NodeID = 2
+)
+
+// norepService is the single-server node.
+type norepService struct {
+	app  sm.StateMachine
+	send transport.Sender
+	seq  types.SeqNum
+}
+
+func (s *norepService) Deliver(from types.NodeID, data []byte, now types.Time) {
+	s.seq++
+	nd := types.NonDet{Time: types.Timestamp(now), Rand: types.ComputeNonDetRand(s.seq, types.Timestamp(now))}
+	s.send(from, s.app.Execute(data, nd))
+}
+
+func (s *norepService) Tick(now types.Time) {}
+
+// norepCaller is the matching client node.
+type norepCaller struct {
+	reply []byte
+	done  bool
+}
+
+func (c *norepCaller) Deliver(from types.NodeID, data []byte, now types.Time) {
+	c.reply = data
+	c.done = true
+}
+
+func (c *norepCaller) Tick(now types.Time) {}
+
+// NoRepInvoker runs an application unreplicated over the simulated LAN.
+type NoRepInvoker struct {
+	net    *transport.SimNet
+	caller *norepCaller
+	send   transport.Sender
+}
+
+// NewNoRepInvoker builds the single-server deployment.
+func NewNoRepInvoker(app sm.StateMachine) *NoRepInvoker {
+	net := transport.NewSimNet(transport.SimNetConfig{Seed: 1, MeasureCompute: true})
+	srv := &norepService{app: app}
+	srv.send = net.Bind(norepServer)
+	caller := &norepCaller{}
+	net.Register(norepServer, srv)
+	net.Register(norepClient, caller)
+	return &NoRepInvoker{net: net, caller: caller, send: net.Bind(norepClient)}
+}
+
+// Invoke implements Invoker.
+func (n *NoRepInvoker) Invoke(op []byte) ([]byte, error) {
+	n.caller.done = false
+	n.caller.reply = nil
+	n.send(norepServer, op)
+	if !n.net.RunUntil(func() bool { return n.caller.done }, n.net.Now()+types.Time(30e9)) {
+		return nil, fmt.Errorf("norep: request timed out")
+	}
+	return n.caller.reply, nil
+}
+
+// Now implements Invoker.
+func (n *NoRepInvoker) Now() types.Time { return n.net.Now() }

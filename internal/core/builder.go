@@ -1,0 +1,227 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/auth"
+	"repro/internal/execnode"
+	"repro/internal/firewall"
+	"repro/internal/mqueue"
+	"repro/internal/pbft"
+	"repro/internal/replycert"
+	"repro/internal/seal"
+	"repro/internal/sm"
+	"repro/internal/threshold"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// Builder constructs individual nodes of a deployment. BuildSim uses it to
+// assemble a simulated cluster; the deploy package uses it to run each node
+// as its own OS process over TCP, with identical key material derived from
+// the shared seed.
+type Builder struct {
+	Opts Options
+	Top  *types.Topology
+	Mat  *Material
+}
+
+// NewBuilder validates options and derives topology plus key material.
+func NewBuilder(opts Options) (*Builder, error) {
+	opts.fillDefaults()
+	if opts.App == nil {
+		return nil, fmt.Errorf("core: Options.App factory is required")
+	}
+	top := BuildTopology(opts.F, opts.G, opts.H, opts.Clients, opts.Mode)
+	if err := top.Validate(); err != nil {
+		return nil, err
+	}
+	bits := 0
+	if opts.ReplyMode == replycert.ModeThreshold || opts.Mode == ModeFirewall {
+		bits = opts.ThresholdBits
+	}
+	mat, err := NewMaterial(opts.Seed, top, bits)
+	if err != nil {
+		return nil, err
+	}
+	return &Builder{Opts: opts, Top: top, Mat: mat}, nil
+}
+
+func (b *Builder) clientAuth(id types.NodeID) auth.Scheme {
+	if b.Opts.MACRequests {
+		return b.Mat.MACScheme(id, b.Top.AllNodes())
+	}
+	return b.Mat.SigScheme(id)
+}
+
+func (b *Builder) orderAuth(id types.NodeID) auth.Scheme {
+	if b.Opts.MACOrders {
+		return b.Mat.MACScheme(id, b.Top.AllNodes())
+	}
+	return b.Mat.SigScheme(id)
+}
+
+func (b *Builder) replyAuth(id types.NodeID) auth.Scheme {
+	if b.Opts.ReplyMode == replycert.ModeQuorum {
+		return b.Mat.MACScheme(id, b.Top.AllNodes())
+	}
+	return nil
+}
+
+func (b *Builder) verifier(id types.NodeID) *replycert.Verifier {
+	if b.Opts.Mode == ModeBASE {
+		return replycert.NewVerifierFor(replycert.ModeQuorum, b.Top.F()+1, b.Top.Agreement, b.replyAuth(id), nil)
+	}
+	return replycert.NewVerifier(b.Opts.ReplyMode, b.Top, b.replyAuth(id), b.Mat.ThresholdPub)
+}
+
+// AgreementNode builds one agreement replica (engine + queue, or engine +
+// direct application in BASE mode). The returned transport.Node is what the
+// network must drive; engine and queue expose introspection (queue is nil in
+// BASE mode).
+func (b *Builder) AgreementNode(id types.NodeID, send transport.Sender) (transport.Node, *pbft.Replica, *mqueue.Queue, error) {
+	engineCfg := pbft.Config{
+		ID:                 id,
+		Topology:           b.Top,
+		ReplicaAuth:        b.Mat.SigScheme(id),
+		ClientAuth:         b.clientAuth(id),
+		BatchSize:          b.Opts.BatchSize,
+		BatchWait:          b.Opts.BatchWait,
+		CheckpointInterval: b.Opts.CheckpointInterval,
+		WindowSize:         b.Opts.WindowSize,
+		RequestTimeout:     b.Opts.RequestTimeout,
+	}
+	if b.Opts.Mode == ModeBASE {
+		app := newDirectApp(id, b.Top, b.Opts.App(), b.replyAuth(id), send)
+		engine, err := pbft.New(engineCfg, app, send)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return engine, engine, nil, nil
+	}
+	dests := b.Top.Execution
+	if b.Opts.Mode == ModeFirewall {
+		dests = b.Top.Filters[0]
+	}
+	queue, err := mqueue.New(mqueue.Config{
+		ID:           id,
+		Topology:     b.Top,
+		OrderAuth:    b.orderAuth(id),
+		Verifier:     b.verifier(id),
+		Dests:        dests,
+		Pipeline:     b.Opts.Pipeline,
+		CacheReplies: true,
+	}, send)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	engine, err := pbft.New(engineCfg, queue, send)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	node := &AgreementNode{ID: id, Engine: engine, Queue: queue}
+	return node, engine, queue, nil
+}
+
+// ExecNode builds one execution replica hosting a fresh application
+// instance.
+func (b *Builder) ExecNode(id types.NodeID, send transport.Sender) (*execnode.Replica, sm.StateMachine, error) {
+	if b.Opts.Mode == ModeBASE {
+		return nil, nil, fmt.Errorf("core: BASE mode has no execution replicas")
+	}
+	var seals map[types.NodeID]*seal.Sealer
+	if b.Opts.Mode == ModeFirewall {
+		seals = make(map[types.NodeID]*seal.Sealer, len(b.Top.Clients))
+		for _, cid := range b.Top.Clients {
+			s, err := b.Mat.Sealer(cid)
+			if err != nil {
+				return nil, nil, err
+			}
+			seals[cid] = s
+		}
+	}
+	replyDests := b.Top.Agreement
+	if b.Opts.Mode == ModeFirewall {
+		replyDests = b.Top.Filters[b.Top.H()]
+	}
+	app := b.Opts.App()
+	ex, err := execnode.New(execnode.Config{
+		ID:                   id,
+		Topology:             b.Top,
+		OrderAuth:            b.orderAuth(id),
+		ReplyAuth:            b.replyAuth(id),
+		ExecAuth:             b.Mat.SigScheme(id),
+		ReplyMode:            b.Opts.ReplyMode,
+		ThresholdShare:       b.Mat.ThresholdShare(id),
+		ShareRand:            threshold.NewSeededReader(fmt.Sprintf("%s-share-%d", b.Opts.Seed, id)),
+		ReplyDests:           replyDests,
+		DirectReplyToClients: b.Opts.DirectReply && b.Opts.Mode != ModeFirewall,
+		Seals:                seals,
+		Pipeline:             b.Opts.Pipeline,
+		CheckpointInterval:   b.Opts.CheckpointInterval,
+	}, app, send)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ex, app, nil
+}
+
+// FilterNode builds one privacy-firewall filter.
+func (b *Builder) FilterNode(id types.NodeID, send transport.Sender) (*firewall.Filter, error) {
+	if b.Opts.Mode != ModeFirewall {
+		return nil, fmt.Errorf("core: filters exist only in firewall mode")
+	}
+	row := b.Top.FilterRowOf(id)
+	if row < 0 {
+		return nil, fmt.Errorf("core: %v is not a filter", id)
+	}
+	h := b.Top.H()
+	col := -1
+	for i, f := range b.Top.Filters[row] {
+		if f == id {
+			col = i
+		}
+	}
+	var up, down []types.NodeID
+	if row == h {
+		up = b.Top.Execution
+	} else {
+		up = []types.NodeID{b.Top.Filters[row+1][col]}
+	}
+	if row == 0 {
+		down = b.Top.Agreement
+	} else {
+		down = b.Top.Filters[row-1]
+	}
+	return firewall.New(firewall.Config{
+		ID:             id,
+		Topology:       b.Top,
+		Row:            row,
+		UpTargets:      up,
+		DownTargets:    down,
+		Verifier:       replycert.NewVerifier(replycert.ModeThreshold, b.Top, nil, b.Mat.ThresholdPub),
+		TopRow:         row == h,
+		Pipeline:       b.Opts.Pipeline,
+		OrderedRelease: b.Opts.OrderedRelease,
+	}, send)
+}
+
+// ClientNode builds one client.
+func (b *Builder) ClientNode(id types.NodeID, send transport.Sender) (*Client, error) {
+	var sl *seal.Sealer
+	if b.Opts.Mode == ModeFirewall {
+		var err error
+		sl, err = b.Mat.Sealer(id)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return NewClient(ClientConfig{
+		ID:              id,
+		Topology:        b.Top,
+		Scheme:          b.clientAuth(id),
+		Verifier:        b.verifier(id),
+		Sealer:          sl,
+		RetransmitAfter: b.Opts.ClientRetransmit,
+	}, send), nil
+}

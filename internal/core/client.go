@@ -1,0 +1,202 @@
+package core
+
+import (
+	"bytes"
+	"crypto/rand"
+	"fmt"
+
+	"repro/internal/auth"
+	"repro/internal/replycert"
+	"repro/internal/seal"
+	"repro/internal/transport"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// Client issues authenticated requests and validates reply certificates
+// (§3.1.1). It keeps one request outstanding (the paper's client model),
+// sends the first copy to the agreement replica it believes is primary, and
+// retransmits to all replicas with exponential backoff.
+type Client struct {
+	id       types.NodeID
+	top      *types.Topology
+	scheme   auth.Scheme         // request attestations
+	verifier *replycert.Verifier // reply certificates
+	sealer   *seal.Sealer        // non-nil when bodies are sealed
+	send     transport.Sender
+	firstTo  types.NodeID // believed primary
+
+	ts          types.Timestamp
+	outstanding *wire.Request
+	plainOp     []byte
+	deadline    types.Time
+	interval    types.Time
+	initialWait types.Time
+	assembler   *replycert.Assembler
+	result      []byte
+	haveResult  bool
+
+	// Metrics counts externally observable client activity.
+	Metrics ClientMetrics
+}
+
+// ClientMetrics aggregates counters exposed for tests and benchmarks.
+type ClientMetrics struct {
+	Requests    uint64
+	Retransmits uint64
+	Replies     uint64
+	BadReplies  uint64
+}
+
+// ClientConfig parameterizes a Client.
+type ClientConfig struct {
+	ID              types.NodeID
+	Topology        *types.Topology
+	Scheme          auth.Scheme
+	Verifier        *replycert.Verifier
+	Sealer          *seal.Sealer // optional
+	RetransmitAfter types.Time
+}
+
+// NewClient constructs a client bound to a Sender.
+func NewClient(cfg ClientConfig, send transport.Sender) *Client {
+	wait := cfg.RetransmitAfter
+	if wait == 0 {
+		wait = types.Millisecond(100)
+	}
+	return &Client{
+		id:          cfg.ID,
+		top:         cfg.Topology,
+		scheme:      cfg.Scheme,
+		verifier:    cfg.Verifier,
+		sealer:      cfg.Sealer,
+		send:        send,
+		firstTo:     cfg.Topology.Agreement[0],
+		initialWait: wait,
+		assembler:   replycert.NewAssembler(cfg.Verifier),
+	}
+}
+
+// Submit issues a new request. It panics if one is already outstanding: the
+// paper's client sends a request, waits for the reply, and only then sends
+// its next request (§2).
+func (c *Client) Submit(op []byte, now types.Time) error {
+	if c.outstanding != nil {
+		panic("client: request already outstanding")
+	}
+	c.ts++
+	body := op
+	if c.sealer != nil {
+		sealed, err := c.sealer.SealRequest(rand.Reader, op)
+		if err != nil {
+			return fmt.Errorf("client: sealing request: %w", err)
+		}
+		body = sealed
+	}
+	req := &wire.Request{Client: c.id, Timestamp: c.ts, Op: body, ReplyTo: c.firstTo}
+	att, err := c.scheme.Attest(auth.KindRequest, req.Digest(), c.top.Agreement)
+	if err != nil {
+		return fmt.Errorf("client: attesting request: %w", err)
+	}
+	req.Att = att
+	c.outstanding = req
+	c.plainOp = op
+	c.haveResult = false
+	c.result = nil
+	c.interval = c.initialWait
+	c.deadline = now + c.interval
+	c.assembler = replycert.NewAssembler(c.verifier)
+	c.Metrics.Requests++
+	// First transmission goes to the believed primary only (§3.1.1).
+	c.send(c.firstTo, wire.Marshal(req))
+	return nil
+}
+
+// HasResult reports whether the outstanding request completed.
+func (c *Client) HasResult() bool { return c.haveResult }
+
+// Result returns the reply body once HasResult is true, consuming it.
+func (c *Client) Result() ([]byte, bool) {
+	if !c.haveResult {
+		return nil, false
+	}
+	r := c.result
+	c.result = nil
+	c.haveResult = false
+	return r, true
+}
+
+// Deliver implements transport.Node.
+func (c *Client) Deliver(from types.NodeID, data []byte, now types.Time) {
+	msg, err := wire.Unmarshal(data)
+	if err != nil {
+		return
+	}
+	switch m := msg.(type) {
+	case *wire.ExecReply:
+		cert, err := c.assembler.Add(m)
+		if err != nil {
+			c.Metrics.BadReplies++
+			return
+		}
+		if cert != nil {
+			c.acceptCert(cert)
+		}
+	case *wire.ReplyCert:
+		if c.verifier.VerifyCert(m) != nil {
+			c.Metrics.BadReplies++
+			return
+		}
+		c.acceptCert(m)
+	}
+}
+
+// acceptCert completes the outstanding request if the certificate vouches
+// for a reply to it.
+func (c *Client) acceptCert(cert *wire.ReplyCert) {
+	if c.outstanding == nil {
+		return
+	}
+	for i := range cert.Entries {
+		e := &cert.Entries[i]
+		if e.Client != c.id || e.Timestamp != c.outstanding.Timestamp {
+			continue
+		}
+		body := e.Body
+		if c.sealer != nil {
+			plain, err := c.sealer.OpenReply(body)
+			if err != nil {
+				c.Metrics.BadReplies++
+				return
+			}
+			body = plain
+		}
+		// Track the primary for the next request's first transmission.
+		c.firstTo = c.top.Primary(e.View)
+		c.result = body
+		c.haveResult = true
+		c.outstanding = nil
+		c.Metrics.Replies++
+		return
+	}
+}
+
+// Tick implements transport.Node: retransmit to all agreement replicas with
+// exponential backoff (§3.1.1: retransmissions designate ALL).
+func (c *Client) Tick(now types.Time) {
+	if c.outstanding == nil || now < c.deadline {
+		return
+	}
+	c.Metrics.Retransmits++
+	req := *c.outstanding
+	req.ReplyToAll = true
+	data := wire.Marshal(&req)
+	for _, id := range c.top.Agreement {
+		c.send(id, data)
+	}
+	c.interval *= 2
+	c.deadline = now + c.interval
+}
+
+// equalOps reports whether two operation payloads match (test helper).
+func equalOps(a, b []byte) bool { return bytes.Equal(a, b) }

@@ -1,0 +1,142 @@
+// Package core composes the paper's full architecture out of the substrate
+// packages: agreement replicas (pbft engine + message queue), execution
+// replicas, privacy-firewall filters, and clients — in every configuration
+// the evaluation compares (§5.2):
+//
+//	BASE       — traditional coupled agreement+execution (Figure 1a)
+//	Separate   — 3f+1 agreement + 2g+1 execution (Figure 1b)
+//	Firewall   — Separate plus the (h+1)² privacy firewall (Figure 2c)
+//
+// with MAC-quorum or threshold-signature reply certificates.
+package core
+
+import (
+	"crypto/ed25519"
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/auth"
+	"repro/internal/seal"
+	"repro/internal/threshold"
+	"repro/internal/types"
+)
+
+// Mode selects the replication architecture.
+type Mode uint8
+
+// Architectures under comparison.
+const (
+	// ModeBASE is the traditional coupled architecture: 3f+1 replicas
+	// agree and execute; clients accept f+1 matching replies.
+	ModeBASE Mode = iota
+	// ModeSeparate splits agreement (3f+1) from execution (2g+1).
+	ModeSeparate
+	// ModeFirewall is ModeSeparate plus the privacy firewall grid and
+	// body sealing.
+	ModeFirewall
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeBASE:
+		return "BASE"
+	case ModeSeparate:
+		return "Separate"
+	case ModeFirewall:
+		return "Firewall"
+	default:
+		return fmt.Sprintf("Mode(%d)", uint8(m))
+	}
+}
+
+// Material holds all cryptographic key material for one deployment, derived
+// deterministically from a seed so that multi-process deployments and tests
+// can reconstruct matching keys. Production deployments would provision this
+// via a trusted dealer; the derivation stands in for that dealer.
+type Material struct {
+	Seed         string
+	MasterSecret []byte
+	Dir          *auth.Directory
+	privs        map[types.NodeID]ed25519.PrivateKey
+	ThresholdPub *threshold.PublicKey
+	thresholdSh  map[types.NodeID]*threshold.KeyShare
+}
+
+// NewMaterial derives key material for the topology. If thresholdBits > 0, a
+// (g+1)-of-(2g+1) threshold signing key is dealt to the execution cluster.
+func NewMaterial(seed string, top *types.Topology, thresholdBits int) (*Material, error) {
+	m := &Material{
+		Seed:         seed,
+		MasterSecret: []byte("saebft-master:" + seed),
+		Dir:          auth.NewDirectory(nil),
+		privs:        make(map[types.NodeID]ed25519.PrivateKey),
+		thresholdSh:  make(map[types.NodeID]*threshold.KeyShare),
+	}
+	for _, id := range top.AllNodes() {
+		var edSeed [ed25519.SeedSize]byte
+		copy(edSeed[:], seed)
+		binary.BigEndian.PutUint32(edSeed[28:32], uint32(int32(id)))
+		priv := ed25519.NewKeyFromSeed(edSeed[:])
+		m.privs[id] = priv
+		m.Dir.Add(id, priv.Public().(ed25519.PublicKey))
+	}
+	if thresholdBits > 0 && len(top.Execution) > 0 {
+		pub, shares, err := threshold.Deal(
+			threshold.NewSeededReader("saebft-threshold:"+seed),
+			thresholdBits, top.ExecutionQuorum(), len(top.Execution))
+		if err != nil {
+			return nil, fmt.Errorf("core: dealing threshold key: %w", err)
+		}
+		m.ThresholdPub = pub
+		for i, id := range top.Execution {
+			m.thresholdSh[id] = shares[i]
+		}
+	}
+	return m, nil
+}
+
+// SigScheme returns a signature scheme for the node.
+func (m *Material) SigScheme(id types.NodeID) *auth.SigScheme {
+	return auth.NewSigScheme(id, m.privs[id], m.Dir)
+}
+
+// MACScheme returns a MAC-vector scheme for the node over all peers.
+func (m *Material) MACScheme(id types.NodeID, peers []types.NodeID) *auth.MACScheme {
+	return auth.NewMACScheme(auth.NewKeyRing(m.MasterSecret, id, peers))
+}
+
+// ThresholdShare returns the node's threshold signing share (nil if none).
+func (m *Material) ThresholdShare(id types.NodeID) *threshold.KeyShare {
+	return m.thresholdSh[id]
+}
+
+// Sealer returns the body sealer shared by a client and the executors.
+func (m *Material) Sealer(client types.NodeID) (*seal.Sealer, error) {
+	return seal.New(seal.DeriveKey(m.MasterSecret, client))
+}
+
+// BuildTopology lays out node identities for the requested cluster sizes:
+// agreement replicas at 0.., executors at 100.., filters at 200.. (row-major),
+// clients at 1000...
+func BuildTopology(f, g, h, clients int, mode Mode) *types.Topology {
+	top := &types.Topology{}
+	for i := 0; i < 3*f+1; i++ {
+		top.Agreement = append(top.Agreement, types.NodeID(i))
+	}
+	for i := 0; i < 2*g+1; i++ {
+		top.Execution = append(top.Execution, types.NodeID(100+i))
+	}
+	if mode == ModeFirewall {
+		for row := 0; row <= h; row++ {
+			var r []types.NodeID
+			for col := 0; col <= h; col++ {
+				r = append(r, types.NodeID(200+row*32+col))
+			}
+			top.Filters = append(top.Filters, r)
+		}
+	}
+	for i := 0; i < clients; i++ {
+		top.Clients = append(top.Clients, types.NodeID(1000+i))
+	}
+	return top
+}

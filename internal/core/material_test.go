@@ -1,0 +1,138 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/auth"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+func TestBuildTopologyShapes(t *testing.T) {
+	top := BuildTopology(2, 2, 0, 3, ModeSeparate)
+	if len(top.Agreement) != 7 || len(top.Execution) != 5 || len(top.Filters) != 0 || len(top.Clients) != 3 {
+		t.Errorf("shape: %d/%d/%d/%d", len(top.Agreement), len(top.Execution), len(top.Filters), len(top.Clients))
+	}
+	if err := top.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	fw := BuildTopology(1, 1, 2, 1, ModeFirewall)
+	if len(fw.Filters) != 3 || len(fw.Filters[0]) != 3 {
+		t.Errorf("firewall grid: %dx%d, want 3x3", len(fw.Filters), len(fw.Filters[0]))
+	}
+	if err := fw.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaterialDeterministicAcrossProcesses(t *testing.T) {
+	top := BuildTopology(1, 1, 1, 1, ModeFirewall)
+	m1, err := NewMaterial("same-seed", top, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := NewMaterial("same-seed", top, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Signature made by one material verifies under the other: every
+	// process of a deployment derives matching keys.
+	d := types.DigestBytes([]byte("x"))
+	att, err := m1.SigScheme(0).Attest(auth.KindCommit, d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.SigScheme(1).Verify(auth.KindCommit, d, att); err != nil {
+		t.Fatalf("cross-material signature verification: %v", err)
+	}
+	// Threshold keys match.
+	if m1.ThresholdPub.N.Cmp(m2.ThresholdPub.N) != 0 {
+		t.Fatal("threshold public keys differ for the same seed")
+	}
+	sh, err := m1.ThresholdShare(top.Execution[0]).Sign(nil2reader(), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.ThresholdPub.VerifyShare(d, sh); err != nil {
+		t.Fatalf("cross-material share verification: %v", err)
+	}
+	// MAC pairs agree.
+	mac, err := m1.MACScheme(0, top.AllNodes()).Attest(auth.KindOrder, d, []types.NodeID{100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.MACScheme(100, top.AllNodes()).Verify(auth.KindOrder, d, mac); err != nil {
+		t.Fatalf("cross-material MAC verification: %v", err)
+	}
+	// Sealers agree per client and differ across seeds.
+	s1, _ := m1.Sealer(top.Clients[0])
+	s2, _ := m2.Sealer(top.Clients[0])
+	ct := s1.SealReply(top.Clients[0], 1, []byte("p"))
+	if _, err := s2.OpenReply(ct); err != nil {
+		t.Fatalf("cross-material sealing: %v", err)
+	}
+	m3, _ := NewMaterial("other-seed", top, 0)
+	if err := m3.SigScheme(1).Verify(auth.KindCommit, d, att); err == nil {
+		t.Error("different seeds produced compatible signature keys")
+	}
+}
+
+// nil2reader returns a deterministic reader for share-proof blinding.
+func nil2reader() *seededReaderShim { return &seededReaderShim{} }
+
+type seededReaderShim struct{ n byte }
+
+func (s *seededReaderShim) Read(p []byte) (int, error) {
+	for i := range p {
+		s.n++
+		p[i] = s.n
+	}
+	return len(p), nil
+}
+
+func TestBuilderRoleErrors(t *testing.T) {
+	b, err := NewBuilder(counterOpts(func(o *Options) { o.Mode = ModeBASE }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	send := transport.Sender(func(types.NodeID, []byte) {})
+	if _, _, err := b.ExecNode(b.Top.Execution[0], send); err == nil {
+		t.Error("BASE builder produced an execution node")
+	}
+	if _, err := b.FilterNode(200, send); err == nil {
+		t.Error("non-firewall builder produced a filter")
+	}
+
+	fb, err := NewBuilder(counterOpts(func(o *Options) { o.Mode = ModeFirewall }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fb.FilterNode(fb.Top.Agreement[0], send); err == nil {
+		t.Error("builder accepted a non-filter identity for FilterNode")
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	for m, want := range map[Mode]string{ModeBASE: "BASE", ModeSeparate: "Separate", ModeFirewall: "Firewall"} {
+		if m.String() != want {
+			t.Errorf("%d.String() = %q", m, m.String())
+		}
+	}
+}
+
+func TestOptionsDefaultsForceFirewallInvariants(t *testing.T) {
+	o := counterOpts(func(o *Options) {
+		o.Mode = ModeFirewall
+		o.DirectReply = true // must be forced off
+	})
+	b, err := NewBuilder(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Opts.DirectReply {
+		t.Error("DirectReply not forced off behind the firewall")
+	}
+	if b.Opts.ReplyMode.String() != "threshold" {
+		t.Error("firewall mode did not force threshold certificates")
+	}
+}

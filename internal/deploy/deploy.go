@@ -1,0 +1,353 @@
+// Package deploy runs deployments where every node is its own OS process
+// communicating over TCP — the paper's physical-separation model, scaled to
+// one box (or several; addresses are arbitrary host:port strings).
+//
+// A deployment is described by a JSON config file shared by all processes.
+// Key material is derived deterministically from the config's seed, standing
+// in for the trusted dealer a production system would use: every process
+// derives exactly the material its role needs. (Treat the config file as the
+// dealer's secret: whoever holds it holds every key.)
+package deploy
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"repro/internal/apps/counter"
+	"repro/internal/apps/kv"
+	"repro/internal/apps/nfs"
+	"repro/internal/apps/nullsrv"
+	"repro/internal/core"
+	"repro/internal/replycert"
+	"repro/internal/sm"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// Config is the on-disk deployment descriptor.
+type Config struct {
+	Seed          string            `json:"seed"`
+	Mode          string            `json:"mode"` // "base", "separate", "firewall"
+	App           string            `json:"app"`  // "kv", "counter", "nfs", "null"
+	F             int               `json:"f"`
+	G             int               `json:"g"`
+	H             int               `json:"h"`
+	Clients       int               `json:"clients"`
+	ReplyMode     string            `json:"replyMode"` // "quorum", "threshold"
+	MACRequests   bool              `json:"macRequests"`
+	MACOrders     bool              `json:"macOrders"`
+	BatchSize     int               `json:"batchSize"`
+	ThresholdBits int               `json:"thresholdBits"`
+	Addrs         map[string]string `json:"addrs"` // NodeID (decimal) → host:port
+}
+
+// Default returns a one-box deployment descriptor with sequential loopback
+// ports starting at basePort.
+func Default(mode, app string, basePort int) (*Config, error) {
+	cfg := &Config{
+		Seed:          "saebft-demo",
+		Mode:          mode,
+		App:           app,
+		F:             1,
+		G:             1,
+		H:             1,
+		Clients:       2,
+		ReplyMode:     "quorum",
+		ThresholdBits: 1024,
+		BatchSize:     8,
+		Addrs:         make(map[string]string),
+	}
+	if mode == "firewall" {
+		cfg.ReplyMode = "threshold"
+	}
+	m, err := cfg.CoreMode()
+	if err != nil {
+		return nil, err
+	}
+	top := core.BuildTopology(cfg.F, cfg.G, cfg.H, cfg.Clients, m)
+	port := basePort
+	for _, id := range top.AllNodes() {
+		cfg.Addrs[strconv.Itoa(int(id))] = fmt.Sprintf("127.0.0.1:%d", port)
+		port++
+	}
+	return cfg, nil
+}
+
+// Load reads a config file.
+func Load(path string) (*Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("deploy: parsing %s: %w", path, err)
+	}
+	return &cfg, nil
+}
+
+// Save writes the config file.
+func (c *Config) Save(path string) error {
+	data, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o600)
+}
+
+// CoreMode parses the mode field.
+func (c *Config) CoreMode() (core.Mode, error) {
+	switch c.Mode {
+	case "base":
+		return core.ModeBASE, nil
+	case "separate", "":
+		return core.ModeSeparate, nil
+	case "firewall":
+		return core.ModeFirewall, nil
+	default:
+		return 0, fmt.Errorf("deploy: unknown mode %q", c.Mode)
+	}
+}
+
+// AppFactory resolves the application name.
+func (c *Config) AppFactory() (func() sm.StateMachine, error) {
+	switch c.App {
+	case "kv", "":
+		return func() sm.StateMachine { return kv.New() }, nil
+	case "counter":
+		return func() sm.StateMachine { return counter.New() }, nil
+	case "nfs":
+		return func() sm.StateMachine { return nfs.New() }, nil
+	case "null":
+		return func() sm.StateMachine { return nullsrv.New(128) }, nil
+	default:
+		return nil, fmt.Errorf("deploy: unknown app %q", c.App)
+	}
+}
+
+// Options converts the config into core options.
+func (c *Config) Options() (core.Options, error) {
+	mode, err := c.CoreMode()
+	if err != nil {
+		return core.Options{}, err
+	}
+	app, err := c.AppFactory()
+	if err != nil {
+		return core.Options{}, err
+	}
+	opts := core.Options{
+		F:             c.F,
+		G:             c.G,
+		H:             c.H,
+		Clients:       c.Clients,
+		Mode:          mode,
+		MACRequests:   c.MACRequests,
+		MACOrders:     c.MACOrders,
+		BatchSize:     c.BatchSize,
+		ThresholdBits: c.ThresholdBits,
+		Seed:          c.Seed,
+		App:           app,
+	}
+	switch c.ReplyMode {
+	case "threshold":
+		opts.ReplyMode = replycert.ModeThreshold
+	case "quorum", "":
+		opts.ReplyMode = replycert.ModeQuorum
+	default:
+		return core.Options{}, fmt.Errorf("deploy: unknown reply mode %q", c.ReplyMode)
+	}
+	return opts, nil
+}
+
+// addrMap converts the JSON address table to NodeID keys.
+func (c *Config) addrMap() (map[types.NodeID]string, error) {
+	out := make(map[types.NodeID]string, len(c.Addrs))
+	for k, v := range c.Addrs {
+		n, err := strconv.Atoi(k)
+		if err != nil {
+			return nil, fmt.Errorf("deploy: bad node id %q in addrs", k)
+		}
+		out[types.NodeID(n)] = v
+	}
+	return out, nil
+}
+
+// RunningNode is one live TCP-backed node.
+type RunningNode struct {
+	ID      types.NodeID
+	Role    types.Role
+	Net     *transport.TCPNet
+	node    transport.Node
+	runtime *transport.Runtime
+}
+
+// Inspect runs fn on the node's runtime goroutine with the protocol node,
+// serialized against message delivery (debugging and tests only).
+func (n *RunningNode) Inspect(fn func(node transport.Node)) {
+	n.runtime.Do(func(types.Time) { fn(n.node) })
+}
+
+// Close shuts the node down.
+func (n *RunningNode) Close() {
+	n.runtime.Close()
+	n.Net.Close()
+}
+
+// StartNode builds and runs the node with the given identity over TCP. It
+// returns once the node is listening; the node runs until Close.
+func StartNode(cfg *Config, id types.NodeID) (*RunningNode, error) {
+	opts, err := cfg.Options()
+	if err != nil {
+		return nil, err
+	}
+	b, err := core.NewBuilder(opts)
+	if err != nil {
+		return nil, err
+	}
+	role, _, ok := b.Top.RoleOf(id)
+	if !ok {
+		return nil, fmt.Errorf("deploy: node %v is not part of the topology", id)
+	}
+	addrs, err := cfg.addrMap()
+	if err != nil {
+		return nil, err
+	}
+
+	// The TCP handler is installed after construction; a small
+	// indirection breaks the circular dependency between node and net.
+	var runtimeHandler func(from types.NodeID, data []byte)
+	tcp, err := transport.NewTCPNet(id, addrs, func(from types.NodeID, data []byte) {
+		runtimeHandler(from, data)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var node transport.Node
+	switch role {
+	case types.RoleAgreement:
+		node, _, _, err = b.AgreementNode(id, tcp.Send)
+	case types.RoleExecution:
+		node, _, err = b.ExecNode(id, tcp.Send)
+	case types.RoleFilter:
+		node, err = b.FilterNode(id, tcp.Send)
+	default:
+		err = fmt.Errorf("deploy: StartNode does not run clients; use NewTCPClient")
+	}
+	if err != nil {
+		tcp.Close()
+		return nil, err
+	}
+	rt, handler := transport.NewRuntime(node, tcp.Now, time.Millisecond)
+	runtimeHandler = handler
+	return &RunningNode{ID: id, Role: role, Net: tcp, node: node, runtime: rt}, nil
+}
+
+// TCPClient is a synchronous client over TCP.
+type TCPClient struct {
+	ID     types.NodeID
+	client *core.Client
+	net    *transport.TCPNet
+	rt     *transport.Runtime
+	mu     chan struct{} // serializes Call against the runtime goroutine
+}
+
+// NewTCPClient connects a client identity from the config.
+func NewTCPClient(cfg *Config, id types.NodeID) (*TCPClient, error) {
+	opts, err := cfg.Options()
+	if err != nil {
+		return nil, err
+	}
+	b, err := core.NewBuilder(opts)
+	if err != nil {
+		return nil, err
+	}
+	if role, _, ok := b.Top.RoleOf(id); !ok || role != types.RoleClient {
+		return nil, fmt.Errorf("deploy: %v is not a client in this topology", id)
+	}
+	addrs, err := cfg.addrMap()
+	if err != nil {
+		return nil, err
+	}
+	var runtimeHandler func(from types.NodeID, data []byte)
+	tcp, err := transport.NewTCPNet(id, addrs, func(from types.NodeID, data []byte) {
+		runtimeHandler(from, data)
+	})
+	if err != nil {
+		return nil, err
+	}
+	cl, err := b.ClientNode(id, tcp.Send)
+	if err != nil {
+		tcp.Close()
+		return nil, err
+	}
+	tc := &TCPClient{ID: id, client: cl, net: tcp, mu: make(chan struct{}, 1)}
+	tc.mu <- struct{}{}
+	rt, handler := transport.NewRuntime(&clientNode{cl}, tcp.Now, time.Millisecond)
+	runtimeHandler = handler
+	tc.rt = rt
+	return tc, nil
+}
+
+// clientNode adapts Client to transport.Node for the runtime (Client already
+// implements the interface; the wrapper only exists to keep the runtime from
+// being confused with the synchronous Call path below).
+type clientNode struct{ c *core.Client }
+
+func (n *clientNode) Deliver(from types.NodeID, data []byte, now types.Time) {
+	n.c.Deliver(from, data, now)
+}
+
+func (n *clientNode) Tick(now types.Time) { n.c.Tick(now) }
+
+// Call submits one operation and blocks until the certified reply arrives or
+// the timeout expires. Safe for use from one goroutine at a time.
+func (c *TCPClient) Call(op []byte, timeout time.Duration) ([]byte, error) {
+	<-c.mu
+	defer func() { c.mu <- struct{}{} }()
+	// The runtime goroutine owns the client state; Submit and result
+	// polling run on it via Runtime.Do so the protocol core stays
+	// single-threaded.
+	errc := make(chan error, 1)
+	c.rt.Do(func(now types.Time) {
+		if err := c.client.Submit(op, now); err != nil {
+			errc <- err
+		}
+	})
+	deadline := time.Now().Add(timeout)
+	for {
+		select {
+		case err := <-errc:
+			return nil, err
+		default:
+		}
+		var result []byte
+		var ok bool
+		c.rt.Do(func(now types.Time) {
+			if c.client.HasResult() {
+				result, ok = c.client.Result()
+			}
+		})
+		if ok {
+			return result, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("deploy: request timed out after %v", timeout)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// SetQuiet silences transport logging.
+func (c *TCPClient) SetQuiet() {
+	c.net.SetLogf(func(string, ...interface{}) {})
+}
+
+// Close disconnects the client.
+func (c *TCPClient) Close() {
+	c.rt.Close()
+	c.net.Close()
+}

@@ -1,0 +1,170 @@
+package deploy
+
+import (
+	"net"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/apps/kv"
+	"repro/internal/types"
+)
+
+// freePorts reserves n distinct loopback ports by binding and releasing.
+func freePorts(t *testing.T, n int) []int {
+	t.Helper()
+	ports := make([]int, 0, n)
+	listeners := make([]net.Listener, 0, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners = append(listeners, ln)
+		ports = append(ports, ln.Addr().(*net.TCPAddr).Port)
+	}
+	for _, ln := range listeners {
+		ln.Close()
+	}
+	return ports
+}
+
+func testConfig(t *testing.T, mode string) *Config {
+	t.Helper()
+	cfg, err := Default(mode, "kv", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.ThresholdBits = 512 // keep key dealing fast in tests
+	ports := freePorts(t, len(cfg.Addrs))
+	i := 0
+	for k := range cfg.Addrs {
+		cfg.Addrs[k] = "127.0.0.1:" + strconv.Itoa(ports[i])
+		i++
+	}
+	return cfg
+}
+
+func TestConfigSaveLoadRoundTrip(t *testing.T) {
+	cfg := testConfig(t, "separate")
+	path := filepath.Join(t.TempDir(), "cluster.json")
+	if err := cfg.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Seed != cfg.Seed || loaded.Mode != cfg.Mode || len(loaded.Addrs) != len(cfg.Addrs) {
+		t.Errorf("round trip mismatch: %+v vs %+v", loaded, cfg)
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("Load of missing file succeeded")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Default("bogus", "kv", 0); err == nil {
+		t.Error("Default accepted unknown mode")
+	}
+	cfg := &Config{Mode: "separate", App: "bogus"}
+	if _, err := cfg.AppFactory(); err == nil {
+		t.Error("AppFactory accepted unknown app")
+	}
+	cfg = &Config{Mode: "separate", ReplyMode: "bogus"}
+	if _, err := cfg.Options(); err == nil {
+		t.Error("Options accepted unknown reply mode")
+	}
+}
+
+// startAll launches every non-client node of the config.
+func startAll(t *testing.T, cfg *Config) []*RunningNode {
+	t.Helper()
+	opts, err := cfg.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = opts
+	var nodes []*RunningNode
+	for k := range cfg.Addrs {
+		idInt, _ := strconv.Atoi(k)
+		id := types.NodeID(idInt)
+		if id >= 1000 { // clients are driven separately
+			continue
+		}
+		n, err := StartNode(cfg, id)
+		if err != nil {
+			t.Fatalf("starting node %v: %v", id, err)
+		}
+		n.Net.SetLogf(func(string, ...interface{}) {})
+		nodes = append(nodes, n)
+	}
+	t.Cleanup(func() {
+		for _, n := range nodes {
+			n.Close()
+		}
+	})
+	return nodes
+}
+
+func TestTCPClusterEndToEndSeparate(t *testing.T) {
+	cfg := testConfig(t, "separate")
+	startAll(t, cfg)
+
+	client, err := NewTCPClient(cfg, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	reply, err := client.Call(kv.Put("hello", []byte("world")), 10*time.Second)
+	if err != nil {
+		t.Fatalf("put over TCP: %v", err)
+	}
+	if string(reply) != "OK" {
+		t.Fatalf("put reply = %q", reply)
+	}
+	reply, err = client.Call(kv.GetOp("hello"), 10*time.Second)
+	if err != nil {
+		t.Fatalf("get over TCP: %v", err)
+	}
+	if string(reply) != "world" {
+		t.Fatalf("get reply = %q", reply)
+	}
+}
+
+func TestTCPClusterFirewall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP firewall cluster in -short mode")
+	}
+	cfg := testConfig(t, "firewall")
+	startAll(t, cfg)
+
+	client, err := NewTCPClient(cfg, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	reply, err := client.Call(kv.Put("k", []byte("v")), 20*time.Second)
+	if err != nil {
+		t.Fatalf("put through firewall over TCP: %v", err)
+	}
+	if string(reply) != "OK" {
+		t.Fatalf("put reply = %q", reply)
+	}
+}
+
+func TestStartNodeRejectsUnknownID(t *testing.T) {
+	cfg := testConfig(t, "separate")
+	if _, err := StartNode(cfg, 9999); err == nil {
+		t.Error("StartNode accepted an identity outside the topology")
+	}
+	if _, err := StartNode(cfg, 1000); err == nil {
+		t.Error("StartNode accepted a client identity")
+	}
+	if _, err := NewTCPClient(cfg, 0); err == nil {
+		t.Error("NewTCPClient accepted a replica identity")
+	}
+}

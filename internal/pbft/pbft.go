@@ -1,0 +1,978 @@
+// Package pbft implements the Byzantine agreement substrate the paper builds
+// on: a PBFT/BASE-style replicated state machine engine with request
+// batching, the three-phase pre-prepare/prepare/commit protocol, stable
+// checkpoints with garbage collection, view changes with transferable
+// proofs, status-gossip catch-up, and oblivious nondeterminism agreement
+// (§3.1.4, §3.2).
+//
+// The paper treats the BASE library as an opaque agreement module whose
+// local "state machine" is a message queue (internal/mqueue); this package
+// is that module, built from scratch. It can equally run an application
+// state machine directly, which is how the traditional coupled
+// agreement+execution baseline (Figure 1a) is reproduced for comparison.
+//
+// A Replica is a deterministic, single-threaded core: it is driven only by
+// Receive and Tick, emits messages through the Sender it was built with, and
+// never blocks or spawns goroutines. All timers are deadline fields checked
+// in Tick.
+package pbft
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/auth"
+	"repro/internal/transport"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// App consumes the total order the agreement cluster produces. In the
+// paper's architecture the App is the replicated message queue; in the
+// coupled baseline it executes requests directly.
+type App interface {
+	// Execute delivers the batch bound to sequence number n. It is called
+	// exactly once per n, in order.
+	Execute(v types.View, n types.SeqNum, nd types.NonDet, reqs []wire.Request, now types.Time)
+
+	// ResendReply handles a client retransmission of an already-ordered
+	// request (the paper's retryHint). It reports false if the app has no
+	// cached reply and no pending work for the request, in which case the
+	// engine re-proposes the request under a fresh sequence number.
+	ResendReply(req *wire.Request, now types.Time) bool
+
+	// Sync asks the app to quiesce into a checkpointable state for
+	// sequence n (the paper's msgQueue.sync()). The app invokes done —
+	// possibly later, after its pipeline drains — with a digest and
+	// serialized copy of its state. The engine does not execute past n
+	// until done fires.
+	Sync(n types.SeqNum, done func(digest types.Digest, payload []byte))
+
+	// Restore replaces the app state with a checkpoint produced by Sync
+	// on another replica (used during state transfer).
+	Restore(n types.SeqNum, digest types.Digest, payload []byte) error
+
+	// Busy reports whether the app wants backpressure (pipeline full).
+	// While busy, the engine neither proposes nor executes new batches.
+	Busy(now types.Time) bool
+}
+
+// Config parameterizes a Replica.
+type Config struct {
+	ID       types.NodeID
+	Topology *types.Topology
+
+	// ReplicaAuth signs/verifies agreement-internal messages. It must be
+	// a signature scheme: view-change and checkpoint proofs are shown to
+	// third parties.
+	ReplicaAuth auth.Scheme
+	// ClientAuth verifies client request certificates (MAC or signature).
+	ClientAuth auth.Scheme
+
+	BatchSize          int        // max requests per batch (paper's bundle size)
+	BatchWait          types.Time // propose a partial batch after this delay
+	CheckpointInterval types.SeqNum
+	WindowSize         types.SeqNum // high-watermark distance (must be > CheckpointInterval)
+	RequestTimeout     types.Time   // backup's suspicion timeout triggering view change
+	ViewChangeResend   types.Time   // retransmission interval for view-change messages
+	StatusInterval     types.Time   // progress-gossip period
+	MaxTimeSkew        types.Timestamp
+
+	// OnCommitted, if set, is invoked whenever a batch commits locally
+	// (before execution). Tests use it to observe protocol progress.
+	OnCommitted func(v types.View, n types.SeqNum)
+}
+
+func (c *Config) fillDefaults() {
+	if c.BatchSize == 0 {
+		c.BatchSize = 16
+	}
+	if c.BatchWait == 0 {
+		c.BatchWait = types.Millisecond(2)
+	}
+	if c.CheckpointInterval == 0 {
+		c.CheckpointInterval = 64
+	}
+	if c.WindowSize == 0 {
+		c.WindowSize = 2 * c.CheckpointInterval
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = types.Millisecond(500)
+	}
+	if c.ViewChangeResend == 0 {
+		c.ViewChangeResend = types.Millisecond(300)
+	}
+	if c.StatusInterval == 0 {
+		c.StatusInterval = types.Millisecond(50)
+	}
+	if c.MaxTimeSkew == 0 {
+		c.MaxTimeSkew = types.Timestamp(10_000_000_000) // 10s in ns
+	}
+}
+
+// vote is one replica's prepare or commit attestation together with the
+// order digest it covers; votes can arrive before the pre-prepare, so the
+// digest must be remembered and matched later.
+type vote struct {
+	od  types.Digest
+	att auth.Attestation
+}
+
+// instance tracks one sequence number's progress through the three phases.
+type instance struct {
+	view      types.View
+	seq       types.SeqNum
+	od        types.Digest
+	pp        *wire.PrePrepare
+	prepares  map[types.NodeID]vote // backups' prepare votes
+	commits   map[types.NodeID]vote
+	prepared  bool
+	committed bool
+	executed  bool
+}
+
+// savedCheckpoint is a locally-produced checkpoint kept for serving peers.
+type savedCheckpoint struct {
+	digest  types.Digest
+	payload []byte
+}
+
+// clientState tracks per-client dedup and retry bookkeeping.
+//
+// lastOrdered is the fast dedup gate: it advances as soon as a pre-prepare
+// covering the request is accepted (even in a view that later fails — over-
+// advancing only routes duplicates through the retryHint path, which falls
+// back to re-proposal). lastExecuted advances only when the request
+// executes; being a deterministic function of the executed log, it is what
+// checkpoints carry and state transfer restores.
+type clientState struct {
+	lastOrdered  types.Timestamp
+	lastExecuted types.Timestamp
+	pending      *wire.Request // buffered request not yet ordered
+	pendingSince types.Time    // for the backup suspicion timer
+}
+
+// Replica is one agreement-cluster member.
+type Replica struct {
+	cfg  Config
+	send transport.Sender
+	app  App
+	top  *types.Topology
+	f    int
+	n    int
+	idx  int // own index in the agreement cluster
+
+	view         types.View
+	inViewChange bool
+	nextSeq      types.SeqNum // primary only: next sequence number to assign
+	lastExec     types.SeqNum
+	lastStable   types.SeqNum
+	stableProof  []wire.AgreeCheckpoint
+
+	insts   map[types.SeqNum]*instance
+	clients map[types.NodeID]*clientState
+	queue   []*wire.Request // primary: requests awaiting proposal
+	queued  map[types.Digest]bool
+	ndClock types.Timestamp // last nondeterministic timestamp accepted/proposed
+
+	// checkpointing
+	syncing       bool
+	syncSeq       types.SeqNum
+	ckptVotes     map[types.SeqNum]map[types.NodeID]wire.AgreeCheckpoint
+	ckptLocal     map[types.SeqNum]savedCheckpoint
+	fetchingSeq   types.SeqNum
+	fetchDeadline types.Time
+	executing     bool       // reentrancy guard for executeReady
+	now           types.Time // last observed time, for async callbacks
+
+	// view change state (viewchange.go)
+	vcs           map[types.View]map[types.NodeID]*wire.ViewChange
+	sentVC        *wire.ViewChange
+	vcDeadline    types.Time
+	vcAttempts    int
+	lastNewView   *wire.NewView
+	batchDeadline types.Time
+
+	statusDeadline types.Time
+
+	// Metrics counts externally observable progress for tests/benches.
+	Metrics Metrics
+}
+
+// Metrics aggregates counters exposed for tests and benchmarks.
+type Metrics struct {
+	Batches     uint64
+	Requests    uint64
+	ViewChanges uint64
+	Checkpoints uint64
+}
+
+// New constructs a replica. send transmits to agreement-cluster peers and is
+// also used to answer catch-up requests; app receives the total order.
+func New(cfg Config, app App, send transport.Sender) (*Replica, error) {
+	cfg.fillDefaults()
+	top := cfg.Topology
+	if top == nil {
+		return nil, fmt.Errorf("pbft: nil topology")
+	}
+	role, idx, ok := top.RoleOf(cfg.ID)
+	if !ok || role != types.RoleAgreement {
+		return nil, fmt.Errorf("pbft: %v is not an agreement replica", cfg.ID)
+	}
+	if cfg.WindowSize <= cfg.CheckpointInterval {
+		return nil, fmt.Errorf("pbft: window %d must exceed checkpoint interval %d", cfg.WindowSize, cfg.CheckpointInterval)
+	}
+	r := &Replica{
+		cfg:       cfg,
+		send:      send,
+		app:       app,
+		top:       top,
+		f:         top.F(),
+		n:         len(top.Agreement),
+		idx:       idx,
+		insts:     make(map[types.SeqNum]*instance),
+		clients:   make(map[types.NodeID]*clientState),
+		queued:    make(map[types.Digest]bool),
+		ckptVotes: make(map[types.SeqNum]map[types.NodeID]wire.AgreeCheckpoint),
+		ckptLocal: make(map[types.SeqNum]savedCheckpoint),
+		vcs:       make(map[types.View]map[types.NodeID]*wire.ViewChange),
+	}
+	return r, nil
+}
+
+// View returns the current view.
+func (r *Replica) View() types.View { return r.view }
+
+// LastExecuted returns the highest executed sequence number.
+func (r *Replica) LastExecuted() types.SeqNum { return r.lastExec }
+
+// LastStable returns the latest stable checkpoint sequence number.
+func (r *Replica) LastStable() types.SeqNum { return r.lastStable }
+
+// InViewChange reports whether the replica is between views.
+func (r *Replica) InViewChange() bool { return r.inViewChange }
+
+// isPrimary reports whether this replica leads the current view.
+func (r *Replica) isPrimary() bool { return r.top.PrimaryIndex(r.view) == r.idx }
+
+func (r *Replica) primaryID() types.NodeID { return r.top.Primary(r.view) }
+
+func (r *Replica) inWindow(n types.SeqNum) bool {
+	return n > r.lastStable && n <= r.lastStable+r.cfg.WindowSize
+}
+
+// broadcast sends to every other agreement replica.
+func (r *Replica) broadcast(data []byte) {
+	for _, id := range r.top.Agreement {
+		if id != r.cfg.ID {
+			r.send(id, data)
+		}
+	}
+}
+
+func (r *Replica) inst(v types.View, n types.SeqNum) *instance {
+	in := r.insts[n]
+	if in == nil || in.view != v {
+		in = &instance{
+			view:     v,
+			seq:      n,
+			prepares: make(map[types.NodeID]vote),
+			commits:  make(map[types.NodeID]vote),
+		}
+		r.insts[n] = in
+	}
+	return in
+}
+
+// Deliver implements transport.Node.
+func (r *Replica) Deliver(from types.NodeID, data []byte, now types.Time) {
+	msg, err := wire.Unmarshal(data)
+	if err != nil {
+		return
+	}
+	r.Receive(from, msg, now)
+}
+
+// Receive dispatches one decoded message.
+func (r *Replica) Receive(from types.NodeID, msg wire.Message, now types.Time) {
+	if now > r.now {
+		r.now = now
+	}
+	switch m := msg.(type) {
+	case *wire.Request:
+		r.onRequest(m, now)
+	case *wire.PrePrepare:
+		r.onPrePrepare(m, now)
+	case *wire.Prepare:
+		r.onPrepare(m, now)
+	case *wire.Commit:
+		r.onCommit(m, now)
+	case *wire.AgreeCheckpoint:
+		r.onCheckpoint(m, now)
+	case *wire.ViewChange:
+		r.onViewChange(m, now)
+	case *wire.NewView:
+		r.onNewView(m, now)
+	case *wire.Status:
+		r.onStatus(m, now)
+	case *wire.CommitProof:
+		r.onCommitProof(m, now)
+	case *wire.CheckpointFetch:
+		r.onCheckpointFetch(m, from, now)
+	case *wire.CheckpointData:
+		r.onCheckpointData(m, now)
+	case *wire.ExecReply, *wire.ReplyCert:
+		// Reply traffic belongs to the message queue (core wires it
+		// there); the engine ignores it.
+	}
+}
+
+// --- client requests --------------------------------------------------------
+
+func (r *Replica) client(id types.NodeID) *clientState {
+	cs := r.clients[id]
+	if cs == nil {
+		cs = &clientState{}
+		r.clients[id] = cs
+	}
+	return cs
+}
+
+func (r *Replica) onRequest(m *wire.Request, now types.Time) {
+	if role, _, ok := r.top.RoleOf(m.Client); !ok || role != types.RoleClient {
+		return
+	}
+	if err := r.cfg.ClientAuth.Verify(auth.KindRequest, m.Digest(), m.Att); err != nil {
+		return
+	}
+	cs := r.client(m.Client)
+	if m.Timestamp <= cs.lastOrdered {
+		// Already ordered: hand to the app's retry path; if the app can
+		// neither answer nor retry it, re-propose under a new sequence
+		// number (§3.2.1 retryHint).
+		if !r.app.ResendReply(m, now) {
+			r.enqueue(m, now)
+			r.maybePropose(now)
+		}
+		return
+	}
+	r.enqueue(m, now)
+	r.maybePropose(now)
+}
+
+func (r *Replica) enqueue(m *wire.Request, now types.Time) {
+	cs := r.client(m.Client)
+	if cs.pending == nil || m.Timestamp > cs.pending.Timestamp {
+		cs.pending = m
+		cs.pendingSince = now
+	}
+	if r.isPrimary() {
+		d := m.Digest()
+		if !r.queued[d] {
+			r.queued[d] = true
+			r.queue = append(r.queue, m)
+			if r.batchDeadline == 0 {
+				r.batchDeadline = now + r.cfg.BatchWait
+			}
+		}
+		return
+	}
+	// Backup: relay to the primary and let the suspicion timer run; if
+	// the primary never orders it, a view change follows.
+	r.send(r.primaryID(), wire.Marshal(m))
+}
+
+// maybePropose drains the request queue into pre-prepares while capacity
+// allows.
+func (r *Replica) maybePropose(now types.Time) {
+	if !r.isPrimary() || r.inViewChange {
+		return
+	}
+	for len(r.queue) > 0 {
+		if r.app.Busy(now) || r.syncing {
+			return
+		}
+		next := r.nextSeq + 1
+		if !r.inWindow(next) {
+			return
+		}
+		full := len(r.queue) >= r.cfg.BatchSize
+		waited := r.batchDeadline != 0 && now >= r.batchDeadline
+		if !full && !waited {
+			return
+		}
+		k := len(r.queue)
+		if k > r.cfg.BatchSize {
+			k = r.cfg.BatchSize
+		}
+		batch := make([]wire.Request, 0, k)
+		for _, q := range r.queue[:k] {
+			batch = append(batch, *q)
+			delete(r.queued, q.Digest())
+		}
+		r.queue = append(r.queue[:0], r.queue[k:]...)
+		if len(r.queue) == 0 {
+			r.batchDeadline = 0
+		} else {
+			r.batchDeadline = now + r.cfg.BatchWait
+		}
+		r.nextSeq = next
+		r.propose(next, batch, now)
+	}
+}
+
+// propose issues the pre-prepare for a batch at sequence n.
+func (r *Replica) propose(n types.SeqNum, batch []wire.Request, now types.Time) {
+	// Oblivious nondeterminism (§3.1.4): monotone primary-proposed time
+	// and recomputable pseudo-random bits.
+	t := types.Timestamp(now)
+	if t <= r.ndClock {
+		t = r.ndClock + 1
+	}
+	nd := types.NonDet{Time: t, Rand: types.ComputeNonDetRand(n, t)}
+	pp := &wire.PrePrepare{View: r.view, Seq: n, ND: nd, Requests: batch, Primary: r.cfg.ID}
+	od := pp.OrderDigest()
+	att, err := r.cfg.ReplicaAuth.Attest(auth.KindPrePrepare, od, r.top.Agreement)
+	if err != nil {
+		return
+	}
+	pp.Att = att
+	r.acceptPrePrepare(pp, od, now)
+	r.broadcast(wire.Marshal(pp))
+}
+
+// --- three-phase protocol -----------------------------------------------------
+
+// validatePrePrepare checks everything a backup must verify before accepting
+// a proposal, including the oblivious-nondeterminism sanity checks.
+func (r *Replica) validatePrePrepare(m *wire.PrePrepare, now types.Time) (types.Digest, bool) {
+	if m.View != r.view || r.inViewChange {
+		return types.ZeroDigest, false
+	}
+	if m.Primary != r.primaryID() || !r.inWindow(m.Seq) {
+		return types.ZeroDigest, false
+	}
+	od := m.OrderDigest()
+	if r.cfg.ReplicaAuth.Verify(auth.KindPrePrepare, od, m.Att) != nil || m.Att.Node != m.Primary {
+		return types.ZeroDigest, false
+	}
+	// Nondeterminism sanity checks: Rand must be the canonical PRF output;
+	// Time must be monotone and within skew of the local clock. A null
+	// batch (view-change filler) uses Time 0 and is exempt from the clock
+	// checks.
+	if m.ND.Rand != types.ComputeNonDetRand(m.Seq, m.ND.Time) {
+		return types.ZeroDigest, false
+	}
+	if len(m.Requests) > 0 {
+		local := types.Timestamp(now)
+		if m.ND.Time+r.cfg.MaxTimeSkew < local || m.ND.Time > local+r.cfg.MaxTimeSkew {
+			return types.ZeroDigest, false
+		}
+	}
+	// Request certificates must be valid: the agreement cluster only
+	// orders authentic client requests (§3.4 safety (a)).
+	for i := range m.Requests {
+		req := &m.Requests[i]
+		if role, _, ok := r.top.RoleOf(req.Client); !ok || role != types.RoleClient {
+			return types.ZeroDigest, false
+		}
+		if r.cfg.ClientAuth.Verify(auth.KindRequest, req.Digest(), req.Att) != nil {
+			return types.ZeroDigest, false
+		}
+	}
+	return od, true
+}
+
+func (r *Replica) onPrePrepare(m *wire.PrePrepare, now types.Time) {
+	od, ok := r.validatePrePrepare(m, now)
+	if !ok {
+		return
+	}
+	in := r.inst(m.View, m.Seq)
+	if in.pp != nil {
+		if in.od != od {
+			// Equivocating primary: demand a view change.
+			r.startViewChange(r.view+1, now)
+		}
+		return
+	}
+	r.acceptPrePrepare(m, od, now)
+	if !r.isPrimary() {
+		prep := &wire.Prepare{View: m.View, Seq: m.Seq, OD: od, Replica: r.cfg.ID}
+		att, err := r.cfg.ReplicaAuth.Attest(auth.KindPrepare, od, r.top.Agreement)
+		if err != nil {
+			return
+		}
+		prep.Att = att
+		in.prepares[r.cfg.ID] = vote{od: od, att: att}
+		r.broadcast(wire.Marshal(prep))
+		r.checkPrepared(in, now)
+	}
+}
+
+// acceptPrePrepare records a valid proposal locally.
+func (r *Replica) acceptPrePrepare(pp *wire.PrePrepare, od types.Digest, now types.Time) {
+	in := r.inst(pp.View, pp.Seq)
+	in.pp = pp
+	in.od = od
+	if pp.ND.Time > r.ndClock {
+		r.ndClock = pp.ND.Time
+	}
+	// Advance the ordering-time dedup gate. The suspicion timer
+	// (cs.pending) deliberately keeps running until the request executes:
+	// clearing it here would let an equivocating primary pacify backups
+	// with pre-prepares that can never commit.
+	for i := range pp.Requests {
+		req := &pp.Requests[i]
+		cs := r.client(req.Client)
+		if req.Timestamp > cs.lastOrdered {
+			cs.lastOrdered = req.Timestamp
+		}
+	}
+	r.checkPrepared(in, now)
+}
+
+func (r *Replica) onPrepare(m *wire.Prepare, now types.Time) {
+	if m.View != r.view || r.inViewChange || !r.inWindow(m.Seq) {
+		return
+	}
+	if role, _, ok := r.top.RoleOf(m.Replica); !ok || role != types.RoleAgreement {
+		return
+	}
+	if m.Replica == r.top.Primary(m.View) || m.Replica != m.Att.Node {
+		return // the primary never sends prepares
+	}
+	if r.cfg.ReplicaAuth.Verify(auth.KindPrepare, m.OD, m.Att) != nil {
+		return
+	}
+	in := r.inst(m.View, m.Seq)
+	in.prepares[m.Replica] = vote{od: m.OD, att: m.Att}
+	r.checkPrepared(in, now)
+}
+
+// checkPrepared advances an instance to the prepared state once it holds the
+// pre-prepare and 2f matching prepares from distinct backups, then emits the
+// commit.
+func (r *Replica) checkPrepared(in *instance, now types.Time) {
+	if in.prepared || in.pp == nil {
+		return
+	}
+	need := 2 * r.f
+	count := 0
+	for id, v := range in.prepares {
+		if id != r.top.Primary(in.view) && v.od == in.od {
+			count++
+		}
+	}
+	if count < need {
+		return
+	}
+	in.prepared = true
+	att, err := r.cfg.ReplicaAuth.Attest(auth.KindCommit, in.od, r.top.Agreement)
+	if err != nil {
+		return
+	}
+	in.commits[r.cfg.ID] = vote{od: in.od, att: att}
+	cm := &wire.Commit{View: in.view, Seq: in.seq, OD: in.od, Replica: r.cfg.ID, Att: att}
+	r.broadcast(wire.Marshal(cm))
+	r.checkCommitted(in, now)
+}
+
+func (r *Replica) onCommit(m *wire.Commit, now types.Time) {
+	if m.View != r.view || r.inViewChange || !r.inWindow(m.Seq) {
+		return
+	}
+	if role, _, ok := r.top.RoleOf(m.Replica); !ok || role != types.RoleAgreement || m.Replica != m.Att.Node {
+		return
+	}
+	if r.cfg.ReplicaAuth.Verify(auth.KindCommit, m.OD, m.Att) != nil {
+		return
+	}
+	in := r.inst(m.View, m.Seq)
+	in.commits[m.Replica] = vote{od: m.OD, att: m.Att}
+	r.checkCommitted(in, now)
+}
+
+// checkCommitted marks an instance committed once it is prepared locally and
+// holds 2f+1 commit attestations, then tries to execute in order.
+func (r *Replica) checkCommitted(in *instance, now types.Time) {
+	if in.committed || !in.prepared || in.pp == nil {
+		return
+	}
+	count := 0
+	for _, v := range in.commits {
+		if v.od == in.od {
+			count++
+		}
+	}
+	if count < 2*r.f+1 {
+		return
+	}
+	in.committed = true
+	if r.cfg.OnCommitted != nil {
+		r.cfg.OnCommitted(in.view, in.seq)
+	}
+	r.executeReady(now)
+}
+
+// executeReady executes committed instances in sequence order, respecting
+// app backpressure and checkpoint synchronization. It is reentrancy-safe:
+// a synchronous Sync completion inside the loop defers to the outer call.
+func (r *Replica) executeReady(now types.Time) {
+	if r.executing {
+		return
+	}
+	r.executing = true
+	defer func() { r.executing = false }()
+	if now < r.now {
+		now = r.now
+	}
+	for {
+		if r.syncing {
+			return
+		}
+		next := r.lastExec + 1
+		in := r.insts[next]
+		if in == nil || !in.committed || in.executed {
+			return
+		}
+		if r.app.Busy(now) {
+			return
+		}
+		in.executed = true
+		r.lastExec = next
+		r.Metrics.Batches++
+		r.Metrics.Requests += uint64(len(in.pp.Requests))
+		// Clear suspicion timers and advance both dedup values; the
+		// execution-derived one feeds the checkpoint.
+		for i := range in.pp.Requests {
+			req := &in.pp.Requests[i]
+			cs := r.client(req.Client)
+			if cs.pending != nil && cs.pending.Timestamp <= req.Timestamp {
+				cs.pending = nil
+			}
+			if req.Timestamp > cs.lastOrdered {
+				cs.lastOrdered = req.Timestamp
+			}
+			if req.Timestamp > cs.lastExecuted {
+				cs.lastExecuted = req.Timestamp
+			}
+		}
+		r.app.Execute(in.view, next, in.pp.ND, in.pp.Requests, now)
+		if next%r.cfg.CheckpointInterval == 0 {
+			r.beginCheckpoint(next)
+		}
+	}
+}
+
+// --- checkpoints ----------------------------------------------------------------
+
+// beginCheckpoint starts the sync-then-checkpoint sequence of §3.2: the app
+// (message queue) quiesces, then the replica signs and shares the digest.
+func (r *Replica) beginCheckpoint(n types.SeqNum) {
+	r.syncing = true
+	r.syncSeq = n
+	r.app.Sync(n, func(digest types.Digest, payload []byte) {
+		r.completeCheckpoint(n, digest, payload)
+	})
+}
+
+func (r *Replica) completeCheckpoint(n types.SeqNum, digest types.Digest, payload []byte) {
+	if !r.syncing || r.syncSeq != n {
+		return
+	}
+	r.syncing = false
+	// The replica's own dedup table rides along with the app state: it is
+	// a deterministic function of the executed log, and a state-
+	// transferred replica needs it to avoid re-ordering old requests.
+	payload = r.wrapCheckpoint(payload)
+	digest = types.DigestBytes(payload)
+	r.ckptLocal[n] = savedCheckpoint{digest: digest, payload: payload}
+	r.Metrics.Checkpoints++
+	att, err := r.cfg.ReplicaAuth.Attest(auth.KindAgreeCheckpoint, wire.CheckpointDigest(n, digest), r.top.Agreement)
+	if err != nil {
+		return
+	}
+	cm := wire.AgreeCheckpoint{Seq: n, State: digest, Replica: r.cfg.ID, Att: att}
+	r.recordCheckpointVote(cm)
+	r.broadcast(wire.Marshal(&cm))
+	// Execution resumed: catch up on anything committed meanwhile.
+	r.executeReady(r.now)
+	r.maybePropose(r.now)
+}
+
+func (r *Replica) onCheckpoint(m *wire.AgreeCheckpoint, now types.Time) {
+	if m.Seq <= r.lastStable || m.Replica != m.Att.Node {
+		return
+	}
+	if role, _, ok := r.top.RoleOf(m.Replica); !ok || role != types.RoleAgreement {
+		return
+	}
+	if r.cfg.ReplicaAuth.Verify(auth.KindAgreeCheckpoint, wire.CheckpointDigest(m.Seq, m.State), m.Att) != nil {
+		return
+	}
+	r.recordCheckpointVote(*m)
+}
+
+func (r *Replica) recordCheckpointVote(m wire.AgreeCheckpoint) {
+	votes := r.ckptVotes[m.Seq]
+	if votes == nil {
+		votes = make(map[types.NodeID]wire.AgreeCheckpoint)
+		r.ckptVotes[m.Seq] = votes
+	}
+	votes[m.Replica] = m
+	// Count matching digests.
+	count := 0
+	for _, v := range votes {
+		if v.State == m.State {
+			count++
+		}
+	}
+	if count >= 2*r.f+1 {
+		r.makeStable(m.Seq, m.State, votes)
+	}
+}
+
+// makeStable installs a stable checkpoint and garbage-collects the log.
+func (r *Replica) makeStable(n types.SeqNum, digest types.Digest, votes map[types.NodeID]wire.AgreeCheckpoint) {
+	if n <= r.lastStable {
+		return
+	}
+	proof := make([]wire.AgreeCheckpoint, 0, 2*r.f+1)
+	for _, v := range votes {
+		if v.State == digest {
+			proof = append(proof, v)
+		}
+	}
+	r.lastStable = n
+	r.stableProof = proof
+	// If we fell behind (stable point ahead of execution), state-transfer.
+	if r.lastExec < n {
+		if _, ok := r.ckptLocal[n]; !ok {
+			r.requestStateTransfer(n, digest)
+		}
+	}
+	for seq := range r.insts {
+		if seq <= n {
+			delete(r.insts, seq)
+		}
+	}
+	for seq := range r.ckptVotes {
+		if seq <= n {
+			delete(r.ckptVotes, seq)
+		}
+	}
+	for seq := range r.ckptLocal {
+		if seq < n { // keep the latest for serving peers
+			delete(r.ckptLocal, seq)
+		}
+	}
+}
+
+// wrapCheckpoint prepends the canonical per-client dedup table to the app's
+// checkpoint payload.
+func (r *Replica) wrapCheckpoint(appPayload []byte) []byte {
+	ids := make([]types.NodeID, 0, len(r.clients))
+	for id, cs := range r.clients {
+		if cs.lastExecuted > 0 {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var w wire.Writer
+	w.Len(len(ids))
+	for _, id := range ids {
+		w.Node(id)
+		w.TS(r.clients[id].lastExecuted)
+	}
+	w.Bytes(appPayload)
+	return w.B
+}
+
+// unwrapCheckpoint splits a wrapped payload back into dedup table and app
+// state.
+func (r *Replica) unwrapCheckpoint(payload []byte) (map[types.NodeID]types.Timestamp, []byte, error) {
+	rd := wire.NewReader(payload)
+	n := rd.SliceLen()
+	dedup := make(map[types.NodeID]types.Timestamp, n)
+	for i := 0; i < n; i++ {
+		id := rd.Node()
+		dedup[id] = rd.TS()
+	}
+	appPayload := rd.Bytes()
+	if rd.Err() != nil || rd.Remaining() != 0 {
+		return nil, nil, fmt.Errorf("pbft: malformed checkpoint payload")
+	}
+	return dedup, appPayload, nil
+}
+
+// --- state transfer and catch-up ----------------------------------------------
+
+func (r *Replica) requestStateTransfer(n types.SeqNum, digest types.Digest) {
+	if r.fetchingSeq >= n {
+		return
+	}
+	r.fetchingSeq = n
+	r.fetchDeadline = r.now + r.cfg.ViewChangeResend
+	// Ask everyone; first valid payload wins.
+	r.broadcast(wire.Marshal(&wire.CheckpointFetch{Seq: n, Executor: r.cfg.ID}))
+}
+
+func (r *Replica) onCheckpointFetch(m *wire.CheckpointFetch, from types.NodeID, now types.Time) {
+	if saved, ok := r.ckptLocal[m.Seq]; ok {
+		r.send(from, wire.Marshal(&wire.CheckpointData{Seq: m.Seq, State: saved.digest, Payload: saved.payload}))
+	}
+}
+
+func (r *Replica) onCheckpointData(m *wire.CheckpointData, now types.Time) {
+	if m.Seq <= r.lastExec || m.Seq != r.fetchingSeq {
+		return
+	}
+	// Validate against the stability proof gathered in makeStable.
+	if m.Seq != r.lastStable {
+		return
+	}
+	want := r.stableProof
+	if len(want) == 0 || want[0].State != m.State {
+		return
+	}
+	if types.DigestBytes(m.Payload) != m.State {
+		return
+	}
+	dedup, appPayload, err := r.unwrapCheckpoint(m.Payload)
+	if err != nil {
+		return
+	}
+	if err := r.app.Restore(m.Seq, m.State, appPayload); err != nil {
+		return
+	}
+	for id, ts := range dedup {
+		cs := r.client(id)
+		if ts > cs.lastOrdered {
+			cs.lastOrdered = ts
+		}
+		if ts > cs.lastExecuted {
+			cs.lastExecuted = ts
+		}
+		cs.pending = nil
+	}
+	r.ckptLocal[m.Seq] = savedCheckpoint{digest: m.State, payload: m.Payload}
+	r.lastExec = m.Seq
+	r.fetchingSeq = 0
+	r.syncing = false
+	r.executeReady(now)
+}
+
+func (r *Replica) onStatus(m *wire.Status, now types.Time) {
+	if role, _, ok := r.top.RoleOf(m.Replica); !ok || role != types.RoleAgreement || m.Replica == r.cfg.ID {
+		return
+	}
+	// Peer lags behind our stable checkpoint: send the proof so it can
+	// state-transfer.
+	if m.LastStable < r.lastStable {
+		for _, c := range r.stableProof {
+			cp := c
+			r.send(m.Replica, wire.Marshal(&cp))
+		}
+	}
+	// Peer is missing committed batches within our window: replay them as
+	// transferable commit proofs.
+	if m.LastExec < r.lastExec {
+		const maxReplay = 16
+		sent := 0
+		for n := m.LastExec + 1; n <= r.lastExec && sent < maxReplay; n++ {
+			in := r.insts[n]
+			if in == nil || !in.committed || in.pp == nil {
+				continue
+			}
+			atts := make([]auth.Attestation, 0, len(in.commits))
+			for _, v := range in.commits {
+				if v.od == in.od {
+					atts = append(atts, v.att)
+				}
+			}
+			r.send(m.Replica, wire.Marshal(&wire.CommitProof{PP: *in.pp, Commits: atts}))
+			sent++
+		}
+	}
+	// Peer is in an older view: resend the proof that the view advanced.
+	if m.View < r.view && r.lastNewView != nil && r.lastNewView.View == r.view {
+		r.send(m.Replica, wire.Marshal(r.lastNewView))
+	}
+}
+
+// onCommitProof applies a transferable commit certificate from a peer.
+func (r *Replica) onCommitProof(m *wire.CommitProof, now types.Time) {
+	n := m.PP.Seq
+	if n <= r.lastExec || !r.inWindow(n) {
+		return
+	}
+	od := m.PP.OrderDigest()
+	// The pre-prepare must come from the primary of its view, and the
+	// commit certificate must hold 2f+1 distinct valid signatures.
+	if m.PP.Att.Node != r.top.Primary(m.PP.View) {
+		return
+	}
+	if r.cfg.ReplicaAuth.Verify(auth.KindPrePrepare, od, m.PP.Att) != nil {
+		return
+	}
+	allowed := make(map[types.NodeID]bool, r.n)
+	for _, id := range r.top.Agreement {
+		allowed[id] = true
+	}
+	if auth.CountDistinct(r.cfg.ReplicaAuth, auth.KindCommit, od, m.Commits, allowed) < 2*r.f+1 {
+		return
+	}
+	in := r.inst(m.PP.View, n)
+	if in.executed {
+		return
+	}
+	pp := m.PP
+	in.pp = &pp
+	in.od = od
+	in.prepared = true
+	in.committed = true
+	for _, a := range m.Commits {
+		in.commits[a.Node] = vote{od: od, att: a}
+	}
+	if pp.ND.Time > r.ndClock {
+		r.ndClock = pp.ND.Time
+	}
+	r.executeReady(now)
+}
+
+// --- timers ------------------------------------------------------------------
+
+// Tick implements transport.Node: it drives batching, suspicion timers,
+// view-change retransmission, state-transfer retries, and status gossip.
+func (r *Replica) Tick(now types.Time) {
+	if now > r.now {
+		r.now = now
+	}
+	r.maybePropose(now)
+	r.executeReady(now)
+
+	// Retry a stalled state transfer.
+	if r.fetchingSeq != 0 && r.lastExec < r.fetchingSeq && now >= r.fetchDeadline {
+		r.fetchDeadline = now + r.cfg.ViewChangeResend
+		r.broadcast(wire.Marshal(&wire.CheckpointFetch{Seq: r.fetchingSeq, Executor: r.cfg.ID}))
+	}
+
+	// Backup suspicion: a buffered client request the primary has not
+	// ordered within the timeout triggers a view change.
+	if !r.inViewChange && !r.isPrimary() {
+		for _, cs := range r.clients {
+			if cs.pending != nil && now-cs.pendingSince > r.cfg.RequestTimeout {
+				r.startViewChange(r.view+1, now)
+				break
+			}
+		}
+	}
+	r.tickViewChange(now)
+
+	if r.statusDeadline == 0 || now >= r.statusDeadline {
+		r.statusDeadline = now + r.cfg.StatusInterval
+		st := &wire.Status{View: r.view, LastExec: r.lastExec, LastStable: r.lastStable, Replica: r.cfg.ID}
+		r.broadcast(wire.Marshal(st))
+	}
+}

@@ -1,0 +1,726 @@
+package pbft
+
+import (
+	"crypto/ed25519"
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"repro/internal/auth"
+	"repro/internal/threshold"
+	"repro/internal/transport"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// fakeApp is a deterministic App that records the delivered order. Its
+// checkpoint payload is the serialized execution log, so state transfer can
+// be verified end to end.
+type fakeApp struct {
+	log      []appEntry
+	busy     bool
+	resends  int
+	resendOK bool
+	syncs    int
+}
+
+type appEntry struct {
+	seq types.SeqNum
+	nd  types.NonDet
+	ops []string
+}
+
+func (a *fakeApp) Execute(v types.View, n types.SeqNum, nd types.NonDet, reqs []wire.Request, now types.Time) {
+	e := appEntry{seq: n, nd: nd}
+	for i := range reqs {
+		e.ops = append(e.ops, fmt.Sprintf("%v:%d:%s", reqs[i].Client, reqs[i].Timestamp, reqs[i].Op))
+	}
+	a.log = append(a.log, e)
+}
+
+func (a *fakeApp) ResendReply(req *wire.Request, now types.Time) bool {
+	a.resends++
+	return a.resendOK
+}
+
+func (a *fakeApp) Sync(n types.SeqNum, done func(types.Digest, []byte)) {
+	a.syncs++
+	payload := a.marshal()
+	done(types.DigestBytes(payload), payload)
+}
+
+func (a *fakeApp) Restore(n types.SeqNum, digest types.Digest, payload []byte) error {
+	a.log = a.unmarshal(payload)
+	return nil
+}
+
+func (a *fakeApp) Busy(now types.Time) bool { return a.busy }
+
+func (a *fakeApp) marshal() []byte {
+	var w wire.Writer
+	w.Len(len(a.log))
+	for _, e := range a.log {
+		w.Seq(e.seq)
+		w.TS(e.nd.Time)
+		w.Digest(e.nd.Rand)
+		w.Len(len(e.ops))
+		for _, op := range e.ops {
+			w.Bytes([]byte(op))
+		}
+	}
+	return w.B
+}
+
+func (a *fakeApp) unmarshal(b []byte) []appEntry {
+	r := wire.NewReader(b)
+	n := r.SliceLen()
+	out := make([]appEntry, 0, n)
+	for i := 0; i < n; i++ {
+		e := appEntry{seq: r.Seq(), nd: types.NonDet{Time: r.TS(), Rand: r.Digest()}}
+		k := r.SliceLen()
+		for j := 0; j < k; j++ {
+			e.ops = append(e.ops, string(r.Bytes()))
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+func (a *fakeApp) flatOps() []string {
+	var out []string
+	for _, e := range a.log {
+		out = append(out, e.ops...)
+	}
+	return out
+}
+
+// cluster is a four-replica agreement cluster over a simulated network.
+type cluster struct {
+	t        *testing.T
+	net      *transport.SimNet
+	top      *types.Topology
+	replicas map[types.NodeID]*Replica
+	apps     map[types.NodeID]*fakeApp
+	schemes  map[types.NodeID]auth.Scheme
+	clients  map[types.NodeID]auth.Scheme
+	nextTS   types.Timestamp
+}
+
+func newCluster(t *testing.T, seed int64, mutate func(*Config)) *cluster {
+	t.Helper()
+	top := &types.Topology{
+		Agreement: []types.NodeID{0, 1, 2, 3},
+		Execution: []types.NodeID{10, 11, 12},
+		Clients:   []types.NodeID{100, 101, 102},
+	}
+	if err := top.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	dir := auth.NewDirectory(nil)
+	privs := make(map[types.NodeID]ed25519.PrivateKey)
+	for _, id := range top.AllNodes() {
+		seedBytes := make([]byte, ed25519.SeedSize)
+		binary.BigEndian.PutUint32(seedBytes, uint32(id)+uint32(seed))
+		priv := ed25519.NewKeyFromSeed(seedBytes)
+		privs[id] = priv
+		dir.Add(id, priv.Public().(ed25519.PublicKey))
+	}
+
+	c := &cluster{
+		t:        t,
+		net:      transport.NewSimNet(transport.SimNetConfig{Seed: seed}),
+		top:      top,
+		replicas: make(map[types.NodeID]*Replica),
+		apps:     make(map[types.NodeID]*fakeApp),
+		schemes:  make(map[types.NodeID]auth.Scheme),
+		clients:  make(map[types.NodeID]auth.Scheme),
+	}
+	for _, id := range top.Agreement {
+		app := &fakeApp{}
+		cfg := Config{
+			ID:                 id,
+			Topology:           top,
+			ReplicaAuth:        auth.NewSigScheme(id, privs[id], dir),
+			ClientAuth:         auth.NewSigScheme(id, privs[id], dir),
+			BatchSize:          4,
+			BatchWait:          types.Millisecond(1),
+			CheckpointInterval: 8,
+			WindowSize:         32,
+			RequestTimeout:     types.Millisecond(60),
+			ViewChangeResend:   types.Millisecond(30),
+			StatusInterval:     types.Millisecond(15),
+		}
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		r, err := New(cfg, app, c.net.Bind(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.replicas[id] = r
+		c.apps[id] = app
+		c.schemes[id] = cfg.ReplicaAuth
+		c.net.Register(id, r)
+	}
+	for _, id := range top.Clients {
+		c.clients[id] = auth.NewSigScheme(id, privs[id], dir)
+	}
+	return c
+}
+
+// request builds an authenticated client request.
+func (c *cluster) request(client types.NodeID, op string) *wire.Request {
+	c.nextTS++
+	req := &wire.Request{Client: client, Timestamp: c.nextTS, Op: []byte(op)}
+	att, err := c.clients[client].Attest(auth.KindRequest, req.Digest(), c.top.Agreement)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	req.Att = att
+	return req
+}
+
+// sendToPrimary injects a request at the view-0 primary.
+func (c *cluster) sendTo(id types.NodeID, req *wire.Request) {
+	c.net.Bind(req.Client)(id, wire.Marshal(req))
+}
+
+func (c *cluster) sendToAll(req *wire.Request) {
+	r := *req
+	r.ReplyToAll = true
+	for _, id := range c.top.Agreement {
+		c.sendTo(id, &r)
+	}
+}
+
+// executedEverywhere reports whether every live replica has executed at
+// least n batches containing a total of want requests.
+func (c *cluster) allExecuted(want int, skip ...types.NodeID) func() bool {
+	skipSet := make(map[types.NodeID]bool)
+	for _, id := range skip {
+		skipSet[id] = true
+	}
+	return func() bool {
+		for id, app := range c.apps {
+			if skipSet[id] {
+				continue
+			}
+			if len(app.flatOps()) < want {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// assertConsistentLogs fails the test if any two replicas disagree on the
+// executed order (ignoring suffix length differences).
+func (c *cluster) assertConsistentLogs() {
+	c.t.Helper()
+	var ref []string
+	var refID types.NodeID
+	for _, id := range c.top.Agreement {
+		app, ok := c.apps[id]
+		if !ok {
+			continue
+		}
+		ops := app.flatOps()
+		if len(ops) > len(ref) {
+			ref = ops
+			refID = id
+		}
+	}
+	for _, id := range c.top.Agreement {
+		app, ok := c.apps[id]
+		if !ok {
+			continue
+		}
+		ops := app.flatOps()
+		for i := range ops {
+			if ops[i] != ref[i] {
+				c.t.Fatalf("log divergence: replica %v has %q at %d, replica %v has %q", id, ops[i], i, refID, ref[i])
+			}
+		}
+	}
+}
+
+func TestOrdersSingleRequest(t *testing.T) {
+	c := newCluster(t, 1, nil)
+	req := c.request(100, "op-a")
+	c.sendTo(0, req) // replica 0 is the view-0 primary
+	if !c.net.RunUntil(c.allExecuted(1), types.Millisecond(500)) {
+		t.Fatal("request never executed on all replicas")
+	}
+	c.assertConsistentLogs()
+	for id, app := range c.apps {
+		ops := app.flatOps()
+		if len(ops) != 1 || ops[0] != "n100:1:op-a" {
+			t.Errorf("replica %v log = %v", id, ops)
+		}
+	}
+}
+
+func TestOrdersManyRequestsConsistently(t *testing.T) {
+	c := newCluster(t, 2, nil)
+	total := 0
+	for i := 0; i < 10; i++ {
+		for _, client := range c.top.Clients {
+			c.sendTo(0, c.request(client, fmt.Sprintf("op-%d", i)))
+			total++
+		}
+	}
+	if !c.net.RunUntil(c.allExecuted(total), types.Millisecond(2000)) {
+		t.Fatalf("only %d/%d executed", len(c.apps[0].flatOps()), total)
+	}
+	c.assertConsistentLogs()
+	// Exactly-once: no duplicates.
+	seen := make(map[string]bool)
+	for _, op := range c.apps[0].flatOps() {
+		if seen[op] {
+			t.Fatalf("duplicate execution of %q", op)
+		}
+		seen[op] = true
+	}
+}
+
+func TestBatchingAmortizesAgreement(t *testing.T) {
+	c := newCluster(t, 3, nil)
+	const n = 12
+	for i := 0; i < n; i++ {
+		c.sendTo(0, c.request(100, fmt.Sprintf("b%d", i)))
+	}
+	if !c.net.RunUntil(c.allExecuted(n), types.Millisecond(1000)) {
+		t.Fatal("requests never executed")
+	}
+	batches := c.replicas[0].Metrics.Batches
+	if batches >= n {
+		t.Errorf("batches = %d for %d requests; batching is not effective", batches, n)
+	}
+}
+
+func TestNonDetIsAgreedAndCanonical(t *testing.T) {
+	c := newCluster(t, 4, nil)
+	c.sendTo(0, c.request(100, "x"))
+	if !c.net.RunUntil(c.allExecuted(1), types.Millisecond(500)) {
+		t.Fatal("request never executed")
+	}
+	var nd types.NonDet
+	for i, id := range c.top.Agreement {
+		e := c.apps[id].log[0]
+		if i == 0 {
+			nd = e.nd
+		} else if e.nd != nd {
+			t.Fatalf("nondeterministic inputs differ across replicas: %+v vs %+v", e.nd, nd)
+		}
+	}
+	if nd.Rand != types.ComputeNonDetRand(1, nd.Time) {
+		t.Error("agreed Rand is not the canonical PRF output")
+	}
+	if nd.Time == 0 {
+		t.Error("agreed Time is zero")
+	}
+}
+
+func TestRejectsBadNonDetProposal(t *testing.T) {
+	c := newCluster(t, 5, nil)
+	r1 := c.replicas[1]
+	req := c.request(100, "x")
+	// A pre-prepare with steered randomness must fail validation.
+	pp := &wire.PrePrepare{
+		View: 0, Seq: 1,
+		ND:       types.NonDet{Time: 1, Rand: types.DigestBytes([]byte("steered"))},
+		Requests: []wire.Request{*req},
+		Primary:  0,
+	}
+	att, _ := c.schemes[0].Attest(auth.KindPrePrepare, pp.OrderDigest(), c.top.Agreement)
+	pp.Att = att
+	if _, ok := r1.validatePrePrepare(pp, types.Millisecond(1)); ok {
+		t.Error("backup accepted a proposal with non-canonical randomness")
+	}
+	// The same proposal with canonical randomness passes.
+	pp.ND.Rand = types.ComputeNonDetRand(1, 1)
+	att, _ = c.schemes[0].Attest(auth.KindPrePrepare, pp.OrderDigest(), c.top.Agreement)
+	pp.Att = att
+	if _, ok := r1.validatePrePrepare(pp, types.Millisecond(1)); !ok {
+		t.Error("backup rejected a canonical proposal")
+	}
+	// Out-of-skew time must fail.
+	pp.ND.Time = types.Timestamp(1e18)
+	pp.ND.Rand = types.ComputeNonDetRand(1, pp.ND.Time)
+	att, _ = c.schemes[0].Attest(auth.KindPrePrepare, pp.OrderDigest(), c.top.Agreement)
+	pp.Att = att
+	if _, ok := r1.validatePrePrepare(pp, types.Millisecond(1)); ok {
+		t.Error("backup accepted a proposal with absurd timestamp")
+	}
+}
+
+func TestRejectsUnauthenticatedRequest(t *testing.T) {
+	c := newCluster(t, 6, nil)
+	req := &wire.Request{Client: 100, Timestamp: 1, Op: []byte("forged")}
+	req.Att = auth.Attestation{Node: 100, Proof: []byte("junk")}
+	c.sendTo(0, req)
+	c.net.Run(types.Millisecond(100))
+	for id, app := range c.apps {
+		if len(app.log) != 0 {
+			t.Errorf("replica %v executed a forged request", id)
+		}
+	}
+}
+
+func TestDuplicateRequestNotReexecuted(t *testing.T) {
+	c := newCluster(t, 7, nil)
+	for _, app := range c.apps {
+		app.resendOK = true // cached reply available
+	}
+	req := c.request(100, "once")
+	c.sendTo(0, req)
+	if !c.net.RunUntil(c.allExecuted(1), types.Millisecond(500)) {
+		t.Fatal("first copy never executed")
+	}
+	// Client retransmits the same request to everyone.
+	c.sendToAll(req)
+	c.net.Run(c.net.Now() + types.Millisecond(200))
+	for id, app := range c.apps {
+		if got := len(app.flatOps()); got != 1 {
+			t.Errorf("replica %v executed %d copies", id, got)
+		}
+	}
+	if c.apps[0].resends == 0 {
+		t.Error("retryHint was never invoked for the duplicate")
+	}
+}
+
+// pumpSequential emulates the paper's client model: one outstanding request,
+// retransmitted to all replicas until it executes everywhere.
+func (c *cluster) pumpSequential(client types.NodeID, n int, prefix string, deadline types.Time) bool {
+	done := 0
+	for i := 0; i < n; i++ {
+		req := c.request(client, fmt.Sprintf("%s%d", prefix, i))
+		done++
+		for !c.allExecuted(done)() {
+			if c.net.Now() > deadline {
+				return false
+			}
+			c.sendToAll(req)
+			c.net.RunUntil(c.allExecuted(done), c.net.Now()+types.Millisecond(50))
+		}
+	}
+	return true
+}
+
+func TestLossyNetworkStillMakesProgress(t *testing.T) {
+	c := newCluster(t, 8, nil)
+	for _, a := range c.top.Agreement {
+		for _, b := range c.top.Agreement {
+			if a != b {
+				c.net.SetLink(a, b, transport.LinkOpts{Drop: 0.15, MinDelay: 50_000, MaxDelay: 400_000})
+			}
+		}
+	}
+	if !c.pumpSequential(100, 8, "lossy", types.Millisecond(20000)) {
+		for id, app := range c.apps {
+			t.Logf("replica %v executed %d", id, len(app.flatOps()))
+		}
+		t.Fatal("cluster stalled under 15% message loss")
+	}
+	c.assertConsistentLogs()
+}
+
+func TestCheckpointsAdvanceAndGC(t *testing.T) {
+	c := newCluster(t, 9, func(cfg *Config) {
+		cfg.CheckpointInterval = 4
+		cfg.WindowSize = 16
+		cfg.BatchSize = 1
+	})
+	const n = 20
+	for i := 0; i < n; i++ {
+		c.sendTo(0, c.request(100, fmt.Sprintf("c%d", i)))
+	}
+	if !c.net.RunUntil(c.allExecuted(n), types.Millisecond(3000)) {
+		t.Fatal("requests never executed")
+	}
+	// Give checkpoint traffic time to settle.
+	c.net.RunUntil(func() bool {
+		for _, r := range c.replicas {
+			if r.LastStable() < 16 {
+				return false
+			}
+		}
+		return true
+	}, c.net.Now()+types.Millisecond(1000))
+	for id, r := range c.replicas {
+		if r.LastStable() < 16 {
+			t.Errorf("replica %v stable checkpoint = %d, want >= 16", id, r.LastStable())
+		}
+		if len(r.insts) > int(r.cfg.WindowSize) {
+			t.Errorf("replica %v retains %d instances; log not garbage collected", id, len(r.insts))
+		}
+		if c.apps[id].syncs == 0 {
+			t.Errorf("replica %v never synced its app", id)
+		}
+	}
+}
+
+func TestViewChangeOnCrashedPrimary(t *testing.T) {
+	c := newCluster(t, 10, nil)
+	c.net.Crash(0) // view-0 primary
+	req := c.request(100, "survive")
+	c.sendToAll(req)
+	if !c.net.RunUntil(c.allExecuted(1, 0), types.Millisecond(3000)) {
+		for id, r := range c.replicas {
+			t.Logf("replica %v: view=%d inVC=%v execs=%d", id, r.View(), r.InViewChange(), len(c.apps[id].flatOps()))
+		}
+		t.Fatal("request not executed after primary crash")
+	}
+	for _, id := range []types.NodeID{1, 2, 3} {
+		if c.replicas[id].View() == 0 {
+			t.Errorf("replica %v still in view 0 after primary crash", id)
+		}
+	}
+	c.assertConsistentLogs()
+}
+
+func TestViewChangePreservesCommittedRequests(t *testing.T) {
+	c := newCluster(t, 11, nil)
+	// Commit a prefix in view 0.
+	for i := 0; i < 5; i++ {
+		c.sendTo(0, c.request(100, fmt.Sprintf("pre%d", i)))
+	}
+	if !c.net.RunUntil(c.allExecuted(5), types.Millisecond(1000)) {
+		t.Fatal("prefix never executed")
+	}
+	// Kill the primary and push more work through the new view, one
+	// outstanding request at a time with retransmission (the paper's
+	// client model).
+	c.net.Crash(0)
+	done := 5
+	for i := 0; i < 3; i++ {
+		req := c.request(101, fmt.Sprintf("post%d", i))
+		done++
+		deadline := c.net.Now() + types.Millisecond(5000)
+		for !c.allExecuted(done, 0)() {
+			if c.net.Now() > deadline {
+				t.Fatal("post-view-change requests never executed")
+			}
+			c.sendToAll(req)
+			c.net.RunUntil(c.allExecuted(done, 0), c.net.Now()+types.Millisecond(50))
+		}
+	}
+	c.assertConsistentLogs()
+	// The prefix must be intact on the survivors: the first five executed
+	// operations are exactly the pre-crash requests (ordering across
+	// concurrent sends is the cluster's choice, not timestamp order).
+	ops := c.apps[1].flatOps()
+	got := make(map[string]bool, 5)
+	for i := 0; i < 5; i++ {
+		got[ops[i]] = true
+	}
+	for i := 0; i < 5; i++ {
+		want := fmt.Sprintf("n100:%d:pre%d", i+1, i)
+		if !got[want] {
+			t.Errorf("pre-crash request %q missing from the executed prefix %v", want, ops[:5])
+		}
+	}
+}
+
+func TestSuccessiveViewChanges(t *testing.T) {
+	c := newCluster(t, 12, nil)
+	// Crash primaries of views 0 and 1: the cluster must reach view 2.
+	c.net.Crash(0)
+	c.net.Crash(1)
+	// f=1 tolerates one fault; two crashes exceed the threshold, so weaken
+	// the test to: crash view-0 primary, let view 1 install, then crash
+	// the view-1 primary too after reviving 0.
+	c.net.Revive(1)
+	req := c.request(100, "first")
+	c.sendToAll(req)
+	if !c.net.RunUntil(c.allExecuted(1, 0), types.Millisecond(3000)) {
+		t.Fatal("no progress after first crash")
+	}
+	view := c.replicas[1].View()
+	if view == 0 {
+		t.Fatal("view did not advance")
+	}
+	// Now crash the current primary and revive 0: progress must continue.
+	c.net.Revive(0)
+	primary := c.top.Primary(view)
+	c.net.Crash(primary)
+	c.sendToAll(c.request(101, "second"))
+	if !c.net.RunUntil(c.allExecuted(2, primary), types.Millisecond(5000)) {
+		t.Fatal("no progress after second crash")
+	}
+	c.assertConsistentLogs()
+}
+
+// byzantinePrimary equivocates: it proposes different batches for the same
+// sequence number to different backups.
+type byzantinePrimary struct {
+	c      *cluster
+	scheme auth.Scheme
+}
+
+func (b *byzantinePrimary) Deliver(from types.NodeID, data []byte, now types.Time) {
+	msg, err := wire.Unmarshal(data)
+	if err != nil {
+		return
+	}
+	req, ok := msg.(*wire.Request)
+	if !ok {
+		return
+	}
+	send := b.c.net.Bind(0)
+	t := types.Timestamp(now) + 1
+	mk := func(op string) *wire.PrePrepare {
+		r2 := *req
+		r2.Op = []byte(op)
+		// Note: forged request body invalidates the client attestation,
+		// so backups reject one variant outright; the other is the
+		// original. Equivocate on ND time instead, which keeps both
+		// valid but distinct.
+		pp := &wire.PrePrepare{View: 0, Seq: 1, ND: types.NonDet{Time: t, Rand: types.ComputeNonDetRand(1, t)}, Requests: []wire.Request{*req}, Primary: 0}
+		_ = r2
+		att, _ := b.scheme.Attest(auth.KindPrePrepare, pp.OrderDigest(), b.c.top.Agreement)
+		pp.Att = att
+		t++ // next variant differs in time → different digest
+		return pp
+	}
+	send(1, wire.Marshal(mk("a")))
+	ppB := mk("b")
+	send(2, wire.Marshal(ppB))
+	send(3, wire.Marshal(ppB))
+}
+
+func (b *byzantinePrimary) Tick(now types.Time) {}
+
+func TestEquivocatingPrimaryIsReplaced(t *testing.T) {
+	c := newCluster(t, 14, nil)
+	// Replace replica 0 (view-0 primary) with an equivocator holding the
+	// same keys.
+	evil := &byzantinePrimary{c: c, scheme: c.schemes[0]}
+	delete(c.apps, 0)
+	delete(c.replicas, 0)
+	c.replaceNode(0, evil)
+
+	req := c.request(100, "equiv")
+	c.sendToAll(req)
+	ok := c.net.RunUntil(func() bool {
+		for _, id := range []types.NodeID{1, 2, 3} {
+			if len(c.apps[id].flatOps()) < 1 {
+				return false
+			}
+		}
+		return true
+	}, types.Millisecond(5000))
+	if !ok {
+		t.Fatal("cluster did not recover from equivocating primary")
+	}
+	for _, id := range []types.NodeID{1, 2, 3} {
+		if c.replicas[id].View() == 0 {
+			t.Errorf("replica %v never left the equivocator's view", id)
+		}
+	}
+	c.assertConsistentLogs()
+}
+
+func TestLaggingReplicaCatchesUpViaStateTransfer(t *testing.T) {
+	c := newCluster(t, 15, func(cfg *Config) {
+		cfg.CheckpointInterval = 4
+		cfg.WindowSize = 16
+		cfg.BatchSize = 1
+	})
+	// Take backup 3 offline and run past several checkpoints.
+	c.net.Crash(3)
+	const n = 24
+	for i := 0; i < n; i++ {
+		c.sendTo(0, c.request(100, fmt.Sprintf("st%d", i)))
+	}
+	if !c.net.RunUntil(c.allExecuted(n, 3), types.Millisecond(3000)) {
+		t.Fatal("live replicas never executed the workload")
+	}
+	if c.replicas[0].LastStable() == 0 {
+		t.Fatal("no stable checkpoint formed; test is vacuous")
+	}
+	// Revive 3: status gossip must drive it back to parity.
+	c.net.Revive(3)
+	ok := c.net.RunUntil(func() bool {
+		return len(c.apps[3].flatOps()) >= n
+	}, c.net.Now()+types.Millisecond(5000))
+	if !ok {
+		t.Fatalf("revived replica caught up only to %d/%d (lastExec=%d, lastStable=%d)",
+			len(c.apps[3].flatOps()), n, c.replicas[3].LastExecuted(), c.replicas[3].LastStable())
+	}
+	c.assertConsistentLogs()
+}
+
+// replaceNode swaps the transport binding of an existing node for a new
+// handler (test helper emulating a Byzantine takeover).
+func (c *cluster) replaceNode(id types.NodeID, node transport.Node) {
+	c.t.Helper()
+	c.net.Revive(id)
+	c.net.Swap(id, node)
+}
+
+func TestBackpressurePausesProgress(t *testing.T) {
+	c := newCluster(t, 16, nil)
+	for _, app := range c.apps {
+		app.busy = true
+	}
+	c.sendTo(0, c.request(100, "stuck"))
+	c.net.Run(types.Millisecond(50))
+	for id, app := range c.apps {
+		if len(app.log) != 0 {
+			t.Errorf("replica %v executed while app was busy", id)
+		}
+	}
+	// Releasing backpressure resumes execution. (Do it before the
+	// suspicion timeout fires to avoid a spurious view change.)
+	for _, app := range c.apps {
+		app.busy = false
+	}
+	if !c.net.RunUntil(c.allExecuted(1), c.net.Now()+types.Millisecond(1000)) {
+		t.Fatal("execution did not resume after backpressure release")
+	}
+}
+
+func TestPrimaryIgnoresOutOfWindowProposals(t *testing.T) {
+	c := newCluster(t, 17, func(cfg *Config) {
+		cfg.CheckpointInterval = 4
+		cfg.WindowSize = 8
+		cfg.BatchSize = 1
+	})
+	// Saturate the window with unexecutable work by making apps busy:
+	// commits stall at execution, checkpoints never form, so the primary
+	// must stop proposing at the high watermark.
+	for _, app := range c.apps {
+		app.busy = true
+	}
+	for i := 0; i < 30; i++ {
+		c.sendTo(0, c.request(100, fmt.Sprintf("w%d", i)))
+	}
+	c.net.Run(types.Millisecond(40))
+	r0 := c.replicas[0]
+	if r0.nextSeq > r0.lastStable+r0.cfg.WindowSize {
+		t.Errorf("primary proposed seq %d beyond high watermark %d", r0.nextSeq, r0.lastStable+r0.cfg.WindowSize)
+	}
+}
+
+// TestThresholdIntegrationSmoke ties the agreement engine to the threshold
+// package: a committed order digest signed by shares and combined verifies.
+// (Full reply-certificate flows are covered in the core package tests.)
+func TestThresholdIntegrationSmoke(t *testing.T) {
+	pub, shares, err := threshold.Deal(threshold.NewSeededReader("pbft-smoke"), 512, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	od := wire.OrderDigest(1, 2, types.DigestBytes([]byte("batch")), types.NonDet{})
+	rng := threshold.NewSeededReader("pbft-smoke-sign")
+	s1, _ := shares[0].Sign(rng, od)
+	s2, _ := shares[2].Sign(rng, od)
+	sig, err := pub.Combine(od, []*threshold.SigShare{s1, s2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Verify(od, sig); err != nil {
+		t.Fatal(err)
+	}
+}

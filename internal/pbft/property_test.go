@@ -1,0 +1,220 @@
+package pbft
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/auth"
+	"repro/internal/transport"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// TestPropertyConsistencyUnderRandomSchedules replays the same workload
+// through many different network schedules (loss, duplication, jitter — one
+// per seed) and asserts the core safety property every time: all replicas
+// execute the same operations in the same order, exactly once.
+func TestPropertyConsistencyUnderRandomSchedules(t *testing.T) {
+	seeds := []int64{101, 202, 303, 404, 505, 606}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			c := newCluster(t, seed, func(cfg *Config) {
+				cfg.CheckpointInterval = 4
+				cfg.WindowSize = 16
+				cfg.BatchSize = 2
+			})
+			// The app answers retransmissions of ordered requests (as the
+			// real message queue does from cache_c / pendingSends). With
+			// resendOK=false the engine re-proposes old requests by design
+			// (§3.1.2) and downstream execution dedups them — that path is
+			// covered by the core integration tests.
+			for _, app := range c.apps {
+				app.resendOK = true
+			}
+			for _, a := range c.top.Agreement {
+				for _, b := range c.top.Agreement {
+					if a != b {
+						c.net.SetLink(a, b, transport.LinkOpts{
+							Drop: 0.05, Dup: 0.05, MinDelay: 20_000, MaxDelay: 900_000,
+						})
+					}
+				}
+			}
+			if !c.pumpSequential(100, 6, "p", types.Millisecond(30000)) {
+				t.Fatal("workload did not complete")
+			}
+			c.assertConsistentLogs()
+			// Exactly-once: six distinct operations, no duplicates.
+			for id, app := range c.apps {
+				ops := app.flatOps()
+				seen := make(map[string]bool)
+				for _, op := range ops {
+					if seen[op] {
+						t.Fatalf("replica %v executed %q twice", id, op)
+					}
+					seen[op] = true
+				}
+				if len(ops) != 6 {
+					t.Fatalf("replica %v executed %d ops, want 6", id, len(ops))
+				}
+			}
+		})
+	}
+}
+
+// TestStatusCatchupDeliversCommitProofs drives the catch-up path directly:
+// a replica that missed a committed batch receives it as a transferable
+// CommitProof in response to its status gossip.
+func TestStatusCatchupDeliversCommitProofs(t *testing.T) {
+	c := newCluster(t, 42, nil)
+	// Partition replica 3 away, commit a request among 0-2.
+	c.net.Partition([]types.NodeID{3}, []types.NodeID{0, 1, 2, 100})
+	c.sendTo(0, c.request(100, "missed"))
+	if !c.net.RunUntil(c.allExecuted(1, 3), types.Millisecond(2000)) {
+		t.Fatal("live replicas never executed")
+	}
+	if len(c.apps[3].flatOps()) != 0 {
+		t.Fatal("partitioned replica executed")
+	}
+	// Heal: status gossip reveals the lag; peers answer with CommitProofs.
+	c.net.Heal()
+	if !c.net.RunUntil(func() bool { return len(c.apps[3].flatOps()) == 1 }, c.net.Now()+types.Millisecond(2000)) {
+		t.Fatal("healed replica never caught up via commit proofs")
+	}
+	c.assertConsistentLogs()
+}
+
+// TestCommitProofValidation exercises onCommitProof's checks directly.
+func TestCommitProofValidation(t *testing.T) {
+	c := newCluster(t, 43, nil)
+	c.sendTo(0, c.request(100, "x"))
+	if !c.net.RunUntil(c.allExecuted(1), types.Millisecond(1000)) {
+		t.Fatal("setup failed")
+	}
+	// Grab the committed instance from replica 0 to forge proofs.
+	r0 := c.replicas[0]
+	var in *instance
+	for _, i := range r0.insts {
+		if i.committed {
+			in = i
+		}
+	}
+	if in == nil {
+		t.Fatal("no committed instance")
+	}
+	atts := make([]auth.Attestation, 0)
+	for _, v := range in.commits {
+		atts = append(atts, v.att)
+	}
+
+	fresh := newCluster(t, 43, nil) // same seed → same keys
+	r := fresh.replicas[1]
+	// Too few commits.
+	r.onCommitProof(&wire.CommitProof{PP: *in.pp, Commits: atts[:2]}, 0)
+	if r.LastExecuted() != 0 {
+		t.Fatal("accepted sub-quorum commit proof")
+	}
+	// Tampered batch (digest no longer matches attestations).
+	bad := *in.pp
+	bad.Requests = []wire.Request{{Client: 100, Timestamp: 9, Op: []byte("evil")}}
+	r.onCommitProof(&wire.CommitProof{PP: bad, Commits: atts}, 0)
+	if r.LastExecuted() != 0 {
+		t.Fatal("accepted commit proof over a tampered batch")
+	}
+	// Pre-prepare not from the view's primary.
+	bad2 := *in.pp
+	bad2.Att.Node = 1
+	r.onCommitProof(&wire.CommitProof{PP: bad2, Commits: atts}, 0)
+	if r.LastExecuted() != 0 {
+		t.Fatal("accepted commit proof with a non-primary pre-prepare")
+	}
+	// The genuine proof applies.
+	r.onCommitProof(&wire.CommitProof{PP: *in.pp, Commits: atts}, 0)
+	if r.LastExecuted() != 1 {
+		t.Fatal("rejected a valid commit proof")
+	}
+	if len(fresh.apps[1].flatOps()) != 1 {
+		t.Fatal("commit proof did not reach the app")
+	}
+}
+
+// TestWindowBoundsRejectOldAndFarFuture checks watermark enforcement on the
+// message handlers.
+func TestWindowBoundsRejectOldAndFarFuture(t *testing.T) {
+	c := newCluster(t, 44, func(cfg *Config) {
+		cfg.CheckpointInterval = 4
+		cfg.WindowSize = 8
+	})
+	r := c.replicas[1]
+	// A pre-prepare far beyond the high watermark must be ignored.
+	req := c.request(100, "w")
+	tNow := types.Timestamp(types.Millisecond(1))
+	pp := &wire.PrePrepare{
+		View: 0, Seq: 100,
+		ND:       types.NonDet{Time: tNow, Rand: types.ComputeNonDetRand(100, tNow)},
+		Requests: []wire.Request{*req},
+		Primary:  0,
+	}
+	att, _ := c.schemes[0].Attest(auth.KindPrePrepare, pp.OrderDigest(), c.top.Agreement)
+	pp.Att = att
+	if _, ok := r.validatePrePrepare(pp, types.Millisecond(1)); ok {
+		t.Error("accepted pre-prepare beyond the high watermark")
+	}
+	// Sequence number zero (below low watermark) is equally invalid.
+	pp.Seq = 0
+	pp.ND.Rand = types.ComputeNonDetRand(0, tNow)
+	att, _ = c.schemes[0].Attest(auth.KindPrePrepare, pp.OrderDigest(), c.top.Agreement)
+	pp.Att = att
+	if _, ok := r.validatePrePrepare(pp, types.Millisecond(1)); ok {
+		t.Error("accepted pre-prepare at sequence zero")
+	}
+}
+
+// TestViewChangeCarriesPreparedBatch ensures a batch that prepared (but did
+// not commit) before the primary died is re-proposed, not lost or forked.
+func TestViewChangeCarriesPreparedBatch(t *testing.T) {
+	c := newCluster(t, 45, nil)
+	req := c.request(100, "carried")
+	c.sendTo(0, req)
+	// Let the batch prepare everywhere, then cut the primary off before
+	// commits can gather. With default links this is timing-dependent, so
+	// instead: crash the primary immediately after it proposes by running
+	// only until any backup has prepared.
+	prepared := func() bool {
+		for _, id := range []types.NodeID{1, 2, 3} {
+			r := c.replicas[id]
+			for _, in := range r.insts {
+				if in.prepared {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	if !c.net.RunUntil(prepared, types.Millisecond(1000)) {
+		t.Fatal("batch never prepared")
+	}
+	c.net.Crash(0)
+	// The request must still execute exactly once in the new view.
+	if !c.net.RunUntil(c.allExecuted(1, 0), types.Millisecond(5000)) {
+		// Not necessarily an error if it committed pre-crash; check logs.
+		t.Fatal("prepared request lost across the view change")
+	}
+	c.assertConsistentLogs()
+	for _, id := range []types.NodeID{1, 2, 3} {
+		ops := c.apps[id].flatOps()
+		count := 0
+		for _, op := range ops {
+			if op == "n100:1:carried" {
+				count++
+			}
+		}
+		if count != 1 {
+			t.Errorf("replica %v executed the carried request %d times", id, count)
+		}
+	}
+}

@@ -1,0 +1,447 @@
+package pbft
+
+import (
+	"sort"
+
+	"repro/internal/auth"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// This file implements the PBFT view-change sub-protocol: replicas that
+// suspect the primary broadcast signed VIEW-CHANGE messages carrying their
+// stable-checkpoint proof and prepared-batch evidence; the new primary
+// assembles 2f+1 of them into a NEW-VIEW that re-proposes every batch that
+// may have committed, and every replica independently re-derives and checks
+// that computation. The paper delegates this machinery to BASE (§3.2); it is
+// reproduced here in full because liveness under a faulty primary depends on
+// it.
+
+// startViewChange abandons the current view and campaigns for target.
+func (r *Replica) startViewChange(target types.View, now types.Time) {
+	if target <= r.view {
+		return
+	}
+	r.view = target
+	r.inViewChange = true
+	r.vcAttempts = 0
+	r.Metrics.ViewChanges++
+	r.queue = nil
+	r.queued = make(map[types.Digest]bool)
+	r.batchDeadline = 0
+
+	vc := r.buildViewChange(target)
+	r.sentVC = vc
+	r.vcDeadline = now + r.cfg.ViewChangeResend
+	r.storeViewChange(vc)
+	r.broadcast(wire.Marshal(vc))
+	r.maybeBuildNewView(now)
+}
+
+// buildViewChange assembles this replica's evidence for the new view.
+func (r *Replica) buildViewChange(target types.View) *wire.ViewChange {
+	var entries []wire.PreparedEntry
+	seqs := make([]types.SeqNum, 0, len(r.insts))
+	for n := range r.insts {
+		seqs = append(seqs, n)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	for _, n := range seqs {
+		in := r.insts[n]
+		if !in.prepared || in.pp == nil || n <= r.lastStable {
+			continue
+		}
+		primary := r.top.Primary(in.view)
+		prepares := make([]auth.Attestation, 0, len(in.prepares))
+		ids := make([]types.NodeID, 0, len(in.prepares))
+		for id, v := range in.prepares {
+			if id != primary && v.od == in.od {
+				ids = append(ids, id)
+			}
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			prepares = append(prepares, in.prepares[id].att)
+		}
+		if len(prepares) < 2*r.f {
+			continue
+		}
+		entries = append(entries, wire.PreparedEntry{
+			View:       in.view,
+			Seq:        n,
+			ND:         in.pp.ND,
+			Requests:   in.pp.Requests,
+			PrimaryAtt: in.pp.Att,
+			Prepares:   prepares[:2*r.f],
+		})
+	}
+	vc := &wire.ViewChange{
+		NewView:    target,
+		LastStable: r.lastStable,
+		CkptState:  r.stableState(),
+		CkptProof:  r.stableProof,
+		Prepared:   entries,
+		Replica:    r.cfg.ID,
+	}
+	att, err := r.cfg.ReplicaAuth.Attest(auth.KindViewChange, vc.SigningDigest(), r.top.Agreement)
+	if err == nil {
+		vc.Att = att
+	}
+	return vc
+}
+
+// stableState returns the digest of the latest stable checkpoint (zero at
+// genesis).
+func (r *Replica) stableState() types.Digest {
+	if len(r.stableProof) > 0 {
+		return r.stableProof[0].State
+	}
+	return types.ZeroDigest
+}
+
+// validateViewChange checks a VIEW-CHANGE end to end: signature, checkpoint
+// proof, and every prepared entry's transferable evidence.
+func (r *Replica) validateViewChange(m *wire.ViewChange) bool {
+	role, _, ok := r.top.RoleOf(m.Replica)
+	if !ok || role != types.RoleAgreement || m.Att.Node != m.Replica {
+		return false
+	}
+	if r.cfg.ReplicaAuth.Verify(auth.KindViewChange, m.SigningDigest(), m.Att) != nil {
+		return false
+	}
+	allowed := make(map[types.NodeID]bool, r.n)
+	for _, id := range r.top.Agreement {
+		allowed[id] = true
+	}
+	if m.LastStable > 0 {
+		cd := wire.CheckpointDigest(m.LastStable, m.CkptState)
+		atts := make([]auth.Attestation, 0, len(m.CkptProof))
+		for i := range m.CkptProof {
+			c := &m.CkptProof[i]
+			if c.Seq != m.LastStable || c.State != m.CkptState || c.Att.Node != c.Replica {
+				return false
+			}
+			atts = append(atts, c.Att)
+		}
+		if auth.CountDistinct(r.cfg.ReplicaAuth, auth.KindAgreeCheckpoint, cd, atts, allowed) < 2*r.f+1 {
+			return false
+		}
+	}
+	for i := range m.Prepared {
+		e := &m.Prepared[i]
+		if e.Seq <= m.LastStable || e.View >= m.NewView {
+			return false
+		}
+		od := e.OrderDigest()
+		primary := r.top.Primary(e.View)
+		if e.PrimaryAtt.Node != primary {
+			return false
+		}
+		if r.cfg.ReplicaAuth.Verify(auth.KindPrePrepare, od, e.PrimaryAtt) != nil {
+			return false
+		}
+		// 2f distinct valid prepares from backups of that view.
+		backups := make(map[types.NodeID]bool, r.n)
+		for _, id := range r.top.Agreement {
+			if id != primary {
+				backups[id] = true
+			}
+		}
+		if auth.CountDistinct(r.cfg.ReplicaAuth, auth.KindPrepare, od, e.Prepares, backups) < 2*r.f {
+			return false
+		}
+		// The nondeterminism must be the canonical function of (seq, time);
+		// it was checked when first prepared, but re-verifying keeps a
+		// colluding quorum from smuggling steered randomness forward.
+		if e.ND.Rand != types.ComputeNonDetRand(e.Seq, e.ND.Time) {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *Replica) storeViewChange(m *wire.ViewChange) {
+	byNode := r.vcs[m.NewView]
+	if byNode == nil {
+		byNode = make(map[types.NodeID]*wire.ViewChange)
+		r.vcs[m.NewView] = byNode
+	}
+	if _, dup := byNode[m.Replica]; !dup {
+		byNode[m.Replica] = m
+	}
+}
+
+func (r *Replica) onViewChange(m *wire.ViewChange, now types.Time) {
+	if m.NewView < r.view {
+		// Straggler: if we already hold the proof that its target view
+		// started, forward it.
+		if r.lastNewView != nil && r.lastNewView.View >= m.NewView {
+			r.send(m.Replica, wire.Marshal(r.lastNewView))
+		}
+		return
+	}
+	if !r.validateViewChange(m) {
+		return
+	}
+	r.storeViewChange(m)
+
+	// A campaign for the view we already completed means the sender missed
+	// the NEW-VIEW: resend the proof.
+	if m.NewView == r.view && !r.inViewChange && r.lastNewView != nil && r.lastNewView.View == r.view {
+		r.send(m.Replica, wire.Marshal(r.lastNewView))
+		return
+	}
+
+	// Liveness joining rule: once f+1 distinct replicas campaign for views
+	// beyond ours, join the smallest such view (at least one correct
+	// replica is ahead of us, so waiting cannot help).
+	campaigners := make(map[types.NodeID]bool)
+	minTarget := types.View(0)
+	for v, byNode := range r.vcs {
+		if v <= r.view {
+			continue
+		}
+		for id := range byNode {
+			campaigners[id] = true
+		}
+		if minTarget == 0 || v < minTarget {
+			minTarget = v
+		}
+	}
+	if len(campaigners) >= r.f+1 && minTarget > r.view {
+		r.startViewChange(minTarget, now)
+	}
+	r.maybeBuildNewView(now)
+}
+
+// maybeBuildNewView runs on the would-be primary once 2f+1 view changes for
+// the current target view have been collected.
+func (r *Replica) maybeBuildNewView(now types.Time) {
+	if !r.inViewChange || !r.isPrimary() {
+		return
+	}
+	byNode := r.vcs[r.view]
+	if len(byNode) < 2*r.f+1 {
+		return
+	}
+	// Deterministically select 2f+1 view changes (ascending replica id,
+	// own first if present).
+	ids := make([]types.NodeID, 0, len(byNode))
+	for id := range byNode {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	selected := make([]wire.ViewChange, 0, 2*r.f+1)
+	for _, id := range ids {
+		if len(selected) == 2*r.f+1 {
+			break
+		}
+		selected = append(selected, *byNode[id])
+	}
+
+	pps, minS, maxS := r.computeNewViewPrePrepares(r.view, selected)
+	nv := &wire.NewView{View: r.view, ViewChanges: selected, PrePrepares: pps, Primary: r.cfg.ID}
+	att, err := r.cfg.ReplicaAuth.Attest(auth.KindNewView, nv.SigningDigest(), r.top.Agreement)
+	if err != nil {
+		return
+	}
+	nv.Att = att
+	r.broadcast(wire.Marshal(nv))
+	r.installNewView(nv, minS, maxS, now)
+}
+
+// computeNewViewPrePrepares derives the O set: for every sequence number
+// between the highest stable checkpoint (min-s) and the highest prepared
+// sequence (max-s), re-propose the prepared batch of the highest view, or a
+// null batch if none prepared.
+func (r *Replica) computeNewViewPrePrepares(v types.View, vcs []wire.ViewChange) (pps []wire.PrePrepare, minS, maxS types.SeqNum) {
+	for i := range vcs {
+		if vcs[i].LastStable > minS {
+			minS = vcs[i].LastStable
+		}
+	}
+	maxS = minS
+	best := make(map[types.SeqNum]*wire.PreparedEntry)
+	for i := range vcs {
+		for j := range vcs[i].Prepared {
+			e := &vcs[i].Prepared[j]
+			if e.Seq <= minS {
+				continue
+			}
+			if e.Seq > maxS {
+				maxS = e.Seq
+			}
+			if cur, ok := best[e.Seq]; !ok || e.View > cur.View {
+				best[e.Seq] = e
+			}
+		}
+	}
+	for n := minS + 1; n <= maxS; n++ {
+		pp := wire.PrePrepare{View: v, Seq: n, Primary: r.top.Primary(v)}
+		if e, ok := best[n]; ok {
+			pp.ND = e.ND
+			pp.Requests = e.Requests
+		} else {
+			// Null batch filler; executors skip empty batches.
+			pp.ND = types.NonDet{Time: 0, Rand: types.ComputeNonDetRand(n, 0)}
+		}
+		pps = append(pps, pp)
+	}
+	// The (would-be) primary attests each re-proposal so backups can
+	// treat them as ordinary pre-prepares in the new view.
+	if r.top.Primary(v) == r.cfg.ID {
+		for i := range pps {
+			att, err := r.cfg.ReplicaAuth.Attest(auth.KindPrePrepare, pps[i].OrderDigest(), r.top.Agreement)
+			if err == nil {
+				pps[i].Att = att
+			}
+		}
+	}
+	return pps, minS, maxS
+}
+
+func (r *Replica) onNewView(m *wire.NewView, now types.Time) {
+	if m.View < r.view || (m.View == r.view && !r.inViewChange) {
+		return
+	}
+	if m.Primary != r.top.Primary(m.View) || m.Att.Node != m.Primary {
+		return
+	}
+	if r.cfg.ReplicaAuth.Verify(auth.KindNewView, m.SigningDigest(), m.Att) != nil {
+		return
+	}
+	// Validate the 2f+1 view changes.
+	seen := make(map[types.NodeID]bool)
+	for i := range m.ViewChanges {
+		vc := &m.ViewChanges[i]
+		if vc.NewView != m.View || seen[vc.Replica] || !r.validateViewChange(vc) {
+			return
+		}
+		seen[vc.Replica] = true
+	}
+	if len(seen) < 2*r.f+1 {
+		return
+	}
+	// Independently recompute O and require digest-for-digest equality.
+	want, minS, maxS := r.computeNewViewPrePrepares(m.View, m.ViewChanges)
+	if len(want) != len(m.PrePrepares) {
+		return
+	}
+	for i := range want {
+		got := &m.PrePrepares[i]
+		if got.View != m.View || got.Seq != want[i].Seq || got.Primary != m.Primary {
+			return
+		}
+		if got.OrderDigest() != want[i].OrderDigest() {
+			return
+		}
+		if r.cfg.ReplicaAuth.Verify(auth.KindPrePrepare, got.OrderDigest(), got.Att) != nil || got.Att.Node != m.Primary {
+			return
+		}
+	}
+	// Adopt the new-view checkpoint if it is ahead of ours.
+	if minS > r.lastStable {
+		for i := range m.ViewChanges {
+			vc := &m.ViewChanges[i]
+			if vc.LastStable == minS {
+				votes := make(map[types.NodeID]wire.AgreeCheckpoint)
+				for _, c := range vc.CkptProof {
+					votes[c.Replica] = c
+				}
+				r.makeStable(minS, vc.CkptState, votes)
+				break
+			}
+		}
+	}
+	r.view = m.View
+	r.installNewView(m, minS, maxS, now)
+}
+
+// installNewView finalizes the transition for both the new primary and the
+// backups: instances are re-created from the O set and backups re-prepare
+// them.
+func (r *Replica) installNewView(m *wire.NewView, minS, maxS types.SeqNum, now types.Time) {
+	r.inViewChange = false
+	r.lastNewView = m
+	r.sentVC = nil
+	if maxS > r.nextSeq {
+		r.nextSeq = maxS
+	}
+	if r.lastStable > r.nextSeq {
+		r.nextSeq = r.lastStable
+	}
+	for v := range r.vcs {
+		if v <= r.view {
+			delete(r.vcs, v)
+		}
+	}
+	isPrimary := r.isPrimary()
+	for i := range m.PrePrepares {
+		pp := m.PrePrepares[i]
+		if pp.Seq <= r.lastExec || pp.Seq <= r.lastStable {
+			continue
+		}
+		od := pp.OrderDigest()
+		r.acceptPrePrepare(&pp, od, now)
+		if !isPrimary {
+			att, err := r.cfg.ReplicaAuth.Attest(auth.KindPrepare, od, r.top.Agreement)
+			if err != nil {
+				continue
+			}
+			in := r.inst(pp.View, pp.Seq)
+			in.prepares[r.cfg.ID] = vote{od: od, att: att}
+			prep := &wire.Prepare{View: pp.View, Seq: pp.Seq, OD: od, Replica: r.cfg.ID, Att: att}
+			r.broadcast(wire.Marshal(prep))
+		}
+	}
+	// Give the new primary a fresh chance at the buffered client work —
+	// but not at requests the new view already covers, which would be
+	// double-ordered. "Covered" means executed locally or re-proposed in
+	// the O set; lastOrdered alone is not evidence (an equivocating old
+	// primary advances it with pre-prepares that never commit).
+	covered := make(map[types.NodeID]types.Timestamp)
+	for i := range m.PrePrepares {
+		for j := range m.PrePrepares[i].Requests {
+			req := &m.PrePrepares[i].Requests[j]
+			if req.Timestamp > covered[req.Client] {
+				covered[req.Client] = req.Timestamp
+			}
+		}
+	}
+	for id, cs := range r.clients {
+		if cs.pending == nil {
+			continue
+		}
+		if cs.pending.Timestamp <= cs.lastExecuted || cs.pending.Timestamp <= covered[id] {
+			cs.pending = nil
+			continue
+		}
+		cs.pendingSince = now
+		if isPrimary {
+			r.enqueue(cs.pending, now)
+		} else {
+			r.send(r.primaryID(), wire.Marshal(cs.pending))
+		}
+	}
+	r.maybePropose(now)
+	r.executeReady(now)
+}
+
+// tickViewChange retransmits campaign messages and escalates to the next
+// view if the campaign stalls (doubling timeout, §3.1.2-style backoff).
+func (r *Replica) tickViewChange(now types.Time) {
+	if !r.inViewChange || r.sentVC == nil {
+		return
+	}
+	if now >= r.vcDeadline {
+		r.broadcast(wire.Marshal(r.sentVC))
+		r.vcDeadline = now + r.cfg.ViewChangeResend
+		r.vcAttempts++
+		// If several resends went unanswered, assume the would-be primary
+		// is also faulty and campaign for the next view.
+		if r.vcAttempts >= 4 {
+			r.vcAttempts = 0
+			r.startViewChange(r.view+1, now)
+		}
+	}
+}

@@ -1,0 +1,229 @@
+// Package replycert assembles and validates reply certificates
+// ⟨REPLY,...⟩_{E,c,g+1} (§3.1.1): proofs that g+1 of the 2g+1 execution
+// replicas — a correct majority — vouch for a bundle of replies.
+//
+// Two certificate forms exist, mirroring the paper's configurations:
+//
+//   - Quorum certificates: g+1 matching MAC/signature attestations over the
+//     bundle digest (the Separate/MAC configurations of Figure 3).
+//   - Threshold certificates: one Shoup RSA threshold signature combined
+//     from g+1 shares (the Thresh and privacy-firewall configurations).
+//     These are deterministic and membership-free, which the privacy
+//     firewall relies on (§4.2.2).
+//
+// The same Assembler is used by agreement-side message queues, by clients
+// receiving direct replies, and by top-row firewall filters.
+package replycert
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/auth"
+	"repro/internal/threshold"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// Mode selects the certificate form.
+type Mode uint8
+
+// Certificate modes.
+const (
+	ModeQuorum Mode = iota
+	ModeThreshold
+)
+
+func (m Mode) String() string {
+	if m == ModeThreshold {
+		return "threshold"
+	}
+	return "quorum"
+}
+
+// Verifier validates complete reply certificates and individual shares.
+type Verifier struct {
+	Mode      Mode
+	Quorum    int                  // g+1
+	Executors map[types.NodeID]int // executor id → 1-based threshold share index
+	Scheme    auth.Scheme          // quorum mode: verifies attestations addressed to this node
+	Threshold *threshold.PublicKey // threshold mode
+}
+
+// NewVerifier builds a Verifier for the given topology. scheme may be nil in
+// threshold mode; pub may be nil in quorum mode.
+func NewVerifier(mode Mode, top *types.Topology, scheme auth.Scheme, pub *threshold.PublicKey) *Verifier {
+	return NewVerifierFor(mode, top.ExecutionQuorum(), top.Execution, scheme, pub)
+}
+
+// NewVerifierFor builds a Verifier over an explicit member set and quorum.
+// The coupled-baseline configuration uses it with the agreement cluster as
+// the certifying set (f+1 matching replies out of 3f+1 replicas).
+func NewVerifierFor(mode Mode, quorum int, members []types.NodeID, scheme auth.Scheme, pub *threshold.PublicKey) *Verifier {
+	ex := make(map[types.NodeID]int, len(members))
+	for i, id := range members {
+		ex[id] = i + 1
+	}
+	return &Verifier{Mode: mode, Quorum: quorum, Executors: ex, Scheme: scheme, Threshold: pub}
+}
+
+// Errors.
+var (
+	ErrIncomplete = errors.New("replycert: certificate incomplete")
+	ErrInvalid    = errors.New("replycert: certificate invalid")
+)
+
+// VerifyCert checks a complete certificate against the bundle it carries.
+func (v *Verifier) VerifyCert(cert *wire.ReplyCert) error {
+	if len(cert.Entries) == 0 {
+		return fmt.Errorf("%w: empty bundle", ErrInvalid)
+	}
+	digest := wire.BundleDigest(cert.Entries)
+	if v.Mode == ModeThreshold {
+		if len(cert.ThresholdSig) == 0 {
+			return ErrIncomplete
+		}
+		if err := v.Threshold.Verify(digest, cert.ThresholdSig); err != nil {
+			return fmt.Errorf("%w: %v", ErrInvalid, err)
+		}
+		return nil
+	}
+	count := 0
+	seen := make(map[types.NodeID]bool, len(cert.Atts))
+	for _, a := range cert.Atts {
+		if _, isExec := v.Executors[a.Node]; !isExec || seen[a.Node] {
+			continue
+		}
+		if v.Scheme.Verify(auth.KindReply, digest, a) == nil {
+			seen[a.Node] = true
+			count++
+		}
+	}
+	if count < v.Quorum {
+		return fmt.Errorf("%w: %d/%d valid attestations", ErrIncomplete, count, v.Quorum)
+	}
+	return nil
+}
+
+// VerifyShare checks one executor's contribution in isolation. In quorum
+// mode that is its attestation; in threshold mode, its signature share and
+// correctness proof (so Byzantine shares are discarded before combining).
+func (v *Verifier) VerifyShare(m *wire.ExecReply) error {
+	if len(m.Entries) == 0 {
+		return fmt.Errorf("%w: empty bundle", ErrInvalid)
+	}
+	idx, isExec := v.Executors[m.Executor]
+	if !isExec {
+		return fmt.Errorf("%w: %v is not an executor", ErrInvalid, m.Executor)
+	}
+	digest := wire.BundleDigest(m.Entries)
+	if v.Mode == ModeThreshold {
+		sh, err := threshold.UnmarshalSigShare(m.Share)
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrInvalid, err)
+		}
+		if sh.Index != idx {
+			return fmt.Errorf("%w: share index %d does not match executor %v", ErrInvalid, sh.Index, m.Executor)
+		}
+		if err := v.Threshold.VerifyShare(digest, sh); err != nil {
+			return fmt.Errorf("%w: %v", ErrInvalid, err)
+		}
+		return nil
+	}
+	if m.Att.Node != m.Executor {
+		return fmt.Errorf("%w: attestation node mismatch", ErrInvalid)
+	}
+	if err := v.Scheme.Verify(auth.KindReply, digest, m.Att); err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	return nil
+}
+
+// Assembler accumulates executor shares per bundle until a certificate can
+// be produced. Shares are verified on Add; entries GC by sequence number.
+type Assembler struct {
+	v       *Verifier
+	pending map[types.Digest]*pendingBundle
+}
+
+type pendingBundle struct {
+	entries []wire.Reply
+	maxSeq  types.SeqNum
+	atts    map[types.NodeID]auth.Attestation
+	shares  map[types.NodeID]*threshold.SigShare
+	done    bool
+}
+
+// NewAssembler returns an Assembler over the Verifier.
+func NewAssembler(v *Verifier) *Assembler {
+	return &Assembler{v: v, pending: make(map[types.Digest]*pendingBundle)}
+}
+
+// Add records one executor's share. When the bundle reaches its quorum, Add
+// returns the completed certificate exactly once; otherwise it returns nil.
+// Invalid shares are rejected with an error.
+func (a *Assembler) Add(m *wire.ExecReply) (*wire.ReplyCert, error) {
+	if err := a.v.VerifyShare(m); err != nil {
+		return nil, err
+	}
+	digest := wire.BundleDigest(m.Entries)
+	pb := a.pending[digest]
+	if pb == nil {
+		pb = &pendingBundle{
+			entries: m.Entries,
+			atts:    make(map[types.NodeID]auth.Attestation),
+			shares:  make(map[types.NodeID]*threshold.SigShare),
+		}
+		for i := range m.Entries {
+			if m.Entries[i].Seq > pb.maxSeq {
+				pb.maxSeq = m.Entries[i].Seq
+			}
+		}
+		a.pending[digest] = pb
+	}
+	if pb.done {
+		return nil, nil
+	}
+	if a.v.Mode == ModeThreshold {
+		sh, err := threshold.UnmarshalSigShare(m.Share)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrInvalid, err)
+		}
+		pb.shares[m.Executor] = sh
+		if len(pb.shares) < a.v.Quorum {
+			return nil, nil
+		}
+		shares := make([]*threshold.SigShare, 0, len(pb.shares))
+		for _, sh := range pb.shares {
+			shares = append(shares, sh)
+		}
+		sig, err := a.v.Threshold.Combine(digest, shares)
+		if err != nil {
+			return nil, err
+		}
+		pb.done = true
+		return &wire.ReplyCert{Entries: pb.entries, ThresholdSig: sig}, nil
+	}
+	pb.atts[m.Executor] = m.Att
+	if len(pb.atts) < a.v.Quorum {
+		return nil, nil
+	}
+	q := auth.NewQuorum(a.v.Quorum)
+	for _, att := range pb.atts {
+		q.Add(att)
+	}
+	pb.done = true
+	return &wire.ReplyCert{Entries: pb.entries, Atts: q.Attestations()}, nil
+}
+
+// GC drops pending bundles whose highest sequence number is at or below n.
+func (a *Assembler) GC(n types.SeqNum) {
+	for d, pb := range a.pending {
+		if pb.maxSeq <= n {
+			delete(a.pending, d)
+		}
+	}
+}
+
+// Pending reports how many incomplete bundles are buffered.
+func (a *Assembler) Pending() int { return len(a.pending) }

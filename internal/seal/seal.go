@@ -1,0 +1,113 @@
+// Package seal encrypts request and reply bodies between clients and the
+// execution cluster so that agreement nodes and privacy-firewall filters
+// relay only ciphertext (§4.1: "request and reply bodies are encrypted so
+// that the client and execution nodes can read them but agreement nodes and
+// firewall nodes cannot").
+//
+// AES-256-GCM with explicit nonces. Requests use random nonces. Replies must
+// be byte-identical across all execution replicas — otherwise reply
+// certificates could never assemble — so reply nonces are derived
+// deterministically from (client, timestamp, direction): each (key, nonce)
+// pair is still used at most once because correct clients issue strictly
+// increasing timestamps.
+package seal
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/types"
+)
+
+// KeySize is the AES-256 key length.
+const KeySize = 32
+
+// NonceSize is the GCM nonce length.
+const NonceSize = 12
+
+// Sealer encrypts and decrypts bodies under one client⇄execution key.
+type Sealer struct {
+	aead cipher.AEAD
+}
+
+// New returns a Sealer for a 32-byte key.
+func New(key []byte) (*Sealer, error) {
+	if len(key) != KeySize {
+		return nil, fmt.Errorf("seal: key must be %d bytes, got %d", KeySize, len(key))
+	}
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	return &Sealer{aead: aead}, nil
+}
+
+// DeriveKey derives the per-client sealing key from a deployment master
+// secret. In a real deployment clients and executors would provision these
+// out of band; the derivation stands in for that channel.
+func DeriveKey(master []byte, client types.NodeID) []byte {
+	h := sha256.New()
+	h.Write([]byte("saebft-seal"))
+	h.Write(master)
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], uint32(int32(client)))
+	h.Write(b[:])
+	return h.Sum(nil)
+}
+
+// SealRequest encrypts a request body with a random nonce.
+func (s *Sealer) SealRequest(rng io.Reader, plaintext []byte) ([]byte, error) {
+	nonce := make([]byte, NonceSize)
+	if rng == nil {
+		rng = rand.Reader
+	}
+	if _, err := io.ReadFull(rng, nonce); err != nil {
+		return nil, err
+	}
+	return s.aead.Seal(nonce, nonce, plaintext, []byte("req")), nil
+}
+
+// replyNonce derives the deterministic reply nonce for (client, timestamp).
+func replyNonce(client types.NodeID, t types.Timestamp) []byte {
+	var b [12]byte
+	binary.BigEndian.PutUint32(b[0:4], uint32(int32(client)))
+	binary.BigEndian.PutUint64(b[4:12], uint64(t))
+	h := sha256.Sum256(b[:])
+	return h[:NonceSize]
+}
+
+// SealReply encrypts a reply body deterministically: every correct executor
+// produces the same ciphertext for the same (client, timestamp, body).
+func (s *Sealer) SealReply(client types.NodeID, t types.Timestamp, plaintext []byte) []byte {
+	nonce := replyNonce(client, t)
+	return s.aead.Seal(append([]byte(nil), nonce...), nonce, plaintext, []byte("rep"))
+}
+
+// ErrMalformed reports a ciphertext too short to contain a nonce.
+var ErrMalformed = errors.New("seal: malformed ciphertext")
+
+// OpenRequest decrypts a request body.
+func (s *Sealer) OpenRequest(ciphertext []byte) ([]byte, error) {
+	if len(ciphertext) < NonceSize {
+		return nil, ErrMalformed
+	}
+	return s.aead.Open(nil, ciphertext[:NonceSize], ciphertext[NonceSize:], []byte("req"))
+}
+
+// OpenReply decrypts a reply body.
+func (s *Sealer) OpenReply(ciphertext []byte) ([]byte, error) {
+	if len(ciphertext) < NonceSize {
+		return nil, ErrMalformed
+	}
+	return s.aead.Open(nil, ciphertext[:NonceSize], ciphertext[NonceSize:], []byte("rep"))
+}

@@ -1,0 +1,141 @@
+package seal
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/types"
+)
+
+func newSealer(t *testing.T) *Sealer {
+	t.Helper()
+	s, err := New(DeriveKey([]byte("master"), 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewRejectsBadKey(t *testing.T) {
+	if _, err := New([]byte("short")); err == nil {
+		t.Error("New accepted a short key")
+	}
+}
+
+func TestDeriveKeyPerClient(t *testing.T) {
+	a := DeriveKey([]byte("m"), 100)
+	b := DeriveKey([]byte("m"), 101)
+	if bytes.Equal(a, b) {
+		t.Error("per-client keys collide")
+	}
+	if len(a) != KeySize {
+		t.Errorf("key size = %d, want %d", len(a), KeySize)
+	}
+	if bytes.Equal(DeriveKey([]byte("m1"), 100), DeriveKey([]byte("m2"), 100)) {
+		t.Error("keys ignore the master secret")
+	}
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	s := newSealer(t)
+	ct, err := s.SealRequest(nil, []byte("secret op"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(ct, []byte("secret op")) {
+		t.Error("ciphertext contains plaintext")
+	}
+	pt, err := s.OpenRequest(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(pt) != "secret op" {
+		t.Errorf("got %q", pt)
+	}
+}
+
+func TestReplyDeterministicAcrossReplicas(t *testing.T) {
+	// Two sealers with the same key (two correct executors) must produce
+	// identical ciphertext, or reply certificates could never assemble.
+	s1 := newSealer(t)
+	s2 := newSealer(t)
+	c1 := s1.SealReply(100, 7, []byte("result"))
+	c2 := s2.SealReply(100, 7, []byte("result"))
+	if !bytes.Equal(c1, c2) {
+		t.Error("reply sealing is not deterministic across replicas")
+	}
+	// But distinct (client, timestamp) pairs get distinct nonces.
+	c3 := s1.SealReply(100, 8, []byte("result"))
+	if bytes.Equal(c1, c3) {
+		t.Error("different timestamps produced identical ciphertext")
+	}
+	pt, err := s1.OpenReply(c1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(pt) != "result" {
+		t.Errorf("got %q", pt)
+	}
+}
+
+func TestTamperDetected(t *testing.T) {
+	s := newSealer(t)
+	ct := s.SealReply(100, 1, []byte("x"))
+	ct[len(ct)-1] ^= 1
+	if _, err := s.OpenReply(ct); err == nil {
+		t.Error("tampered reply decrypted")
+	}
+	rq, _ := s.SealRequest(nil, []byte("y"))
+	rq[NonceSize] ^= 1
+	if _, err := s.OpenRequest(rq); err == nil {
+		t.Error("tampered request decrypted")
+	}
+}
+
+func TestDomainSeparationReqVsReply(t *testing.T) {
+	s := newSealer(t)
+	ct := s.SealReply(100, 1, []byte("x"))
+	if _, err := s.OpenRequest(ct); err == nil {
+		t.Error("reply ciphertext opened as request")
+	}
+}
+
+func TestOpenMalformed(t *testing.T) {
+	s := newSealer(t)
+	for _, b := range [][]byte{nil, {1, 2, 3}, make([]byte, NonceSize)} {
+		if _, err := s.OpenRequest(b); err == nil {
+			t.Errorf("OpenRequest accepted %v", b)
+		}
+		if _, err := s.OpenReply(b); err == nil {
+			t.Errorf("OpenReply accepted %v", b)
+		}
+	}
+}
+
+func TestWrongKeyFails(t *testing.T) {
+	s1 := newSealer(t)
+	s2, err := New(DeriveKey([]byte("master"), 101))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, _ := s1.SealRequest(nil, []byte("op"))
+	if _, err := s2.OpenRequest(ct); err == nil {
+		t.Error("another client's key decrypted the request")
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	s := newSealer(t)
+	f := func(body []byte, ts uint64) bool {
+		ct := s.SealReply(100, types.Timestamp(ts), body)
+		pt, err := s.OpenReply(ct)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(pt, body)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,38 @@
+// Package sm defines the deterministic state machine abstraction that
+// execution replicas host (§2): given the same sequence of operations and
+// the same agreed nondeterministic inputs, all correct replicas transition
+// identically and produce identical replies.
+package sm
+
+import "repro/internal/types"
+
+// StateMachine is a deterministic application.
+//
+// Execute applies one operation and returns the reply body. nd carries the
+// agreement cluster's oblivious nondeterministic inputs (timestamp and
+// pseudo-random bits); the application's abstraction layer deterministically
+// maps them to any application-specific values it needs (file handles,
+// mtimes — §3.1.4). Execute must be deterministic: no clocks, no randomness,
+// no iteration over unordered maps.
+//
+// Checkpoint serializes the current state; Restore replaces the state with a
+// previously checkpointed one, such that Checkpoint-then-Restore on another
+// replica converges (§2: restore(checkpoint(C)) = C).
+type StateMachine interface {
+	Execute(op []byte, nd types.NonDet) []byte
+	Checkpoint() []byte
+	Restore(data []byte) error
+}
+
+// Func adapts a stateless function to the StateMachine interface. Useful for
+// echo-style benchmark servers with no state to checkpoint.
+type Func func(op []byte, nd types.NonDet) []byte
+
+// Execute implements StateMachine.
+func (f Func) Execute(op []byte, nd types.NonDet) []byte { return f(op, nd) }
+
+// Checkpoint implements StateMachine: stateless machines have empty state.
+func (f Func) Checkpoint() []byte { return nil }
+
+// Restore implements StateMachine.
+func (f Func) Restore(data []byte) error { return nil }

@@ -1,0 +1,340 @@
+package transport
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/types"
+)
+
+// LinkOpts describes the fault model of one directed link.
+type LinkOpts struct {
+	Drop     float64    // probability a message is discarded
+	Dup      float64    // probability a message is delivered twice
+	MinDelay types.Time // uniform delivery delay range; reordering falls
+	MaxDelay types.Time // out of overlapping delay windows
+}
+
+// DefaultLinkOpts models a fast LAN: no loss, 50–200µs delivery.
+func DefaultLinkOpts() LinkOpts {
+	return LinkOpts{MinDelay: 50_000, MaxDelay: 200_000}
+}
+
+// SimNetConfig configures a simulated network.
+type SimNetConfig struct {
+	Seed         int64
+	DefaultLink  LinkOpts
+	TickInterval types.Time // how often nodes' Tick runs; default 1ms
+
+	// MeasureCompute, when set, measures the wall-clock time each node
+	// spends inside Deliver/Tick and advances that node's virtual busy
+	// horizon accordingly. This is how real cryptographic costs (e.g.
+	// 1–15ms threshold signatures) surface in virtual-time latency and
+	// throughput measurements without a real cluster. It trades strict
+	// run-to-run determinism of timings for fidelity, so correctness
+	// tests leave it off.
+	MeasureCompute bool
+}
+
+type simEvent struct {
+	at   types.Time
+	seq  uint64 // FIFO tie-break for determinism
+	from types.NodeID
+	to   types.NodeID
+	data []byte
+	tick bool
+}
+
+type eventHeap []*simEvent
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*simEvent)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+type linkKey struct{ from, to types.NodeID }
+
+// SimNet is a deterministic discrete-event network simulator.
+//
+// All methods must be called from a single goroutine: register nodes, then
+// drive the simulation with Run or RunUntil. Nodes' Sender is Bind(id).
+type SimNet struct {
+	cfg     SimNetConfig
+	rng     *rand.Rand
+	now     types.Time
+	seq     uint64
+	events  eventHeap
+	nodes   map[types.NodeID]Node
+	links   map[linkKey]LinkOpts
+	blocked map[linkKey]bool
+	crashed map[types.NodeID]bool
+	busy    map[types.NodeID]types.Time
+	machine map[types.NodeID]types.NodeID // co-location: node → machine
+	scale   map[types.NodeID]float64      // compute-time scaling (hardware models)
+	allowed func(from, to types.NodeID) bool
+	tap     func(from, to types.NodeID, data []byte)
+
+	// Stats counts traffic for benchmarks and assertions.
+	Stats SimStats
+}
+
+// SimStats aggregates traffic counters.
+type SimStats struct {
+	Sent      uint64
+	Delivered uint64
+	Dropped   uint64
+	Bytes     uint64
+}
+
+// NewSimNet creates a simulator with the given configuration.
+func NewSimNet(cfg SimNetConfig) *SimNet {
+	if cfg.TickInterval == 0 {
+		cfg.TickInterval = types.Millisecond(1)
+	}
+	if cfg.DefaultLink == (LinkOpts{}) {
+		cfg.DefaultLink = DefaultLinkOpts()
+	}
+	return &SimNet{
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		nodes:   make(map[types.NodeID]Node),
+		links:   make(map[linkKey]LinkOpts),
+		blocked: make(map[linkKey]bool),
+		crashed: make(map[types.NodeID]bool),
+		busy:    make(map[types.NodeID]types.Time),
+		machine: make(map[types.NodeID]types.NodeID),
+		scale:   make(map[types.NodeID]float64),
+	}
+}
+
+// Register attaches a node to the network. The first tick is scheduled one
+// interval after registration.
+func (n *SimNet) Register(id types.NodeID, node Node) {
+	if _, dup := n.nodes[id]; dup {
+		panic(fmt.Sprintf("simnet: node %v registered twice", id))
+	}
+	n.nodes[id] = node
+	n.push(&simEvent{at: n.now + n.cfg.TickInterval, to: id, tick: true})
+}
+
+// Bind returns the Sender a node with the given identity should use.
+func (n *SimNet) Bind(from types.NodeID) Sender {
+	return func(to types.NodeID, data []byte) { n.send(from, to, data) }
+}
+
+// Swap replaces the handler behind an existing node identity. Tests use it
+// to substitute a Byzantine implementation that holds the node's keys.
+func (n *SimNet) Swap(id types.NodeID, node Node) {
+	if _, ok := n.nodes[id]; !ok {
+		panic(fmt.Sprintf("simnet: swap of unregistered node %v", id))
+	}
+	n.nodes[id] = node
+}
+
+// Now returns the current virtual time.
+func (n *SimNet) Now() types.Time { return n.now }
+
+// SetLink overrides the fault model of the directed link from→to.
+func (n *SimNet) SetLink(from, to types.NodeID, opts LinkOpts) {
+	n.links[linkKey{from, to}] = opts
+}
+
+// SetLinkBoth overrides both directions between a and b.
+func (n *SimNet) SetLinkBoth(a, b types.NodeID, opts LinkOpts) {
+	n.SetLink(a, b, opts)
+	n.SetLink(b, a, opts)
+}
+
+// Restrict installs a physical-topology predicate: sends for which allowed
+// returns false are silently discarded, modeling the privacy firewall's
+// requirement that filters are wired only to adjacent rows (§4.2.3).
+func (n *SimNet) Restrict(allowed func(from, to types.NodeID) bool) {
+	n.allowed = allowed
+}
+
+// Crash stops delivering to and from the node. It models a silent (crash)
+// fault; Byzantine faults are modeled by registering a malicious Node.
+func (n *SimNet) Crash(id types.NodeID) { n.crashed[id] = true }
+
+// Revive undoes Crash (the node keeps its in-memory state, modeling a
+// process that stalled rather than lost state).
+func (n *SimNet) Revive(id types.NodeID) { delete(n.crashed, id) }
+
+// Partition blocks all traffic between the two groups until Heal is called.
+func (n *SimNet) Partition(a, b []types.NodeID) {
+	for _, x := range a {
+		for _, y := range b {
+			n.blocked[linkKey{x, y}] = true
+			n.blocked[linkKey{y, x}] = true
+		}
+	}
+}
+
+// Heal removes all partitions.
+func (n *SimNet) Heal() { n.blocked = make(map[linkKey]bool) }
+
+func (n *SimNet) push(ev *simEvent) {
+	ev.seq = n.seq
+	n.seq++
+	heap.Push(&n.events, ev)
+}
+
+func (n *SimNet) linkOpts(from, to types.NodeID) LinkOpts {
+	if o, ok := n.links[linkKey{from, to}]; ok {
+		return o
+	}
+	return n.cfg.DefaultLink
+}
+
+// Colocate places a node on the same physical machine as another node: with
+// MeasureCompute enabled they share one busy horizon, modeling the paper's
+// "Separate/Same" configuration where agreement and execution replicas run
+// on the same hosts (§5.2). Co-located nodes also reach each other with
+// loopback latency.
+func (n *SimNet) Colocate(node, machine types.NodeID) {
+	n.machine[node] = machine
+	n.SetLinkBoth(node, machine, LinkOpts{MinDelay: 1_000, MaxDelay: 2_000})
+}
+
+// SetComputeScale multiplies the node's measured compute time before it is
+// charged to the virtual clock. Values below 1 model faster hardware — e.g.
+// the cryptographic accelerators §5.4 assumes for threshold signatures.
+func (n *SimNet) SetComputeScale(id types.NodeID, factor float64) {
+	n.scale[id] = factor
+}
+
+func (n *SimNet) machineOf(id types.NodeID) types.NodeID {
+	if m, ok := n.machine[id]; ok {
+		return m
+	}
+	return id
+}
+
+// Tap observes every attempted send (including ones later dropped by loss,
+// partitions, or topology restriction). Confidentiality tests use it to
+// assert that secret bytes never appear on particular links.
+func (n *SimNet) Tap(f func(from, to types.NodeID, data []byte)) { n.tap = f }
+
+func (n *SimNet) send(from, to types.NodeID, data []byte) {
+	if n.tap != nil {
+		n.tap(from, to, data)
+	}
+	n.Stats.Sent++
+	n.Stats.Bytes += uint64(len(data))
+	if n.crashed[from] || n.crashed[to] || n.blocked[linkKey{from, to}] {
+		n.Stats.Dropped++
+		return
+	}
+	if n.allowed != nil && !n.allowed(from, to) {
+		n.Stats.Dropped++
+		return
+	}
+	opts := n.linkOpts(from, to)
+	if opts.Drop > 0 && n.rng.Float64() < opts.Drop {
+		n.Stats.Dropped++
+		return
+	}
+	n.deliverAfter(from, to, data, opts)
+	if opts.Dup > 0 && n.rng.Float64() < opts.Dup {
+		n.deliverAfter(from, to, data, opts)
+	}
+}
+
+func (n *SimNet) deliverAfter(from, to types.NodeID, data []byte, opts LinkOpts) {
+	delay := opts.MinDelay
+	if opts.MaxDelay > opts.MinDelay {
+		delay += types.Time(n.rng.Int63n(int64(opts.MaxDelay - opts.MinDelay + 1)))
+	}
+	n.push(&simEvent{at: n.now + delay, from: from, to: to, data: data})
+}
+
+// Step processes the next event. It reports false when no events remain.
+func (n *SimNet) Step() bool {
+	if len(n.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&n.events).(*simEvent)
+	if ev.at > n.now {
+		n.now = ev.at
+	}
+	node, ok := n.nodes[ev.to]
+	if !ok || n.crashed[ev.to] {
+		if ev.tick && ok {
+			// Keep ticking crashed nodes' schedule so Revive resumes.
+			n.push(&simEvent{at: n.now + n.cfg.TickInterval, to: ev.to, tick: true})
+		}
+		if !ev.tick {
+			n.Stats.Dropped++
+		}
+		return true
+	}
+
+	// If the node's machine is still busy processing earlier work, requeue
+	// the event for when it frees up (single-threaded server model; co-
+	// located nodes contend for the same machine).
+	mach := n.machineOf(ev.to)
+	if n.cfg.MeasureCompute {
+		if until := n.busy[mach]; until > n.now {
+			ev.at = until
+			n.push(ev)
+			return true
+		}
+	}
+
+	start := time.Now()
+	if ev.tick {
+		node.Tick(n.now)
+		n.push(&simEvent{at: n.now + n.cfg.TickInterval, to: ev.to, tick: true})
+	} else {
+		n.Stats.Delivered++
+		node.Deliver(ev.from, ev.data, n.now)
+	}
+	if n.cfg.MeasureCompute {
+		elapsed := float64(time.Since(start).Nanoseconds())
+		if f, ok := n.scale[ev.to]; ok {
+			elapsed *= f
+		}
+		n.busy[mach] = n.now + types.Time(elapsed)
+	}
+	return true
+}
+
+// Run processes events until the virtual clock reaches the deadline.
+func (n *SimNet) Run(until types.Time) {
+	for len(n.events) > 0 && n.events[0].at <= until {
+		n.Step()
+	}
+	if n.now < until {
+		n.now = until
+	}
+}
+
+// RunUntil processes events until cond holds or the virtual deadline passes,
+// reporting whether cond was met. cond is evaluated after every event.
+func (n *SimNet) RunUntil(cond func() bool, deadline types.Time) bool {
+	if cond() {
+		return true
+	}
+	for len(n.events) > 0 && n.events[0].at <= deadline {
+		n.Step()
+		if cond() {
+			return true
+		}
+	}
+	return false
+}

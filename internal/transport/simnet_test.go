@@ -1,0 +1,314 @@
+package transport
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/types"
+)
+
+// collector records deliveries for assertions.
+type collector struct {
+	got   []string
+	ticks int
+}
+
+func (c *collector) node() Node {
+	return NodeFunc{
+		OnDeliver: func(from types.NodeID, data []byte, now types.Time) {
+			c.got = append(c.got, fmt.Sprintf("%v:%s@%d", from, data, now))
+		},
+		OnTick: func(now types.Time) { c.ticks++ },
+	}
+}
+
+func TestSimNetDelivers(t *testing.T) {
+	net := NewSimNet(SimNetConfig{Seed: 1})
+	var c collector
+	net.Register(1, NodeFunc{})
+	net.Register(2, c.node())
+	send := net.Bind(1)
+	send(2, []byte("hello"))
+	net.Run(types.Millisecond(10))
+	if len(c.got) != 1 {
+		t.Fatalf("delivered %d messages, want 1", len(c.got))
+	}
+	if c.ticks == 0 {
+		t.Error("node never ticked")
+	}
+	if net.Stats.Delivered != 1 || net.Stats.Sent != 1 {
+		t.Errorf("stats = %+v", net.Stats)
+	}
+}
+
+func TestSimNetDeterministic(t *testing.T) {
+	run := func() []string {
+		net := NewSimNet(SimNetConfig{
+			Seed:        42,
+			DefaultLink: LinkOpts{Drop: 0.2, Dup: 0.2, MinDelay: 1000, MaxDelay: 500_000},
+		})
+		var c collector
+		net.Register(1, NodeFunc{})
+		net.Register(2, c.node())
+		send := net.Bind(1)
+		for i := 0; i < 50; i++ {
+			send(2, []byte(fmt.Sprintf("m%d", i)))
+		}
+		net.Run(types.Millisecond(50))
+		return c.got
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("runs differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSimNetDropAll(t *testing.T) {
+	net := NewSimNet(SimNetConfig{Seed: 1})
+	var c collector
+	net.Register(1, NodeFunc{})
+	net.Register(2, c.node())
+	net.SetLink(1, 2, LinkOpts{Drop: 1.0, MinDelay: 1, MaxDelay: 1})
+	send := net.Bind(1)
+	for i := 0; i < 20; i++ {
+		send(2, []byte("x"))
+	}
+	net.Run(types.Millisecond(5))
+	if len(c.got) != 0 {
+		t.Errorf("delivered %d messages over a fully lossy link", len(c.got))
+	}
+	if net.Stats.Dropped != 20 {
+		t.Errorf("dropped = %d, want 20", net.Stats.Dropped)
+	}
+}
+
+func TestSimNetDuplication(t *testing.T) {
+	net := NewSimNet(SimNetConfig{Seed: 7})
+	var c collector
+	net.Register(1, NodeFunc{})
+	net.Register(2, c.node())
+	net.SetLink(1, 2, LinkOpts{Dup: 1.0, MinDelay: 1, MaxDelay: 1})
+	net.Bind(1)(2, []byte("x"))
+	net.Run(types.Millisecond(5))
+	if len(c.got) != 2 {
+		t.Errorf("delivered %d copies, want 2", len(c.got))
+	}
+}
+
+func TestSimNetCrashAndRevive(t *testing.T) {
+	net := NewSimNet(SimNetConfig{Seed: 1})
+	var c collector
+	net.Register(1, NodeFunc{})
+	net.Register(2, c.node())
+	send := net.Bind(1)
+
+	net.Crash(2)
+	send(2, []byte("lost"))
+	net.Run(types.Millisecond(5))
+	if len(c.got) != 0 {
+		t.Fatal("crashed node received a message")
+	}
+	ticksWhileCrashed := c.ticks
+	if ticksWhileCrashed != 0 {
+		t.Fatal("crashed node ticked")
+	}
+
+	net.Revive(2)
+	send(2, []byte("back"))
+	net.Run(types.Millisecond(10))
+	if len(c.got) != 1 {
+		t.Fatal("revived node did not receive")
+	}
+	if c.ticks == 0 {
+		t.Error("revived node does not tick")
+	}
+}
+
+func TestSimNetPartitionAndHeal(t *testing.T) {
+	net := NewSimNet(SimNetConfig{Seed: 1})
+	var c collector
+	net.Register(1, NodeFunc{})
+	net.Register(2, c.node())
+	net.Partition([]types.NodeID{1}, []types.NodeID{2})
+	send := net.Bind(1)
+	send(2, []byte("blocked"))
+	net.Run(types.Millisecond(5))
+	if len(c.got) != 0 {
+		t.Fatal("partitioned message delivered")
+	}
+	net.Heal()
+	send(2, []byte("open"))
+	net.Run(types.Millisecond(10))
+	if len(c.got) != 1 {
+		t.Fatal("message after heal not delivered")
+	}
+}
+
+func TestSimNetRestrictTopology(t *testing.T) {
+	net := NewSimNet(SimNetConfig{Seed: 1})
+	var c2, c3 collector
+	net.Register(1, NodeFunc{})
+	net.Register(2, c2.node())
+	net.Register(3, c3.node())
+	// Physical wiring: 1 may talk to 2 only.
+	net.Restrict(func(from, to types.NodeID) bool {
+		return from == 1 && to == 2
+	})
+	send := net.Bind(1)
+	send(2, []byte("ok"))
+	send(3, []byte("forbidden"))
+	net.Run(types.Millisecond(10))
+	if len(c2.got) != 1 {
+		t.Error("allowed link did not deliver")
+	}
+	if len(c3.got) != 0 {
+		t.Error("restricted link delivered — firewall wiring violated")
+	}
+}
+
+func TestSimNetRunUntil(t *testing.T) {
+	net := NewSimNet(SimNetConfig{Seed: 1})
+	var c collector
+	net.Register(1, NodeFunc{})
+	net.Register(2, c.node())
+	net.Bind(1)(2, []byte("x"))
+	ok := net.RunUntil(func() bool { return len(c.got) == 1 }, types.Millisecond(100))
+	if !ok {
+		t.Fatal("RunUntil did not observe delivery")
+	}
+	ok = net.RunUntil(func() bool { return len(c.got) == 2 }, net.Now()+types.Millisecond(5))
+	if ok {
+		t.Fatal("RunUntil reported an impossible condition")
+	}
+}
+
+func TestSimNetReordering(t *testing.T) {
+	// With a wide delay window, FIFO order should not survive.
+	net := NewSimNet(SimNetConfig{
+		Seed:        3,
+		DefaultLink: LinkOpts{MinDelay: 1000, MaxDelay: 10_000_000},
+	})
+	var c collector
+	net.Register(1, NodeFunc{})
+	net.Register(2, c.node())
+	send := net.Bind(1)
+	for i := 0; i < 30; i++ {
+		send(2, []byte(fmt.Sprintf("%02d", i)))
+	}
+	net.Run(types.Millisecond(100))
+	if len(c.got) != 30 {
+		t.Fatalf("delivered %d, want 30", len(c.got))
+	}
+	inOrder := true
+	for i := 1; i < len(c.got); i++ {
+		if c.got[i-1] > c.got[i] {
+			inOrder = false
+			break
+		}
+	}
+	if inOrder {
+		t.Error("30 messages over a jittery link arrived in FIFO order; reordering is not modeled")
+	}
+}
+
+func TestSimNetSelfSend(t *testing.T) {
+	net := NewSimNet(SimNetConfig{Seed: 1})
+	var c collector
+	net.Register(1, c.node())
+	net.Bind(1)(1, []byte("self"))
+	net.Run(types.Millisecond(5))
+	if len(c.got) != 1 {
+		t.Error("self-send not delivered")
+	}
+}
+
+func TestSimNetRegisterTwicePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Register did not panic")
+		}
+	}()
+	net := NewSimNet(SimNetConfig{Seed: 1})
+	net.Register(1, NodeFunc{})
+	net.Register(1, NodeFunc{})
+}
+
+func TestColocateSharesBusyHorizon(t *testing.T) {
+	// Two nodes on one machine with MeasureCompute: while one is busy,
+	// deliveries to the other are deferred.
+	net := NewSimNet(SimNetConfig{Seed: 1, MeasureCompute: true})
+	var aDone, bDone types.Time
+	burn := func() {
+		deadline := time.Now().Add(3 * time.Millisecond)
+		for time.Now().Before(deadline) {
+		}
+	}
+	net.Register(1, NodeFunc{OnDeliver: func(_ types.NodeID, _ []byte, now types.Time) {
+		burn()
+		aDone = now
+	}})
+	net.Register(2, NodeFunc{OnDeliver: func(_ types.NodeID, _ []byte, now types.Time) {
+		bDone = now
+	}})
+	net.Register(3, NodeFunc{})
+	net.Colocate(2, 1) // node 2 shares node 1's machine
+	// Deterministic delays so node 1's work lands first.
+	net.SetLink(3, 1, LinkOpts{MinDelay: 1000, MaxDelay: 1000})
+	net.SetLink(3, 2, LinkOpts{MinDelay: 2000, MaxDelay: 2000})
+
+	send := net.Bind(3)
+	send(1, []byte("work"))
+	send(2, []byte("quick"))
+	net.Run(types.Millisecond(100))
+	if aDone == 0 || bDone == 0 {
+		t.Fatal("deliveries did not happen")
+	}
+	// Node 2's delivery must start after node 1's ~3ms of compute.
+	if bDone < aDone+types.Millisecond(2) {
+		t.Errorf("co-located node ran during its machine's busy window: a=%d b=%d", aDone, bDone)
+	}
+}
+
+func TestSetComputeScaleShrinksBusyTime(t *testing.T) {
+	run := func(scale float64) types.Time {
+		net := NewSimNet(SimNetConfig{Seed: 1, MeasureCompute: true})
+		var second types.Time
+		burn := func() {
+			deadline := time.Now().Add(2 * time.Millisecond)
+			for time.Now().Before(deadline) {
+			}
+		}
+		count := 0
+		net.Register(1, NodeFunc{OnDeliver: func(_ types.NodeID, _ []byte, now types.Time) {
+			count++
+			if count == 2 {
+				second = now
+			} else {
+				burn()
+			}
+		}})
+		net.Register(2, NodeFunc{})
+		if scale > 0 {
+			net.SetComputeScale(1, scale)
+		}
+		send := net.Bind(2)
+		send(1, []byte("burn"))
+		send(1, []byte("after"))
+		net.Run(types.Millisecond(100))
+		return second
+	}
+	full := run(0)           // unscaled
+	assisted := run(1.0 / 10) // hardware-assist model
+	if full == 0 || assisted == 0 {
+		t.Fatal("deliveries missing")
+	}
+	if assisted >= full {
+		t.Errorf("compute scaling did not shrink the busy window: full=%d assisted=%d", full, assisted)
+	}
+}

@@ -1,0 +1,329 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/types"
+)
+
+// Frame layout: [u32 payload length][u32 sender id][payload].
+const (
+	frameHeader  = 8
+	maxFrameSize = 64 << 20 // refuse absurd frames from broken/byzantine peers
+)
+
+// TCPNet is a mesh of persistent TCP connections between nodes. Each node
+// listens on its configured address; senders dial lazily and reconnect with
+// backoff. Delivery is best-effort: messages queued while a peer is
+// unreachable are dropped, matching the unreliable network model the
+// protocols are designed for.
+type TCPNet struct {
+	self  types.NodeID
+	addrs map[types.NodeID]string
+	ln    net.Listener
+	logf  func(string, ...interface{})
+
+	mu      sync.Mutex
+	peers   map[types.NodeID]*tcpPeer
+	inbound map[net.Conn]bool
+	closed  bool
+	handler func(from types.NodeID, data []byte)
+	wg      sync.WaitGroup
+	start   time.Time
+}
+
+type tcpPeer struct {
+	mu   sync.Mutex
+	conn net.Conn
+	out  chan []byte
+	stop chan struct{}
+}
+
+// NewTCPNet creates a node endpoint. addrs maps every node (including self)
+// to "host:port". The handler is invoked from receiving goroutines; it must
+// be safe for concurrent use (Runtime serializes into the protocol core).
+func NewTCPNet(self types.NodeID, addrs map[types.NodeID]string, handler func(from types.NodeID, data []byte)) (*TCPNet, error) {
+	addr, ok := addrs[self]
+	if !ok {
+		return nil, fmt.Errorf("tcp: no address configured for self %v", self)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("tcp: listen %s: %w", addr, err)
+	}
+	n := &TCPNet{
+		self:    self,
+		addrs:   addrs,
+		ln:      ln,
+		logf:    log.Printf,
+		peers:   make(map[types.NodeID]*tcpPeer),
+		inbound: make(map[net.Conn]bool),
+		handler: handler,
+		start:   time.Now(),
+	}
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return n, nil
+}
+
+// Addr returns the bound listen address (useful with ":0" configs in tests).
+func (n *TCPNet) Addr() string { return n.ln.Addr().String() }
+
+// Now returns monotonic time since the endpoint started.
+func (n *TCPNet) Now() types.Time { return types.Time(time.Since(n.start).Nanoseconds()) }
+
+// SetLogf replaces the error logger (tests silence it).
+func (n *TCPNet) SetLogf(f func(string, ...interface{})) { n.logf = f }
+
+func (n *TCPNet) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			conn.Close()
+			return
+		}
+		n.inbound[conn] = true
+		n.mu.Unlock()
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			n.readLoop(conn)
+		}()
+	}
+}
+
+func (n *TCPNet) readLoop(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		n.mu.Lock()
+		delete(n.inbound, conn)
+		n.mu.Unlock()
+	}()
+	hdr := make([]byte, frameHeader)
+	for {
+		if _, err := io.ReadFull(conn, hdr); err != nil {
+			return
+		}
+		size := binary.BigEndian.Uint32(hdr[0:4])
+		from := types.NodeID(int32(binary.BigEndian.Uint32(hdr[4:8])))
+		if size > maxFrameSize {
+			n.logf("tcp %v: oversized frame (%d bytes) from %v", n.self, size, from)
+			return
+		}
+		payload := make([]byte, size)
+		if _, err := io.ReadFull(conn, payload); err != nil {
+			return
+		}
+		n.mu.Lock()
+		h, closed := n.handler, n.closed
+		n.mu.Unlock()
+		if closed {
+			return
+		}
+		h(from, payload)
+	}
+}
+
+// Send transmits asynchronously; it never blocks the caller. Messages to
+// unknown or unreachable peers are dropped.
+func (n *TCPNet) Send(to types.NodeID, data []byte) {
+	if to == n.self {
+		n.handler(n.self, data)
+		return
+	}
+	addr, ok := n.addrs[to]
+	if !ok {
+		return
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	p := n.peers[to]
+	if p == nil {
+		p = &tcpPeer{out: make(chan []byte, 4096), stop: make(chan struct{})}
+		n.peers[to] = p
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			n.writeLoop(p, addr)
+		}()
+	}
+	n.mu.Unlock()
+
+	frame := make([]byte, frameHeader+len(data))
+	binary.BigEndian.PutUint32(frame[0:4], uint32(len(data)))
+	binary.BigEndian.PutUint32(frame[4:8], uint32(int32(n.self)))
+	copy(frame[frameHeader:], data)
+	select {
+	case p.out <- frame:
+	default:
+		// Peer queue full: drop, the protocols retransmit.
+	}
+}
+
+func (n *TCPNet) writeLoop(p *tcpPeer, addr string) {
+	var conn net.Conn
+	backoff := 10 * time.Millisecond
+	for {
+		select {
+		case <-p.stop:
+			if conn != nil {
+				conn.Close()
+			}
+			return
+		case frame := <-p.out:
+			for conn == nil {
+				var err error
+				conn, err = net.DialTimeout("tcp", addr, time.Second)
+				if err != nil {
+					conn = nil
+					select {
+					case <-p.stop:
+						return
+					case <-time.After(backoff):
+					}
+					if backoff < time.Second {
+						backoff *= 2
+					}
+					// Connection attempts failed; drop the pending
+					// frame rather than buffering unboundedly.
+					frame = nil
+					break
+				}
+				backoff = 10 * time.Millisecond
+			}
+			if conn == nil || frame == nil {
+				continue
+			}
+			conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+			if _, err := conn.Write(frame); err != nil {
+				conn.Close()
+				conn = nil
+			}
+		}
+	}
+}
+
+// Close shuts the endpoint down and waits for its goroutines.
+func (n *TCPNet) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return errors.New("tcp: already closed")
+	}
+	n.closed = true
+	peers := n.peers
+	n.peers = make(map[types.NodeID]*tcpPeer)
+	inbound := make([]net.Conn, 0, len(n.inbound))
+	for c := range n.inbound {
+		inbound = append(inbound, c)
+	}
+	n.mu.Unlock()
+
+	n.ln.Close()
+	for _, c := range inbound {
+		c.Close() // unblocks readLoops parked in ReadFull
+	}
+	for _, p := range peers {
+		close(p.stop)
+	}
+	n.wg.Wait()
+	return nil
+}
+
+// Runtime drives a deterministic protocol Node over a concurrent transport:
+// it serializes inbound messages and periodic ticks into the node through a
+// single goroutine, preserving the node's single-threaded discipline.
+type Runtime struct {
+	node  Node
+	now   func() types.Time
+	inbox chan inboundMsg
+	calls chan runtimeCall
+	quit  chan struct{}
+	done  chan struct{}
+}
+
+type inboundMsg struct {
+	from types.NodeID
+	data []byte
+}
+
+type runtimeCall struct {
+	fn   func(now types.Time)
+	done chan struct{}
+}
+
+// NewRuntime starts the runtime's event loop. The returned handler function
+// is what should be registered as the TCPNet receive handler.
+func NewRuntime(node Node, now func() types.Time, tickEvery time.Duration) (*Runtime, func(from types.NodeID, data []byte)) {
+	r := &Runtime{
+		node:  node,
+		now:   now,
+		inbox: make(chan inboundMsg, 4096),
+		calls: make(chan runtimeCall),
+		quit:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	go r.loop(tickEvery)
+	return r, r.enqueue
+}
+
+func (r *Runtime) enqueue(from types.NodeID, data []byte) {
+	select {
+	case r.inbox <- inboundMsg{from, data}:
+	case <-r.quit:
+	}
+}
+
+func (r *Runtime) loop(tickEvery time.Duration) {
+	defer close(r.done)
+	ticker := time.NewTicker(tickEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.quit:
+			return
+		case m := <-r.inbox:
+			r.node.Deliver(m.from, m.data, r.now())
+		case c := <-r.calls:
+			c.fn(r.now())
+			close(c.done)
+		case <-ticker.C:
+			r.node.Tick(r.now())
+		}
+	}
+}
+
+// Do runs fn on the runtime goroutine, serialized against Deliver and Tick,
+// and waits for it to complete. External callers (e.g. a synchronous client
+// API) use it to touch node state without violating the single-threaded
+// protocol-core discipline.
+func (r *Runtime) Do(fn func(now types.Time)) {
+	c := runtimeCall{fn: fn, done: make(chan struct{})}
+	select {
+	case r.calls <- c:
+		<-c.done
+	case <-r.quit:
+	}
+}
+
+// Close stops the event loop and waits for it to exit.
+func (r *Runtime) Close() {
+	close(r.quit)
+	<-r.done
+}

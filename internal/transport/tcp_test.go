@@ -1,0 +1,219 @@
+package transport
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/types"
+)
+
+// tcpPair starts two endpoints on loopback with dynamic ports and returns
+// them wired to each other.
+func tcpPair(t *testing.T) (a, b *TCPNet, recvA, recvB *safeLog) {
+	t.Helper()
+	recvA, recvB = &safeLog{}, &safeLog{}
+
+	// Bootstrap: bind with :0 first, then exchange real addresses.
+	addrs := map[types.NodeID]string{1: "127.0.0.1:0", 2: "127.0.0.1:0"}
+	var err error
+	a, err = NewTCPNet(1, addrs, recvA.add)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs2 := map[types.NodeID]string{1: a.Addr(), 2: "127.0.0.1:0"}
+	b, err = NewTCPNet(2, addrs2, recvB.add)
+	if err != nil {
+		a.Close()
+		t.Fatal(err)
+	}
+	a.addrs[2] = b.Addr()
+	a.SetLogf(func(string, ...interface{}) {})
+	b.SetLogf(func(string, ...interface{}) {})
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return a, b, recvA, recvB
+}
+
+type safeLog struct {
+	mu   sync.Mutex
+	msgs []struct {
+		from types.NodeID
+		data []byte
+	}
+}
+
+func (l *safeLog) add(from types.NodeID, data []byte) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.msgs = append(l.msgs, struct {
+		from types.NodeID
+		data []byte
+	}{from, data})
+}
+
+func (l *safeLog) count() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.msgs)
+}
+
+func (l *safeLog) first() (types.NodeID, []byte) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.msgs) == 0 {
+		return types.NoNode, nil
+	}
+	return l.msgs[0].from, l.msgs[0].data
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+func TestTCPSendReceive(t *testing.T) {
+	a, _, _, recvB := tcpPair(t)
+	a.Send(2, []byte("over tcp"))
+	waitFor(t, "delivery", func() bool { return recvB.count() == 1 })
+	from, data := recvB.first()
+	if from != 1 || !bytes.Equal(data, []byte("over tcp")) {
+		t.Errorf("got from=%v data=%q", from, data)
+	}
+}
+
+func TestTCPBidirectional(t *testing.T) {
+	a, b, recvA, recvB := tcpPair(t)
+	a.Send(2, []byte("ping"))
+	waitFor(t, "ping", func() bool { return recvB.count() == 1 })
+	b.Send(1, []byte("pong"))
+	waitFor(t, "pong", func() bool { return recvA.count() == 1 })
+}
+
+func TestTCPLargeMessage(t *testing.T) {
+	a, _, _, recvB := tcpPair(t)
+	big := make([]byte, 1<<20)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	a.Send(2, big)
+	waitFor(t, "large frame", func() bool { return recvB.count() == 1 })
+	_, data := recvB.first()
+	if !bytes.Equal(data, big) {
+		t.Error("large frame corrupted")
+	}
+}
+
+func TestTCPManyMessagesInOrder(t *testing.T) {
+	// A single TCP connection preserves order; the protocols don't rely on
+	// it, but the transport shouldn't corrupt framing under load.
+	a, _, _, recvB := tcpPair(t)
+	const n = 500
+	for i := 0; i < n; i++ {
+		a.Send(2, []byte{byte(i), byte(i >> 8)})
+	}
+	waitFor(t, "all frames", func() bool { return recvB.count() == n })
+	recvB.mu.Lock()
+	defer recvB.mu.Unlock()
+	for i, m := range recvB.msgs {
+		if m.data[0] != byte(i) || m.data[1] != byte(i>>8) {
+			t.Fatalf("frame %d corrupted: %v", i, m.data)
+		}
+	}
+}
+
+func TestTCPSelfSend(t *testing.T) {
+	a, _, recvA, _ := tcpPair(t)
+	a.Send(1, []byte("loop"))
+	waitFor(t, "self delivery", func() bool { return recvA.count() == 1 })
+}
+
+func TestTCPUnknownPeerDropped(t *testing.T) {
+	a, _, _, _ := tcpPair(t)
+	a.Send(99, []byte("nowhere")) // must not panic or block
+}
+
+func TestTCPCloseIdempotent(t *testing.T) {
+	addrs := map[types.NodeID]string{1: "127.0.0.1:0"}
+	n, err := NewTCPNet(1, addrs, func(types.NodeID, []byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Close(); err == nil {
+		t.Error("second Close did not error")
+	}
+}
+
+func TestRuntimeSerializesIntoNode(t *testing.T) {
+	var mu sync.Mutex
+	var events []string
+	inHandler := false
+	node := NodeFunc{
+		OnDeliver: func(from types.NodeID, data []byte, now types.Time) {
+			mu.Lock()
+			if inHandler {
+				t.Error("concurrent Deliver")
+			}
+			inHandler = true
+			events = append(events, string(data))
+			inHandler = false
+			mu.Unlock()
+		},
+		OnTick: func(now types.Time) {
+			mu.Lock()
+			if inHandler {
+				t.Error("Tick during Deliver")
+			}
+			events = append(events, "tick")
+			mu.Unlock()
+		},
+	}
+	start := time.Now()
+	rt, handler := NewRuntime(node, func() types.Time {
+		return types.Time(time.Since(start).Nanoseconds())
+	}, time.Millisecond)
+	defer rt.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				handler(types.NodeID(i), []byte{byte(j)})
+			}
+		}(i)
+	}
+	wg.Wait()
+	waitFor(t, "all deliveries", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		n := 0
+		for _, e := range events {
+			if e != "tick" {
+				n++
+			}
+		}
+		return n == 8*50
+	})
+	waitFor(t, "a tick", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, e := range events {
+			if e == "tick" {
+				return true
+			}
+		}
+		return false
+	})
+}

@@ -1,0 +1,59 @@
+// Package transport moves protocol messages between nodes.
+//
+// Protocol cores in this repository are deterministic, single-threaded state
+// machines ("sans I/O"): they implement Node and emit messages through a
+// Sender they were constructed with. This package supplies the I/O behind
+// that seam:
+//
+//   - SimNet: an in-process simulated network with a virtual clock,
+//     per-link loss/duplication/delay/reordering, partitions, crashes, and
+//     optional real-compute-time accounting. Runs are deterministic for a
+//     given seed, which is what makes protocol-level tests (view changes
+//     under loss, state transfer, firewall filtering) reproducible.
+//   - TCPNet: a real TCP mesh with length-prefixed frames and reconnecting
+//     peers, used by the cmd/ tools to run each node as its own OS process.
+//
+// The asynchronous, unreliable network model of the paper (§2) — messages
+// may be discarded, delayed, replicated, and reordered — is the default
+// SimNet behavior; "bounded fair links" holds because loss probabilities are
+// below one.
+package transport
+
+import (
+	"repro/internal/types"
+)
+
+// Sender transmits an encoded message to a peer. Implementations are
+// best-effort and non-blocking; delivery may fail silently (the protocols
+// handle retransmission).
+type Sender func(to types.NodeID, data []byte)
+
+// Node is a deterministic protocol core driven by the transport.
+//
+// Deliver hands the node one message; Tick fires periodically so the node
+// can run its timers. Both receive the current time (virtual under SimNet,
+// monotonic wall time under TCP) and must not block.
+type Node interface {
+	Deliver(from types.NodeID, data []byte, now types.Time)
+	Tick(now types.Time)
+}
+
+// NodeFunc adapts plain functions to the Node interface (handy in tests).
+type NodeFunc struct {
+	OnDeliver func(from types.NodeID, data []byte, now types.Time)
+	OnTick    func(now types.Time)
+}
+
+// Deliver implements Node.
+func (f NodeFunc) Deliver(from types.NodeID, data []byte, now types.Time) {
+	if f.OnDeliver != nil {
+		f.OnDeliver(from, data, now)
+	}
+}
+
+// Tick implements Node.
+func (f NodeFunc) Tick(now types.Time) {
+	if f.OnTick != nil {
+		f.OnTick(now)
+	}
+}

@@ -1,0 +1,244 @@
+// Package types defines the primitive identifiers and values shared by every
+// layer of the system: node identities, protocol views and sequence numbers,
+// logical timestamps, and message digests.
+//
+// The package is intentionally tiny and dependency-free; every other package
+// in the repository imports it.
+package types
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sort"
+)
+
+// NodeID uniquely identifies a node (client, agreement replica, execution
+// replica, or firewall filter) across the whole deployment.
+type NodeID int32
+
+// NoNode is the zero NodeID, used when a field is unset.
+const NoNode NodeID = -1
+
+func (n NodeID) String() string { return fmt.Sprintf("n%d", int32(n)) }
+
+// Role classifies a node by the cluster it belongs to.
+type Role uint8
+
+// Node roles.
+const (
+	RoleClient Role = iota
+	RoleAgreement
+	RoleExecution
+	RoleFilter
+)
+
+func (r Role) String() string {
+	switch r {
+	case RoleClient:
+		return "client"
+	case RoleAgreement:
+		return "agreement"
+	case RoleExecution:
+		return "execution"
+	case RoleFilter:
+		return "filter"
+	default:
+		return fmt.Sprintf("role(%d)", uint8(r))
+	}
+}
+
+// View numbers agreement-protocol views; view v is led by primary
+// replica index v mod n within the agreement cluster.
+type View uint64
+
+// SeqNum is the position a request (batch) is bound to in the total order.
+type SeqNum uint64
+
+// Timestamp is a client-chosen logical timestamp. Correct clients issue
+// monotonically increasing timestamps; the protocol uses them only for
+// exactly-once filtering, never for ordering.
+type Timestamp uint64
+
+// Time is a monotonic instant in nanoseconds. In simulation it is virtual;
+// with real transports it is time.Since(start).
+type Time int64
+
+// Millisecond expresses n milliseconds as a Time duration.
+func Millisecond(n int64) Time { return Time(n * 1e6) }
+
+// DigestSize is the byte length of a Digest (SHA-256).
+const DigestSize = 32
+
+// Digest is a SHA-256 hash used to name requests, batches, checkpoints, and
+// replies throughout the protocol.
+type Digest [DigestSize]byte
+
+// ZeroDigest is the all-zero digest, used for null requests and unset fields.
+var ZeroDigest Digest
+
+// DigestBytes hashes a byte slice.
+func DigestBytes(b []byte) Digest { return Digest(sha256.Sum256(b)) }
+
+// DigestConcat hashes the concatenation of several byte slices with
+// unambiguous length framing, so DigestConcat(a, b) != DigestConcat(a+b).
+func DigestConcat(parts ...[]byte) Digest {
+	h := sha256.New()
+	var lenBuf [8]byte
+	for _, p := range parts {
+		binary.BigEndian.PutUint64(lenBuf[:], uint64(len(p)))
+		h.Write(lenBuf[:])
+		h.Write(p)
+	}
+	var d Digest
+	h.Sum(d[:0])
+	return d
+}
+
+func (d Digest) String() string { return hex.EncodeToString(d[:6]) }
+
+// IsZero reports whether d is the zero digest.
+func (d Digest) IsZero() bool { return d == ZeroDigest }
+
+// NonDet carries the nondeterministic inputs the agreement cluster binds to a
+// batch: a wall-clock-ish timestamp and pseudo-random bits. The execution
+// cluster's abstraction layer deterministically maps these to any
+// application-specific values (file handles, mtimes) it needs, so replicas
+// never diverge (paper §3.1.4).
+type NonDet struct {
+	Time Timestamp // primary-proposed time, sanity-checked by backups
+	Rand Digest    // SHA256(view||seq||time): verifiable, oblivious randomness
+}
+
+// ComputeNonDetRand derives the canonical pseudo-random bits for a batch.
+// Backups recompute it to validate the primary's proposal, so a faulty
+// primary cannot steer application nondeterminism. It is deliberately
+// view-independent: a batch re-proposed after a view change must carry the
+// same nondeterministic inputs it originally prepared with.
+func ComputeNonDetRand(n SeqNum, t Timestamp) Digest {
+	var b [16]byte
+	binary.BigEndian.PutUint64(b[0:8], uint64(n))
+	binary.BigEndian.PutUint64(b[8:16], uint64(t))
+	return DigestBytes(b[:])
+}
+
+// Topology describes the node membership of one deployment: which NodeIDs
+// form the agreement cluster, the execution cluster, the firewall grid, and
+// the client population. It is static for the lifetime of a deployment.
+type Topology struct {
+	Agreement []NodeID   // 3f+1 agreement replicas, index = replica id
+	Execution []NodeID   // 2g+1 execution replicas
+	Filters   [][]NodeID // (h+1) rows x (h+1) cols; row 0 adjacent to agreement
+	Clients   []NodeID
+}
+
+// F returns the number of agreement faults tolerated: (len(A)-1)/3.
+func (t *Topology) F() int { return (len(t.Agreement) - 1) / 3 }
+
+// G returns the number of execution faults tolerated: (len(E)-1)/2.
+func (t *Topology) G() int { return (len(t.Execution) - 1) / 2 }
+
+// H returns the number of firewall faults tolerated: rows-1 (0 if no grid).
+func (t *Topology) H() int {
+	if len(t.Filters) == 0 {
+		return 0
+	}
+	return len(t.Filters) - 1
+}
+
+// HasFirewall reports whether a privacy firewall grid is deployed.
+func (t *Topology) HasFirewall() bool { return len(t.Filters) > 0 }
+
+// AgreementQuorum is the certificate size for agreement attestations: 2f+1.
+func (t *Topology) AgreementQuorum() int { return 2*t.F() + 1 }
+
+// ExecutionQuorum is the certificate size for reply/checkpoint certificates:
+// g+1 (a simple majority of 2g+1 suffices because ordering is already proven).
+func (t *Topology) ExecutionQuorum() int { return t.G() + 1 }
+
+// RoleOf reports the role and cluster index of id, or ok=false if unknown.
+func (t *Topology) RoleOf(id NodeID) (role Role, index int, ok bool) {
+	for i, a := range t.Agreement {
+		if a == id {
+			return RoleAgreement, i, true
+		}
+	}
+	for i, e := range t.Execution {
+		if e == id {
+			return RoleExecution, i, true
+		}
+	}
+	for r, row := range t.Filters {
+		for c, f := range row {
+			if f == id {
+				return RoleFilter, r*len(row) + c, true
+			}
+		}
+	}
+	for i, c := range t.Clients {
+		if c == id {
+			return RoleClient, i, true
+		}
+	}
+	return 0, 0, false
+}
+
+// FilterRowOf returns the grid row of filter id, or -1 if id is not a filter.
+func (t *Topology) FilterRowOf(id NodeID) int {
+	for r, row := range t.Filters {
+		for _, f := range row {
+			if f == id {
+				return r
+			}
+		}
+	}
+	return -1
+}
+
+// AllNodes returns every node in the topology, sorted by NodeID.
+func (t *Topology) AllNodes() []NodeID {
+	var all []NodeID
+	all = append(all, t.Agreement...)
+	all = append(all, t.Execution...)
+	for _, row := range t.Filters {
+		all = append(all, row...)
+	}
+	all = append(all, t.Clients...)
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	return all
+}
+
+// Primary returns the agreement replica that leads view v.
+func (t *Topology) Primary(v View) NodeID {
+	return t.Agreement[int(uint64(v)%uint64(len(t.Agreement)))]
+}
+
+// PrimaryIndex returns the agreement-cluster index of the view-v primary.
+func (t *Topology) PrimaryIndex(v View) int {
+	return int(uint64(v) % uint64(len(t.Agreement)))
+}
+
+// Validate checks structural invariants: non-empty clusters, 3f+1 and 2g+1
+// sizing, square filter grid, and globally unique NodeIDs.
+func (t *Topology) Validate() error {
+	if len(t.Agreement) < 4 || (len(t.Agreement)-1)%3 != 0 {
+		return fmt.Errorf("topology: agreement cluster must have 3f+1 >= 4 members, got %d", len(t.Agreement))
+	}
+	if len(t.Execution) < 3 || (len(t.Execution)-1)%2 != 0 {
+		return fmt.Errorf("topology: execution cluster must have 2g+1 >= 3 members, got %d", len(t.Execution))
+	}
+	for i, row := range t.Filters {
+		if len(row) != len(t.Filters) {
+			return fmt.Errorf("topology: filter grid must be square, row %d has %d cols for %d rows", i, len(row), len(t.Filters))
+		}
+	}
+	seen := make(map[NodeID]bool)
+	for _, id := range t.AllNodes() {
+		if seen[id] {
+			return fmt.Errorf("topology: duplicate node id %v", id)
+		}
+		seen[id] = true
+	}
+	return nil
+}

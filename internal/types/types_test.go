@@ -1,0 +1,183 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func grid(ids ...NodeID) [][]NodeID {
+	// builds a 2x2 grid from 4 ids
+	return [][]NodeID{{ids[0], ids[1]}, {ids[2], ids[3]}}
+}
+
+func testTopology() *Topology {
+	return &Topology{
+		Agreement: []NodeID{0, 1, 2, 3},
+		Execution: []NodeID{10, 11, 12},
+		Filters:   grid(20, 21, 22, 23),
+		Clients:   []NodeID{100, 101},
+	}
+}
+
+func TestTopologyQuorums(t *testing.T) {
+	top := testTopology()
+	if err := top.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := top.F(); got != 1 {
+		t.Errorf("F = %d, want 1", got)
+	}
+	if got := top.G(); got != 1 {
+		t.Errorf("G = %d, want 1", got)
+	}
+	if got := top.H(); got != 1 {
+		t.Errorf("H = %d, want 1", got)
+	}
+	if got := top.AgreementQuorum(); got != 3 {
+		t.Errorf("AgreementQuorum = %d, want 3", got)
+	}
+	if got := top.ExecutionQuorum(); got != 2 {
+		t.Errorf("ExecutionQuorum = %d, want 2", got)
+	}
+	if !top.HasFirewall() {
+		t.Error("HasFirewall = false, want true")
+	}
+}
+
+func TestTopologyLargerClusters(t *testing.T) {
+	top := &Topology{
+		Agreement: []NodeID{0, 1, 2, 3, 4, 5, 6}, // f=2
+		Execution: []NodeID{10, 11, 12, 13, 14},  // g=2
+	}
+	if err := top.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if top.F() != 2 || top.G() != 2 {
+		t.Errorf("F,G = %d,%d want 2,2", top.F(), top.G())
+	}
+	if top.H() != 0 || top.HasFirewall() {
+		t.Error("expected no firewall")
+	}
+}
+
+func TestTopologyValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		top  Topology
+	}{
+		{"too few agreement", Topology{Agreement: []NodeID{0, 1, 2}, Execution: []NodeID{10, 11, 12}}},
+		{"not 3f+1", Topology{Agreement: []NodeID{0, 1, 2, 3, 4}, Execution: []NodeID{10, 11, 12}}},
+		{"too few execution", Topology{Agreement: []NodeID{0, 1, 2, 3}, Execution: []NodeID{10, 11}}},
+		{"even execution", Topology{Agreement: []NodeID{0, 1, 2, 3}, Execution: []NodeID{10, 11, 12, 13}}},
+		{"duplicate id", Topology{Agreement: []NodeID{0, 1, 2, 3}, Execution: []NodeID{3, 11, 12}}},
+		{"ragged grid", Topology{Agreement: []NodeID{0, 1, 2, 3}, Execution: []NodeID{10, 11, 12}, Filters: [][]NodeID{{20, 21}, {22}}}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if err := c.top.Validate(); err == nil {
+				t.Error("Validate accepted invalid topology")
+			}
+		})
+	}
+}
+
+func TestRoleOf(t *testing.T) {
+	top := testTopology()
+	cases := []struct {
+		id   NodeID
+		role Role
+		idx  int
+	}{
+		{0, RoleAgreement, 0},
+		{3, RoleAgreement, 3},
+		{11, RoleExecution, 1},
+		{21, RoleFilter, 1},
+		{23, RoleFilter, 3},
+		{101, RoleClient, 1},
+	}
+	for _, c := range cases {
+		role, idx, ok := top.RoleOf(c.id)
+		if !ok || role != c.role || idx != c.idx {
+			t.Errorf("RoleOf(%v) = %v,%d,%v; want %v,%d,true", c.id, role, idx, ok, c.role, c.idx)
+		}
+	}
+	if _, _, ok := top.RoleOf(999); ok {
+		t.Error("RoleOf(999) found a role for an unknown node")
+	}
+}
+
+func TestFilterRowOf(t *testing.T) {
+	top := testTopology()
+	if r := top.FilterRowOf(20); r != 0 {
+		t.Errorf("FilterRowOf(20) = %d, want 0", r)
+	}
+	if r := top.FilterRowOf(23); r != 1 {
+		t.Errorf("FilterRowOf(23) = %d, want 1", r)
+	}
+	if r := top.FilterRowOf(0); r != -1 {
+		t.Errorf("FilterRowOf(0) = %d, want -1", r)
+	}
+}
+
+func TestPrimaryRotation(t *testing.T) {
+	top := testTopology()
+	for v := View(0); v < 12; v++ {
+		want := top.Agreement[int(v)%4]
+		if got := top.Primary(v); got != want {
+			t.Errorf("Primary(%d) = %v, want %v", v, got, want)
+		}
+	}
+}
+
+func TestDigestConcatFraming(t *testing.T) {
+	// Length framing must distinguish ("ab","c") from ("a","bc").
+	if DigestConcat([]byte("ab"), []byte("c")) == DigestConcat([]byte("a"), []byte("bc")) {
+		t.Error("DigestConcat does not frame lengths")
+	}
+	if DigestConcat([]byte("ab")) == DigestConcat([]byte("ab"), nil) {
+		t.Error("DigestConcat ignores empty trailing parts")
+	}
+}
+
+func TestDigestConcatDeterministic(t *testing.T) {
+	f := func(a, b []byte) bool {
+		return DigestConcat(a, b) == DigestConcat(a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestComputeNonDetRand(t *testing.T) {
+	r1 := ComputeNonDetRand(2, 3)
+	r2 := ComputeNonDetRand(2, 3)
+	if r1 != r2 {
+		t.Error("ComputeNonDetRand is not deterministic")
+	}
+	if r1 == ComputeNonDetRand(2, 4) || r1 == ComputeNonDetRand(3, 3) {
+		t.Error("ComputeNonDetRand collides across distinct inputs")
+	}
+}
+
+func TestAllNodesSorted(t *testing.T) {
+	top := testTopology()
+	all := top.AllNodes()
+	if len(all) != 4+3+4+2 {
+		t.Fatalf("AllNodes returned %d nodes, want 13", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1] >= all[i] {
+			t.Fatalf("AllNodes not sorted or has duplicates at %d: %v", i, all)
+		}
+	}
+}
+
+func TestDigestString(t *testing.T) {
+	d := DigestBytes([]byte("x"))
+	if len(d.String()) != 12 {
+		t.Errorf("Digest.String() = %q, want 12 hex chars", d.String())
+	}
+	if ZeroDigest.IsZero() != true || d.IsZero() {
+		t.Error("IsZero misclassifies digests")
+	}
+}

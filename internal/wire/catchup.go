@@ -1,0 +1,63 @@
+package wire
+
+import (
+	"repro/internal/auth"
+	"repro/internal/types"
+)
+
+// Catch-up message type tags (continuing the MsgType space).
+const (
+	TStatus      MsgType = 17
+	TCommitProof MsgType = 18
+)
+
+// Status is periodic agreement-cluster gossip advertising a replica's
+// progress, driving retransmission: a peer that is ahead responds with the
+// stable checkpoint proof and CommitProofs the sender is missing. It is
+// deliberately unauthenticated — a forged status can only trigger bounded
+// retransmission, never a state change.
+type Status struct {
+	View       types.View
+	LastExec   types.SeqNum
+	LastStable types.SeqNum
+	Replica    types.NodeID
+}
+
+// Type implements Message.
+func (m *Status) Type() MsgType { return TStatus }
+
+func (m *Status) marshalTo(w *Writer) {
+	w.View(m.View)
+	w.Seq(m.LastExec)
+	w.Seq(m.LastStable)
+	w.Node(m.Replica)
+}
+
+func (m *Status) unmarshalFrom(r *Reader) {
+	m.View = r.View()
+	m.LastExec = r.Seq()
+	m.LastStable = r.Seq()
+	m.Replica = r.Node()
+}
+
+// CommitProof is a transferable proof that a batch committed at a sequence
+// number: the pre-prepare (with request bodies) plus 2f+1 signed commit
+// attestations over its order digest. Lagging replicas verify and execute it
+// directly.
+type CommitProof struct {
+	PP      PrePrepare
+	Commits []auth.Attestation
+}
+
+// Type implements Message.
+func (m *CommitProof) Type() MsgType { return TCommitProof }
+
+func (m *CommitProof) marshalTo(w *Writer) {
+	m.PP.marshalTo(w)
+	putAtts(w, m.Commits)
+}
+
+func (m *CommitProof) unmarshalFrom(r *Reader) {
+	m.PP.unmarshalFrom(r)
+	m.Commits = getAtts(r)
+}

@@ -1,0 +1,221 @@
+// Package wire defines every protocol message exchanged in the system and a
+// canonical, deterministic binary encoding for them.
+//
+// Determinism matters: attestations and threshold signatures are computed
+// over digests of these encodings, and execution replicas must produce
+// byte-identical reply bundles so that certificate assembly (and the privacy
+// firewall's covert-channel elimination) works. Hand-rolled encoding also
+// keeps the hot path allocation-light compared to reflection-based codecs.
+//
+// Layout conventions: fixed-width integers are big-endian; byte slices are
+// length-prefixed with uint32; slices of structs are length-prefixed with
+// uint32. A message on the network is framed as one type byte followed by
+// the message body (see Marshal/Unmarshal).
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/types"
+)
+
+// Writer appends canonically-encoded primitives to a buffer. The zero value
+// is ready to use.
+type Writer struct {
+	B []byte
+}
+
+// U8 appends one byte.
+func (w *Writer) U8(v uint8) { w.B = append(w.B, v) }
+
+// Bool appends a boolean as one byte.
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+}
+
+// U32 appends a big-endian uint32.
+func (w *Writer) U32(v uint32) {
+	w.B = binary.BigEndian.AppendUint32(w.B, v)
+}
+
+// U64 appends a big-endian uint64.
+func (w *Writer) U64(v uint64) {
+	w.B = binary.BigEndian.AppendUint64(w.B, v)
+}
+
+// Node appends a NodeID.
+func (w *Writer) Node(v types.NodeID) { w.U32(uint32(int32(v))) }
+
+// View appends a View.
+func (w *Writer) View(v types.View) { w.U64(uint64(v)) }
+
+// Seq appends a SeqNum.
+func (w *Writer) Seq(v types.SeqNum) { w.U64(uint64(v)) }
+
+// TS appends a Timestamp.
+func (w *Writer) TS(v types.Timestamp) { w.U64(uint64(v)) }
+
+// Digest appends a fixed 32-byte digest.
+func (w *Writer) Digest(d types.Digest) { w.B = append(w.B, d[:]...) }
+
+// Bytes appends a uint32 length prefix and the slice contents.
+func (w *Writer) Bytes(b []byte) {
+	if len(b) > math.MaxUint32 {
+		panic("wire: byte slice too large")
+	}
+	w.U32(uint32(len(b)))
+	w.B = append(w.B, b...)
+}
+
+// Len appends a slice-length prefix.
+func (w *Writer) Len(n int) {
+	if n < 0 || n > math.MaxUint32 {
+		panic("wire: invalid slice length")
+	}
+	w.U32(uint32(n))
+}
+
+// ErrTruncated reports an encoding shorter than its declared contents.
+var ErrTruncated = errors.New("wire: truncated message")
+
+// maxSliceLen bounds decoded slice lengths to keep a malformed or malicious
+// length prefix from causing huge allocations.
+const maxSliceLen = 1 << 20
+
+// Reader consumes canonically-encoded primitives from a buffer. Errors are
+// sticky: after the first failure all reads return zero values, and Err
+// reports the failure. This keeps message decoders free of per-field checks.
+type Reader struct {
+	b   []byte
+	err error
+}
+
+// NewReader returns a Reader over b.
+func NewReader(b []byte) *Reader { return &Reader{b: b} }
+
+// Err returns the first decoding error, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining reports how many bytes have not been consumed.
+func (r *Reader) Remaining() int { return len(r.b) }
+
+func (r *Reader) fail() {
+	if r.err == nil {
+		r.err = ErrTruncated
+	}
+}
+
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if len(r.b) < n {
+		r.fail()
+		return nil
+	}
+	out := r.b[:n]
+	r.b = r.b[n:]
+	return out
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// Bool reads a boolean.
+func (r *Reader) Bool() bool { return r.U8() != 0 }
+
+// U32 reads a big-endian uint32.
+func (r *Reader) U32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+// U64 reads a big-endian uint64.
+func (r *Reader) U64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+// Node reads a NodeID.
+func (r *Reader) Node() types.NodeID { return types.NodeID(int32(r.U32())) }
+
+// View reads a View.
+func (r *Reader) View() types.View { return types.View(r.U64()) }
+
+// Seq reads a SeqNum.
+func (r *Reader) Seq() types.SeqNum { return types.SeqNum(r.U64()) }
+
+// TS reads a Timestamp.
+func (r *Reader) TS() types.Timestamp { return types.Timestamp(r.U64()) }
+
+// Digest reads a fixed 32-byte digest.
+func (r *Reader) Digest() types.Digest {
+	var d types.Digest
+	b := r.take(types.DigestSize)
+	if b != nil {
+		copy(d[:], b)
+	}
+	return d
+}
+
+// Bytes reads a length-prefixed byte slice. The result is a copy, safe to
+// retain after the input buffer is reused.
+func (r *Reader) Bytes() []byte {
+	n := int(r.U32())
+	if r.err != nil {
+		return nil
+	}
+	if n > len(r.b) {
+		r.fail()
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, r.take(n))
+	return out
+}
+
+// SliceLen reads a slice-length prefix, bounds-checking it against both the
+// sanity cap and the bytes remaining (each element needs at least one byte).
+func (r *Reader) SliceLen() int {
+	n := int(r.U32())
+	if r.err != nil {
+		return 0
+	}
+	if n > maxSliceLen || n > len(r.b) {
+		r.fail()
+		return 0
+	}
+	return n
+}
+
+func (r *Reader) finish() error {
+	if r.err != nil {
+		return r.err
+	}
+	if len(r.b) != 0 {
+		return fmt.Errorf("wire: %d trailing bytes", len(r.b))
+	}
+	return nil
+}

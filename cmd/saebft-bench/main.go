@@ -15,7 +15,7 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/bench"
+	"repro/saebft"
 )
 
 func main() {
@@ -25,56 +25,28 @@ func main() {
 	)
 	flag.Parse()
 
-	var sc bench.Scale
+	var sc saebft.BenchScale
 	switch *scale {
 	case "quick":
-		sc = bench.QuickScale()
+		sc = saebft.BenchQuick
 	case "full":
-		sc = bench.FullScale()
+		sc = saebft.BenchFull
 	default:
 		fmt.Fprintf(os.Stderr, "saebft-bench: unknown scale %q\n", *scale)
 		os.Exit(2)
 	}
 
-	run := func(name string, f func() (string, error)) {
-		fmt.Printf("=== %s ===\n", name)
-		out, err := f()
+	figures := saebft.BenchFigures()
+	if *figure != "all" {
+		figures = []string{*figure}
+	}
+	for _, fig := range figures {
+		fmt.Printf("=== Figure %s ===\n", fig)
+		out, err := saebft.RunBenchFigure(fig, sc)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "saebft-bench: %s: %v\n", name, err)
+			fmt.Fprintf(os.Stderr, "saebft-bench: figure %s: %v\n", fig, err)
 			os.Exit(1)
 		}
 		fmt.Println(out)
-	}
-
-	want := func(fig string) bool { return *figure == "all" || *figure == fig }
-
-	if want("3") {
-		run("Figure 3 (latency)", func() (string, error) {
-			out, _, err := bench.Figure3(sc)
-			return out, err
-		})
-	}
-	if want("4") {
-		run("Figure 4 (cost model)", func() (string, error) {
-			return bench.Figure4(), nil
-		})
-	}
-	if want("5") {
-		run("Figure 5 (throughput)", func() (string, error) {
-			out, _, err := bench.Figure5(sc)
-			return out, err
-		})
-	}
-	if want("6") {
-		run("Figure 6 (Andrew)", func() (string, error) {
-			out, _, err := bench.Figure6(sc)
-			return out, err
-		})
-	}
-	if want("7") {
-		run("Figure 7 (Andrew with failures)", func() (string, error) {
-			out, _, err := bench.Figure7(sc)
-			return out, err
-		})
 	}
 }

@@ -14,17 +14,19 @@
 //	saebft-client -config cluster.json inc
 //	saebft-client -config cluster.json add 41
 //	saebft-client -config cluster.json get-count
+//
+// Any application registered with a CLI encoding (saebft.RegisterAppCLI)
+// works the same way.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
-	"repro/internal/apps/kv"
-	"repro/internal/deploy"
-	"repro/internal/types"
+	"repro/saebft"
 )
 
 func main() {
@@ -35,85 +37,35 @@ func main() {
 	)
 	flag.Parse()
 	args := flag.Args()
-	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "saebft-client: no operation given (try: put K V | get K | del K | list P | cas K OLD NEW | inc | add N | get-count)")
-		os.Exit(2)
-	}
-	cfg, err := deploy.Load(*cfgPath)
+	cfg, err := saebft.LoadConfig(*cfgPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "saebft-client:", err)
 		os.Exit(1)
 	}
-	op, err := encodeOp(cfg.App, args)
+	if len(args) == 0 {
+		usage := saebft.AppUsage(cfg.App())
+		if usage == "" {
+			usage = "this app has no CLI encoding"
+		}
+		fmt.Fprintf(os.Stderr, "saebft-client: no operation given (try: %s)\n", usage)
+		os.Exit(2)
+	}
+	op, err := saebft.EncodeOp(cfg.App(), args...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "saebft-client:", err)
 		os.Exit(2)
 	}
-	client, err := deploy.NewTCPClient(cfg, types.NodeID(*id))
+	client, err := saebft.Dial(cfg, saebft.DialClients(*id), saebft.DialTimeout(*timeout))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "saebft-client:", err)
 		os.Exit(1)
 	}
 	defer client.Close()
-	client.SetQuiet()
 
-	reply, err := client.Call(op, *timeout)
+	reply, err := client.Invoke(context.Background(), op)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "saebft-client:", err)
 		os.Exit(1)
 	}
 	fmt.Printf("%s\n", reply)
-}
-
-// encodeOp maps command-line words to application operations.
-func encodeOp(app string, args []string) ([]byte, error) {
-	switch app {
-	case "kv", "":
-		switch args[0] {
-		case "put":
-			if len(args) != 3 {
-				return nil, fmt.Errorf("usage: put KEY VALUE")
-			}
-			return kv.Put(args[1], []byte(args[2])), nil
-		case "get":
-			if len(args) != 2 {
-				return nil, fmt.Errorf("usage: get KEY")
-			}
-			return kv.GetOp(args[1]), nil
-		case "del":
-			if len(args) != 2 {
-				return nil, fmt.Errorf("usage: del KEY")
-			}
-			return kv.Del(args[1]), nil
-		case "list":
-			prefix := ""
-			if len(args) > 1 {
-				prefix = args[1]
-			}
-			return kv.List(prefix), nil
-		case "cas":
-			if len(args) != 4 {
-				return nil, fmt.Errorf("usage: cas KEY OLD NEW")
-			}
-			return kv.CAS(args[1], []byte(args[2]), []byte(args[3])), nil
-		default:
-			return nil, fmt.Errorf("unknown kv operation %q", args[0])
-		}
-	case "counter":
-		switch args[0] {
-		case "inc":
-			return []byte("inc"), nil
-		case "add":
-			if len(args) != 2 {
-				return nil, fmt.Errorf("usage: add N")
-			}
-			return []byte("add " + args[1]), nil
-		case "get-count", "get":
-			return []byte("get"), nil
-		default:
-			return nil, fmt.Errorf("unknown counter operation %q", args[0])
-		}
-	default:
-		return nil, fmt.Errorf("no CLI encoding for app %q; drive it programmatically", app)
-	}
 }

@@ -20,71 +20,75 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
-	"strconv"
+	"strings"
 
-	"repro/internal/deploy"
+	"repro/saebft"
 )
 
 func main() {
 	var (
 		out           = flag.String("out", "cluster.json", "output config path")
 		mode          = flag.String("mode", "separate", "architecture: base, separate, firewall")
-		app           = flag.String("app", "kv", "application: kv, counter, nfs, null")
+		app           = flag.String("app", "kv", "application: "+strings.Join(saebft.Apps(), ", "))
 		port          = flag.Int("port", 7000, "first TCP port; nodes use consecutive ports")
 		seed          = flag.String("seed", "", "key material seed (default: random)")
+		f = flag.Int("f", 1, "tolerated agreement faults (3f+1 replicas)")
+		g = flag.Int("g", 1, "tolerated execution faults (2g+1 replicas)")
+		// Named -filter-faults rather than -h so `saebft-keygen -h`
+		// keeps printing flag's conventional help.
+		h             = flag.Int("filter-faults", 1, "tolerated filter faults h per row (firewall mode)")
 		clients       = flag.Int("clients", 2, "number of client identities")
 		batch         = flag.Int("batch", 8, "agreement batch (reply bundle) size")
 		thresholdBits = flag.Int("threshold-bits", 1024, "threshold RSA modulus size")
 	)
 	flag.Parse()
 
-	cfg, err := deploy.Default(*mode, *app, *port)
+	m, err := saebft.ParseMode(*mode)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "saebft-keygen:", err)
-		os.Exit(1)
+		os.Exit(2)
 	}
-	if *seed != "" {
-		cfg.Seed = *seed
-	} else {
+	keySeed := *seed
+	if keySeed == "" {
 		var b [16]byte
 		if _, err := rand.Read(b[:]); err != nil {
 			fmt.Fprintln(os.Stderr, "saebft-keygen:", err)
 			os.Exit(1)
 		}
-		cfg.Seed = fmt.Sprintf("%x", b)
+		keySeed = fmt.Sprintf("%x", b)
 	}
-	cfg.Clients = *clients
-	cfg.BatchSize = *batch
-	cfg.ThresholdBits = *thresholdBits
 
+	cfg, err := saebft.GenerateConfig(saebft.DeployParams{
+		Mode:          m,
+		App:           *app,
+		Seed:          keySeed,
+		F:             *f,
+		G:             *g,
+		H:             *h,
+		Clients:       *clients,
+		BatchSize:     *batch,
+		ThresholdBits: *thresholdBits,
+		BasePort:      *port,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "saebft-keygen:", err)
+		os.Exit(1)
+	}
 	if err := cfg.Save(*out); err != nil {
 		fmt.Fprintln(os.Stderr, "saebft-keygen:", err)
 		os.Exit(1)
 	}
+	// Report the effective values from the generated config, which may
+	// differ from raw flags (GenerateConfig defaults zeros).
 	fmt.Printf("wrote %s (%s/%s, f=%d g=%d h=%d, %d clients)\n",
-		*out, cfg.Mode, cfg.App, cfg.F, cfg.G, cfg.H, cfg.Clients)
+		*out, cfg.Mode(), cfg.App(), cfg.F(), cfg.G(), cfg.H(), cfg.Clients())
 	fmt.Println("node identities and addresses:")
-	keys := make([]int, 0, len(cfg.Addrs))
-	for k := range cfg.Addrs {
-		n, _ := strconv.Atoi(k)
-		keys = append(keys, n)
+	nodes, err := cfg.Nodes()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "saebft-keygen:", err)
+		os.Exit(1)
 	}
-	sort.Ints(keys)
-	for _, k := range keys {
-		fmt.Printf("  %-6d %s  (%s)\n", k, cfg.Addrs[strconv.Itoa(k)], roleName(k))
-	}
-}
-
-func roleName(id int) string {
-	switch {
-	case id < 100:
-		return "agreement"
-	case id < 200:
-		return "execution"
-	case id < 1000:
-		return "filter"
-	default:
-		return "client"
+	for _, n := range nodes {
+		fmt.Printf("  %-6d %s  (%s)\n", n.ID, n.Addr, n.Role)
 	}
 }

@@ -9,46 +9,53 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"log"
 	"os"
 	"os/signal"
 	"syscall"
 
-	"repro/internal/deploy"
-	"repro/internal/types"
+	"repro/saebft"
 )
 
 func main() {
 	var (
 		cfgPath = flag.String("config", "cluster.json", "cluster config file (from saebft-keygen)")
 		id      = flag.Int("id", -1, "node identity to run")
-		quiet   = flag.Bool("quiet", false, "suppress transport logging")
+		verbose = flag.Bool("verbose", false, "log transport-level connection events")
 	)
 	flag.Parse()
 	if *id < 0 {
 		fmt.Fprintln(os.Stderr, "saebft-node: -id is required")
 		os.Exit(2)
 	}
-	cfg, err := deploy.Load(*cfgPath)
+	cfg, err := saebft.LoadConfig(*cfgPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "saebft-node:", err)
 		os.Exit(1)
 	}
-	node, err := deploy.StartNode(cfg, types.NodeID(*id))
+	node, err := saebft.NewNode(cfg, *id)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "saebft-node:", err)
 		os.Exit(1)
 	}
-	if *quiet {
-		node.Net.SetLogf(func(string, ...interface{}) {})
+	if *verbose {
+		node.SetLogf(log.Printf)
+	}
+
+	// Signal-driven lifecycle: the context's cancellation closes the node.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := node.Start(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "saebft-node:", err)
+		os.Exit(1)
 	}
 	fmt.Printf("saebft-node: %s replica %d listening on %s (%s/%s)\n",
-		node.Role, *id, node.Net.Addr(), cfg.Mode, cfg.App)
+		node.Role(), node.ID(), node.Addr(), cfg.Mode(), cfg.App())
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
+	<-ctx.Done()
 	fmt.Println("saebft-node: shutting down")
 	node.Close()
 }

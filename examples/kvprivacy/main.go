@@ -13,62 +13,62 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/apps/kv"
-	"repro/internal/core"
-	"repro/internal/sm"
-	"repro/internal/transport"
-	"repro/internal/types"
-	"repro/internal/wire"
+	"repro/saebft"
 )
 
 func main() {
-	cluster, err := core.BuildSim(core.Options{
-		Mode: core.ModeFirewall,
-		App:  func() sm.StateMachine { return kv.New() },
-	})
+	ctx := context.Background()
+	cluster, err := saebft.NewCluster(
+		saebft.WithMode(saebft.ModeFirewall),
+		saebft.WithApp("kv"),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	top := cluster.Top
+	if err := cluster.Start(ctx); err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	info := cluster.Info()
 	fmt.Printf("cluster: %d agreement + %d execution + %dx%d firewall grid\n",
-		len(top.Agreement), len(top.Execution), top.H()+1, top.H()+1)
+		info.Agreement, info.Execution, info.FilterRows, info.FilterRows)
 
 	secret := []byte("account-balance: 1,000,000")
 
 	// Wiretap every link: the secret must never appear in plaintext.
 	leaks := 0
-	cluster.Net.Tap(func(from, to types.NodeID, data []byte) {
-		if bytes.Contains(data, secret) {
+	if err := cluster.Tap(func(from, to int, payload []byte) {
+		if bytes.Contains(payload, secret) {
 			leaks++
 		}
-	})
-
-	// Compromise one executor: it spams the top filter row with forged
-	// replies claiming the secret is something else, plus raw garbage.
-	evil := top.Execution[0]
-	cluster.Net.Swap(evil, transport.NodeFunc{
-		OnDeliver: func(from types.NodeID, data []byte, now types.Time) {
-			send := cluster.Net.Bind(evil)
-			for _, f := range top.Filters[top.H()] {
-				forged := &wire.ExecReply{
-					Entries:  []wire.Reply{{Seq: 1, Client: top.Clients[0], Timestamp: 1, Body: []byte("FORGED")}},
-					Executor: evil,
-					Share:    []byte("not a valid threshold share"),
-				}
-				send(f, wire.Marshal(forged))
-				send(f, []byte("garbage"))
-			}
-		},
-	})
-
-	const timeout = types.Time(10e9)
-	if _, err := cluster.Invoke(0, kv.Put("vault", secret), timeout); err != nil {
+	}); err != nil {
 		log.Fatal(err)
 	}
-	got, err := cluster.Invoke(0, kv.GetOp("vault"), timeout)
+
+	// Compromise one executor: it spams the top filter row with forged
+	// replies and raw garbage instead of executing anything.
+	if err := cluster.ByzantineExec(0); err != nil {
+		log.Fatal(err)
+	}
+
+	client := cluster.Client()
+	put, err := saebft.EncodeOp("kv", "put", "vault", string(secret))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := client.Invoke(ctx, put); err != nil {
+		log.Fatal(err)
+	}
+	get, err := saebft.EncodeOp("kv", "get", "vault")
+	if err != nil {
+		log.Fatal(err)
+	}
+	got, err := client.Invoke(ctx, get)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -77,11 +77,11 @@ func main() {
 		log.Fatal("CORRUPTED RESULT — this should be impossible")
 	}
 
-	rejected := uint64(0)
-	for _, f := range cluster.Filters {
-		rejected += f.Metrics.SharesRejected
+	stats, err := cluster.Stats()
+	if err != nil {
+		log.Fatal(err)
 	}
-	fmt.Printf("filters rejected:   %d forged shares/certificates\n", rejected)
+	fmt.Printf("filters rejected:   %d forged shares/certificates\n", stats.SharesRejected)
 	fmt.Printf("plaintext leaks:    %d (bodies are sealed end to end)\n", leaks)
 	if leaks > 0 {
 		log.Fatal("SECRET LEAKED IN PLAINTEXT — this should be impossible")

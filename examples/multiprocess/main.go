@@ -3,79 +3,58 @@
 // processes, here launched from one main for a self-contained demo.
 //
 // Every node gets its own TCP listener, its own runtime goroutine, and
-// communicates only via sockets; nothing is shared in memory. To run the
-// same thing as separate processes, see cmd/saebft-keygen.
+// communicates only via sockets; nothing is shared in memory. The first
+// half drives the one-line TCPTransport form; the second half does the same
+// thing through an explicit config + per-node Start + Dial, exactly what
+// the command-line tools do across processes (see cmd/saebft-keygen).
 //
 //	go run ./examples/multiprocess
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
-	"strconv"
-	"time"
 
-	"repro/internal/apps/kv"
-	"repro/internal/deploy"
-	"repro/internal/types"
+	"repro/saebft"
 )
 
 func main() {
-	cfg, err := deploy.Default("separate", "kv", 0)
+	ctx := context.Background()
+
+	// --- Form 1: a TCP-backed cluster in one call -----------------------
+	cluster, err := saebft.NewCluster(
+		saebft.WithMode(saebft.ModeSeparate),
+		saebft.WithApp("kv"),
+		saebft.WithTransport(saebft.TCPTransport()),
+		saebft.WithThresholdBits(512),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	cfg.ThresholdBits = 512
+	if err := cluster.Start(ctx); err != nil {
+		log.Fatal(err)
+	}
+	client := cluster.Client()
 
-	// Pick free loopback ports.
-	for k := range cfg.Addrs {
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
+	put := func(k, v string) {
+		op, err := saebft.EncodeOp("kv", "put", k, v)
 		if err != nil {
 			log.Fatal(err)
 		}
-		cfg.Addrs[k] = ln.Addr().String()
-		ln.Close()
-	}
-
-	// Start every replica "process".
-	var nodes []*deploy.RunningNode
-	for k := range cfg.Addrs {
-		idInt, _ := strconv.Atoi(k)
-		id := types.NodeID(idInt)
-		if id >= 1000 {
-			continue // clients below
-		}
-		n, err := deploy.StartNode(cfg, id)
-		if err != nil {
-			log.Fatalf("node %v: %v", id, err)
-		}
-		n.Net.SetLogf(func(string, ...interface{}) {})
-		nodes = append(nodes, n)
-		fmt.Printf("started %-9s node %-4d on %s\n", n.Role, id, n.Net.Addr())
-	}
-	defer func() {
-		for _, n := range nodes {
-			n.Close()
-		}
-	}()
-
-	client, err := deploy.NewTCPClient(cfg, 1000)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer client.Close()
-	client.SetQuiet()
-
-	put := func(k, v string) {
-		reply, err := client.Call(kv.Put(k, []byte(v)), 15*time.Second)
+		reply, err := client.Invoke(ctx, op)
 		if err != nil {
 			log.Fatalf("put %s: %v", k, err)
 		}
 		fmt.Printf("put %-10s → %s\n", k, reply)
 	}
 	get := func(k string) {
-		reply, err := client.Call(kv.GetOp(k), 15*time.Second)
+		op, err := saebft.EncodeOp("kv", "get", k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		reply, err := client.Invoke(ctx, op)
 		if err != nil {
 			log.Fatalf("get %s: %v", k, err)
 		}
@@ -86,11 +65,67 @@ func main() {
 	put("authors", "Yin, Martin, Venkataramani, Alvisi, Dahlin")
 	get("paper")
 	get("authors")
+	cluster.Close()
+	fmt.Println("all operations certified by g+1 execution replicas over real TCP")
 
-	reply, err := client.Call(kv.List(""), 15*time.Second)
+	// --- Form 2: explicit config + nodes + Dial (the cmd/ tool path) ----
+	cfg, err := saebft.GenerateConfig(saebft.DeployParams{
+		Mode:          saebft.ModeSeparate,
+		App:           "counter",
+		Seed:          "multiprocess-demo",
+		ThresholdBits: 512,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("list           → %q\n", reply)
-	fmt.Println("all operations certified by g+1 execution replicas over real TCP")
+	nodes, err := cfg.Nodes()
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Swap the static port plan for free loopback ports so the demo never
+	// collides with a busy port.
+	for _, n := range nodes {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := cfg.SetAddr(n.ID, ln.Addr().String()); err != nil {
+			log.Fatal(err)
+		}
+		ln.Close()
+	}
+
+	var running []*saebft.Node
+	defer func() {
+		for _, n := range running {
+			n.Close()
+		}
+	}()
+	for _, ni := range nodes {
+		if ni.Role == "client" {
+			continue
+		}
+		n, err := saebft.NewNode(cfg, ni.ID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := n.Start(ctx); err != nil {
+			log.Fatalf("node %d: %v", ni.ID, err)
+		}
+		running = append(running, n)
+		fmt.Printf("started %-9s node %-4d on %s\n", n.Role(), n.ID(), n.Addr())
+	}
+
+	dialed, err := saebft.Dial(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer dialed.Close()
+	for _, op := range []string{"inc", "add 41", "get"} {
+		reply, err := dialed.Invoke(ctx, []byte(op))
+		if err != nil {
+			log.Fatalf("%s: %v", op, err)
+		}
+		fmt.Printf("%-8s → %s\n", op, reply)
+	}
 }

@@ -10,35 +10,38 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/apps/nfs"
-	"repro/internal/bench"
-	"repro/internal/core"
+	"repro/saebft"
 )
 
 func main() {
-	cfg := bench.AndrewConfig{N: 1, Dirs: 3, FilesPerDir: 4, FileSize: 2048}
+	cfg := saebft.AndrewConfig{N: 1, Dirs: 3, FilesPerDir: 4, FileSize: 2048}
 	fmt.Printf("Andrew-%d: %d dirs x %d files x %dB per iteration\n\n",
 		cfg.N, cfg.Dirs, cfg.FilesPerDir, cfg.FileSize)
 
-	norep, err := bench.RunAndrew("No Replication", bench.NewNoRepInvoker(nfs.New()), cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-	base, err := bench.RunAndrewOnCluster("BASE", bench.AndrewClusterOptions(core.ModeBASE, 512), cfg, bench.FaultNone)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fw, err := bench.RunAndrewOnCluster("Firewall", bench.AndrewClusterOptions(core.ModeFirewall, 512), cfg, bench.FaultNone)
+	runs, err := saebft.RunAndrewComparison(cfg, 512)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("%-8s %18s %18s %18s\n", "phase", norep.Label, base.Label, fw.Label)
-	for p := 0; p < 5; p++ {
-		fmt.Printf("%-8d %18s %18s %18s\n", p+1, norep.FmtMs(p), base.FmtMs(p), fw.FmtMs(p))
+	fmt.Printf("%-8s", "phase")
+	for _, r := range runs {
+		fmt.Printf(" %18s", r.Label)
 	}
-	fmt.Printf("%-8s %18.1f %18.1f %18.1f   (virtual ms)\n", "TOTAL",
-		float64(norep.Total)/1e6, float64(base.Total)/1e6, float64(fw.Total)/1e6)
+	fmt.Println()
+	for p := 0; p < 5; p++ {
+		fmt.Printf("%-8d", p+1)
+		for _, r := range runs {
+			fmt.Printf(" %18.1f", r.PhaseMs[p])
+		}
+		fmt.Println()
+	}
+	fmt.Printf("%-8s", "TOTAL")
+	for _, r := range runs {
+		fmt.Printf(" %18.1f", r.TotalMs)
+	}
+	fmt.Println("   (virtual ms)")
+
+	norep, base, fw := runs[0], runs[1], runs[2]
 	fmt.Printf("\nBASE is %.1fx no-replication; firewall is %.2fx BASE\n",
-		float64(base.Total)/float64(norep.Total), float64(fw.Total)/float64(base.Total))
+		base.TotalMs/norep.TotalMs, fw.TotalMs/base.TotalMs)
 }

@@ -9,29 +9,34 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/apps/counter"
-	"repro/internal/core"
-	"repro/internal/sm"
-	"repro/internal/types"
+	"repro/saebft"
 )
 
 func main() {
-	cluster, err := core.BuildSim(core.Options{
-		Mode: core.ModeSeparate, // 3f+1 agreement + 2g+1 execution
-		App:  func() sm.StateMachine { return counter.New() },
-	})
+	ctx := context.Background()
+	cluster, err := saebft.NewCluster(
+		saebft.WithMode(saebft.ModeSeparate), // 3f+1 agreement + 2g+1 execution
+		saebft.WithApp("counter"),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("cluster: %d agreement replicas, %d execution replicas (f=%d, g=%d)\n",
-		len(cluster.Top.Agreement), len(cluster.Top.Execution), cluster.Top.F(), cluster.Top.G())
+	if err := cluster.Start(ctx); err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
 
-	const timeout = types.Time(5e9)
+	info := cluster.Info()
+	fmt.Printf("cluster: %d agreement replicas, %d execution replicas (f=%d, g=%d)\n",
+		info.Agreement, info.Execution, info.F, info.G)
+
+	client := cluster.Client()
 	for _, op := range []string{"inc", "inc", "add 40", "get"} {
-		reply, err := cluster.Invoke(0, []byte(op), timeout)
+		reply, err := client.Invoke(ctx, []byte(op))
 		if err != nil {
 			log.Fatalf("%s: %v", op, err)
 		}
@@ -39,16 +44,20 @@ func main() {
 	}
 
 	// The whole point: execution survives a crashed executor (g=1).
-	cluster.CrashExec(0)
-	reply, err := cluster.Invoke(0, []byte("inc"), timeout)
+	if err := cluster.CrashExec(0); err != nil {
+		log.Fatal(err)
+	}
+	reply, err := client.Invoke(ctx, []byte("inc"))
 	if err != nil {
 		log.Fatalf("inc with crashed executor: %v", err)
 	}
 	fmt.Printf("after crashing one executor: inc → %s (still certified by a majority)\n", reply)
 
 	// ... and agreement survives a crashed primary via view change.
-	cluster.CrashAgreement(0)
-	reply, err = cluster.Invoke(0, []byte("inc"), types.Time(20e9))
+	if err := cluster.CrashAgreement(0); err != nil {
+		log.Fatal(err)
+	}
+	reply, err = client.Invoke(ctx, []byte("inc"))
 	if err != nil {
 		log.Fatalf("inc after primary crash: %v", err)
 	}

@@ -1,0 +1,93 @@
+package registry
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/apps/kv"
+	"repro/internal/sm"
+	"repro/internal/types"
+)
+
+func TestBuiltinsRegistered(t *testing.T) {
+	want := []string{"counter", "kv", "nfs", "null"}
+	got := Names()
+	for _, w := range want {
+		found := false
+		for _, g := range got {
+			if g == w {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("builtin %q missing from registry (have %v)", w, got)
+		}
+	}
+}
+
+func TestLookupDefaultsToKV(t *testing.T) {
+	e, ok := Lookup("")
+	if !ok || e.Name != "kv" {
+		t.Fatalf("empty name should resolve to kv, got %+v ok=%v", e, ok)
+	}
+}
+
+func TestFactoryBuildsFreshInstances(t *testing.T) {
+	f, err := Factory("counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := f(), f()
+	if a == b {
+		t.Fatal("factory returned the same instance twice")
+	}
+	a.Execute([]byte("inc"), types.NonDet{})
+	if got := b.Execute([]byte("get"), types.NonDet{}); string(got) != "0" {
+		t.Fatalf("instances share state: fresh counter reads %q", got)
+	}
+}
+
+func TestFactoryUnknown(t *testing.T) {
+	if _, err := Factory("no-such-app"); err == nil {
+		t.Fatal("expected error for unknown app")
+	}
+}
+
+func TestEncodeOpKV(t *testing.T) {
+	op, err := EncodeOp("kv", []string{"put", "k", "v"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(op, kv.Put("k", []byte("v"))) {
+		t.Fatal("EncodeOp(kv put) disagrees with kv.Put")
+	}
+	if _, err := EncodeOp("kv", []string{"frobnicate"}); err == nil {
+		t.Fatal("expected error for unknown kv op")
+	}
+}
+
+func TestEncodeOpNoEncoding(t *testing.T) {
+	if _, err := EncodeOp("nfs", []string{"anything"}); err == nil {
+		t.Fatal("nfs has no CLI encoding; expected error")
+	}
+}
+
+func TestRegisterCustom(t *testing.T) {
+	Register(Entry{
+		Name: "test-echo",
+		New: func() sm.StateMachine {
+			return sm.Func(func(op []byte, nd types.NonDet) []byte { return op })
+		},
+	})
+	f, err := Factory("test-echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f().Execute([]byte("hi"), types.NonDet{}); string(got) != "hi" {
+		t.Fatalf("echo returned %q", got)
+	}
+	if !reflect.DeepEqual(Names(), Names()) {
+		t.Fatal("Names not deterministic")
+	}
+}

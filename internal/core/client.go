@@ -35,6 +35,7 @@ type Client struct {
 	assembler   *replycert.Assembler
 	result      []byte
 	haveResult  bool
+	onResult    func(body []byte)
 
 	// Metrics counts externally observable client activity.
 	Metrics ClientMetrics
@@ -112,6 +113,39 @@ func (c *Client) Submit(op []byte, now types.Time) error {
 	return nil
 }
 
+// SetTimestamp advances the client's request-timestamp counter. A process
+// that reuses a client identity (a CLI tool run twice against the same
+// deployment) must start above the identity's previous timestamps or the
+// executors' exactly-once reply table will answer its first request from
+// cache; wall-clock nanoseconds are the conventional choice (§2's
+// monotonically-increasing timestamp assumption). Must be called before
+// Submit and never between Submit and the reply.
+func (c *Client) SetTimestamp(ts types.Timestamp) {
+	if c.outstanding != nil {
+		panic("client: SetTimestamp with a request outstanding")
+	}
+	if ts > c.ts {
+		c.ts = ts
+	}
+}
+
+// Cancel abandons the outstanding request, if any: retransmission stops and
+// a late certificate for it is ignored. The caller may Submit again
+// immediately. Used by timeout/cancellation paths of asynchronous callers;
+// the replicated service may still execute the abandoned operation.
+func (c *Client) Cancel() {
+	c.outstanding = nil
+	c.result = nil
+	c.haveResult = false
+}
+
+// SetOnResult installs a completion callback: when set, each certified
+// reply body is handed to fn (from within Deliver, i.e. on whatever
+// goroutine drives the client) instead of being parked for the
+// HasResult/Result polling pair. Event-driven callers — the public saebft
+// client over TCP — use this to wake a waiter without polling.
+func (c *Client) SetOnResult(fn func(body []byte)) { c.onResult = fn }
+
 // HasResult reports whether the outstanding request completed.
 func (c *Client) HasResult() bool { return c.haveResult }
 
@@ -173,10 +207,14 @@ func (c *Client) acceptCert(cert *wire.ReplyCert) {
 		}
 		// Track the primary for the next request's first transmission.
 		c.firstTo = c.top.Primary(e.View)
-		c.result = body
-		c.haveResult = true
 		c.outstanding = nil
 		c.Metrics.Replies++
+		if c.onResult != nil {
+			c.onResult(body)
+			return
+		}
+		c.result = body
+		c.haveResult = true
 		return
 	}
 }

@@ -121,6 +121,13 @@ func BuildSim(opts Options) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
+	return BuildSimFrom(b)
+}
+
+// BuildSimFrom constructs a simulated cluster from an already-prepared
+// builder, reusing its derived topology and key material (deriving
+// threshold keys is the expensive part of construction).
+func BuildSimFrom(b *Builder) (*Cluster, error) {
 	netCfg := b.Opts.Net
 	if netCfg.Seed == 0 {
 		netCfg.Seed = b.Opts.NetSeed

@@ -14,12 +14,10 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"sync/atomic"
 	"time"
 
-	"repro/internal/apps/counter"
-	"repro/internal/apps/kv"
-	"repro/internal/apps/nfs"
-	"repro/internal/apps/nullsrv"
+	"repro/internal/apps/registry"
 	"repro/internal/core"
 	"repro/internal/replycert"
 	"repro/internal/sm"
@@ -112,20 +110,14 @@ func (c *Config) CoreMode() (core.Mode, error) {
 	}
 }
 
-// AppFactory resolves the application name.
+// AppFactory resolves the application name through the shared registry, so
+// deployment configs and the public saebft API agree on what names mean.
 func (c *Config) AppFactory() (func() sm.StateMachine, error) {
-	switch c.App {
-	case "kv", "":
-		return func() sm.StateMachine { return kv.New() }, nil
-	case "counter":
-		return func() sm.StateMachine { return counter.New() }, nil
-	case "nfs":
-		return func() sm.StateMachine { return nfs.New() }, nil
-	case "null":
-		return func() sm.StateMachine { return nullsrv.New(128) }, nil
-	default:
-		return nil, fmt.Errorf("deploy: unknown app %q", c.App)
+	f, err := registry.Factory(c.App)
+	if err != nil {
+		return nil, fmt.Errorf("deploy: %w", err)
 	}
+	return f, nil
 }
 
 // Options converts the config into core options.
@@ -207,20 +199,32 @@ func StartNode(cfg *Config, id types.NodeID) (*RunningNode, error) {
 	if err != nil {
 		return nil, err
 	}
-	role, _, ok := b.Top.RoleOf(id)
-	if !ok {
-		return nil, fmt.Errorf("deploy: node %v is not part of the topology", id)
-	}
 	addrs, err := cfg.addrMap()
 	if err != nil {
 		return nil, err
 	}
+	return StartBuilderNode(b, addrs, id)
+}
 
-	// The TCP handler is installed after construction; a small
+// StartBuilderNode runs one node of an already-prepared builder over TCP.
+// The public saebft API uses it to run clusters built from programmatic
+// options (including custom application factories that no config file could
+// name); StartNode is the config-file path to the same wiring.
+func StartBuilderNode(b *core.Builder, addrs map[types.NodeID]string, id types.NodeID) (*RunningNode, error) {
+	role, _, ok := b.Top.RoleOf(id)
+	if !ok {
+		return nil, fmt.Errorf("deploy: node %v is not part of the topology", id)
+	}
+
+	// The TCP handler is installed after construction; an atomic
 	// indirection breaks the circular dependency between node and net.
-	var runtimeHandler func(from types.NodeID, data []byte)
+	// Messages arriving before installation are dropped, which the
+	// protocols tolerate (peers retransmit).
+	var runtimeHandler atomic.Pointer[func(from types.NodeID, data []byte)]
 	tcp, err := transport.NewTCPNet(id, addrs, func(from types.NodeID, data []byte) {
-		runtimeHandler(from, data)
+		if h := runtimeHandler.Load(); h != nil {
+			(*h)(from, data)
+		}
 	})
 	if err != nil {
 		return nil, err
@@ -242,7 +246,7 @@ func StartNode(cfg *Config, id types.NodeID) (*RunningNode, error) {
 		return nil, err
 	}
 	rt, handler := transport.NewRuntime(node, tcp.Now, time.Millisecond)
-	runtimeHandler = handler
+	runtimeHandler.Store(&handler)
 	return &RunningNode{ID: id, Role: role, Net: tcp, node: node, runtime: rt}, nil
 }
 
@@ -272,9 +276,11 @@ func NewTCPClient(cfg *Config, id types.NodeID) (*TCPClient, error) {
 	if err != nil {
 		return nil, err
 	}
-	var runtimeHandler func(from types.NodeID, data []byte)
+	var runtimeHandler atomic.Pointer[func(from types.NodeID, data []byte)]
 	tcp, err := transport.NewTCPNet(id, addrs, func(from types.NodeID, data []byte) {
-		runtimeHandler(from, data)
+		if h := runtimeHandler.Load(); h != nil {
+			(*h)(from, data)
+		}
 	})
 	if err != nil {
 		return nil, err
@@ -284,10 +290,14 @@ func NewTCPClient(cfg *Config, id types.NodeID) (*TCPClient, error) {
 		tcp.Close()
 		return nil, err
 	}
+	// Start above any previous process's timestamps for this identity, or
+	// the executors' exactly-once reply table would answer the first
+	// request from cache.
+	cl.SetTimestamp(types.Timestamp(time.Now().UnixNano()))
 	tc := &TCPClient{ID: id, client: cl, net: tcp, mu: make(chan struct{}, 1)}
 	tc.mu <- struct{}{}
 	rt, handler := transport.NewRuntime(&clientNode{cl}, tcp.Now, time.Millisecond)
-	runtimeHandler = handler
+	runtimeHandler.Store(&handler)
 	tc.rt = rt
 	return tc, nil
 }

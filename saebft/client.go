@@ -1,0 +1,191 @@
+package saebft
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Client is a pipelined, context-aware handle onto a replicated service.
+//
+// The paper's client model keeps exactly one request outstanding (§2). A
+// handle multiplexes many such logical clients behind one surface: each
+// Invoke/InvokeAsync leases a free logical client, runs the operation
+// through it, and returns it to the pool — so up to Pipeline() invocations
+// proceed concurrently and further calls queue for the next free slot.
+//
+// A handle is safe for concurrent use by any number of goroutines.
+type Client struct {
+	cluster *Cluster       // non-nil when owned by an in-process Cluster
+	rt      clusterRuntime // non-nil when dialed against a deployment
+
+	free    chan int
+	width   int
+	timeout time.Duration
+
+	inFlight    atomic.Int64
+	maxInFlight atomic.Int64
+
+	closeOnce sync.Once
+	closed    atomic.Bool
+}
+
+func newHandle(width int, timeout time.Duration) *Client {
+	h := &Client{free: make(chan int, width), width: width, timeout: timeout}
+	for i := 0; i < width; i++ {
+		h.free <- i
+	}
+	return h
+}
+
+func newClusterClient(c *Cluster, width int, timeout time.Duration) *Client {
+	h := newHandle(width, timeout)
+	h.cluster = c
+	return h
+}
+
+func newDialedClient(rt clusterRuntime, width int, timeout time.Duration) *Client {
+	h := newHandle(width, timeout)
+	h.rt = rt
+	return h
+}
+
+// runtime resolves the live backend for this handle.
+func (h *Client) runtime() (clusterRuntime, error) {
+	if h.cluster != nil {
+		return h.cluster.runtime()
+	}
+	if h.closed.Load() {
+		return nil, ErrClosed
+	}
+	return h.rt, nil
+}
+
+// Pipeline reports how many invocations the handle can keep in flight
+// concurrently (the number of logical clients backing it).
+func (h *Client) Pipeline() int { return h.width }
+
+// InFlight reports how many invocations are currently admitted.
+func (h *Client) InFlight() int { return int(h.inFlight.Load()) }
+
+// MaxInFlight reports the high-water mark of concurrently admitted
+// invocations over the handle's lifetime.
+func (h *Client) MaxInFlight() int { return int(h.maxInFlight.Load()) }
+
+func (h *Client) lease(ctx context.Context) (int, error) {
+	select {
+	case idx := <-h.free:
+		return idx, nil
+	default:
+	}
+	select {
+	case idx := <-h.free:
+		return idx, nil
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+}
+
+func (h *Client) admit() {
+	n := h.inFlight.Add(1)
+	for {
+		max := h.maxInFlight.Load()
+		if n <= max || h.maxInFlight.CompareAndSwap(max, n) {
+			return
+		}
+	}
+}
+
+func (h *Client) release(idx int) {
+	h.inFlight.Add(-1)
+	h.free <- idx
+}
+
+// effectiveTimeout bounds the per-request timeout by the context deadline.
+func (h *Client) effectiveTimeout(ctx context.Context) time.Duration {
+	timeout := h.timeout
+	if dl, ok := ctx.Deadline(); ok {
+		if d := time.Until(dl); d < timeout {
+			timeout = d
+		}
+	}
+	return timeout
+}
+
+// Invoke submits one operation and blocks until its certified reply, an
+// error, context cancellation, or the handle's timeout. The reply is
+// vouched for by the deployment's reply-certificate scheme (g+1 matching
+// replies or a valid threshold signature) before it is returned.
+func (h *Client) Invoke(ctx context.Context, op []byte) ([]byte, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	rt, err := h.runtime()
+	if err != nil {
+		return nil, err
+	}
+	idx, err := h.lease(ctx)
+	if err != nil {
+		return nil, err
+	}
+	h.admit()
+	defer h.release(idx)
+	return rt.invoke(ctx, idx, op, h.effectiveTimeout(ctx))
+}
+
+// InvokeAsync submits one operation without blocking and returns a channel
+// that receives exactly one Result. Up to Pipeline() invocations run
+// concurrently; beyond that, calls wait (off the caller's goroutine) for a
+// free slot. A canceled context resolves the invocation with ctx.Err() once
+// its logical client has quiesced.
+func (h *Client) InvokeAsync(ctx context.Context, op []byte) <-chan Result {
+	ch := make(chan Result, 1)
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	rt, err := h.runtime()
+	if err != nil {
+		ch <- Result{Err: err}
+		return ch
+	}
+	// Lease synchronously when a slot is free: the invocation is then
+	// admitted (visible in InFlight) before InvokeAsync returns.
+	select {
+	case idx := <-h.free:
+		h.admit()
+		go h.finish(ctx, rt, idx, op, ch)
+	default:
+		go func() {
+			idx, err := h.lease(ctx)
+			if err != nil {
+				ch <- Result{Err: err}
+				return
+			}
+			h.admit()
+			h.finish(ctx, rt, idx, op, ch)
+		}()
+	}
+	return ch
+}
+
+func (h *Client) finish(ctx context.Context, rt clusterRuntime, idx int, op []byte, ch chan Result) {
+	reply, err := rt.invoke(ctx, idx, op, h.effectiveTimeout(ctx))
+	h.release(idx)
+	ch <- Result{Reply: reply, Err: err}
+}
+
+// Close releases a handle obtained from Dial, disconnecting its endpoints.
+// On a handle owned by a Cluster it is a no-op — close the Cluster instead.
+func (h *Client) Close() error {
+	if h.cluster != nil {
+		return nil
+	}
+	h.closeOnce.Do(func() {
+		h.closed.Store(true)
+		if h.rt != nil {
+			h.rt.close()
+		}
+	})
+	return nil
+}

@@ -1,0 +1,260 @@
+package saebft
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"repro/internal/apps/registry"
+	"repro/internal/core"
+	"repro/internal/deploy"
+	"repro/internal/types"
+)
+
+// Config describes a multi-process deployment: topology sizes, application,
+// authentication choices, the key-material seed, and every node's address.
+// It round-trips through the same JSON file the saebft-* command-line tools
+// share. Key material is derived deterministically from the seed, so the
+// file stands in for a trusted dealer: distribute it only to machines that
+// run nodes, and treat it as secret.
+type Config struct {
+	d *deploy.Config
+}
+
+// DeployParams parameterizes GenerateConfig. Zero values take defaults:
+// mode separate, app "kv", f=g=h=1, 2 clients, batch 8, 1024-bit threshold
+// keys, host 127.0.0.1.
+type DeployParams struct {
+	Mode          Mode
+	App           string
+	Seed          string
+	F, G, H       int
+	Clients       int
+	ReplyMode     ReplyMode
+	MACRequests   bool
+	MACOrders     bool
+	BatchSize     int
+	ThresholdBits int
+
+	// BasePort assigns consecutive ports starting here; Host defaults to
+	// 127.0.0.1. Edit the saved file for multi-machine layouts.
+	BasePort int
+	Host     string
+}
+
+// GenerateConfig builds a deployment descriptor, assigning an address to
+// every identity in the topology (including all client identities).
+func GenerateConfig(p DeployParams) (*Config, error) {
+	if p.App == "" {
+		p.App = "kv"
+	}
+	if _, ok := registry.Lookup(p.App); !ok {
+		return nil, fmt.Errorf("saebft: unknown app %q (have %v)", p.App, registry.Names())
+	}
+	if p.F == 0 {
+		p.F = 1
+	}
+	if p.G == 0 {
+		p.G = 1
+	}
+	if p.H == 0 {
+		p.H = 1
+	}
+	if p.Clients == 0 {
+		p.Clients = 2
+	}
+	if p.BatchSize == 0 {
+		p.BatchSize = 8
+	}
+	if p.ThresholdBits == 0 {
+		p.ThresholdBits = 1024
+	}
+	if p.Seed == "" {
+		p.Seed = "saebft-demo"
+	}
+	if p.Host == "" {
+		p.Host = "127.0.0.1"
+	}
+	if p.BasePort == 0 {
+		p.BasePort = 7000
+	}
+	if p.Mode == ModeFirewall {
+		p.ReplyMode = ReplyThreshold
+	}
+	d := &deploy.Config{
+		Seed:          p.Seed,
+		Mode:          p.Mode.String(),
+		App:           p.App,
+		F:             p.F,
+		G:             p.G,
+		H:             p.H,
+		Clients:       p.Clients,
+		ReplyMode:     p.ReplyMode.String(),
+		MACRequests:   p.MACRequests,
+		MACOrders:     p.MACOrders,
+		BatchSize:     p.BatchSize,
+		ThresholdBits: p.ThresholdBits,
+		Addrs:         make(map[string]string),
+	}
+	top := core.BuildTopology(p.F, p.G, p.H, p.Clients, p.Mode.coreMode())
+	if err := top.Validate(); err != nil {
+		return nil, err
+	}
+	port := p.BasePort
+	for _, id := range top.AllNodes() {
+		d.Addrs[strconv.Itoa(int(id))] = fmt.Sprintf("%s:%d", p.Host, port)
+		port++
+	}
+	return &Config{d: d}, nil
+}
+
+// LoadConfig reads a deployment descriptor from disk and validates its
+// mode, reply mode, and application names.
+func LoadConfig(path string) (*Config, error) {
+	d, err := deploy.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	c := &Config{d: d}
+	if _, err := ParseMode(d.Mode); err != nil {
+		return nil, err
+	}
+	if _, err := ParseReplyMode(d.ReplyMode); err != nil {
+		return nil, err
+	}
+	if _, ok := registry.Lookup(d.App); !ok {
+		return nil, fmt.Errorf("saebft: config names unknown app %q (have %v)", d.App, registry.Names())
+	}
+	if _, err := c.topology(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Save writes the descriptor to disk (mode 0600 — it holds the key seed).
+func (c *Config) Save(path string) error { return c.d.Save(path) }
+
+// Mode returns the deployment's architecture.
+func (c *Config) Mode() Mode {
+	m, _ := ParseMode(c.d.Mode)
+	return m
+}
+
+// App returns the deployment's application name ("" means "kv").
+func (c *Config) App() string {
+	if c.d.App == "" {
+		return "kv"
+	}
+	return c.d.App
+}
+
+// Seed returns the key-material seed.
+func (c *Config) Seed() string { return c.d.Seed }
+
+// Effective fault thresholds and client count — zero config fields default
+// the same way node construction defaults them.
+
+// F returns the tolerated agreement faults (3F+1 replicas).
+func (c *Config) F() int { return defaultOne(c.d.F) }
+
+// G returns the tolerated execution faults (2G+1 replicas).
+func (c *Config) G() int { return defaultOne(c.d.G) }
+
+// H returns the tolerated per-row filter faults ((H+1)² filters).
+func (c *Config) H() int { return defaultOne(c.d.H) }
+
+// Clients returns the number of client identities.
+func (c *Config) Clients() int { return defaultOne(c.d.Clients) }
+
+func defaultOne(n int) int {
+	if n == 0 {
+		return 1
+	}
+	return n
+}
+
+// topology lays out the config's node identities, applying the same
+// defaults the node-construction path does.
+func (c *Config) topology() (*types.Topology, error) {
+	m, err := ParseMode(c.d.Mode)
+	if err != nil {
+		return nil, err
+	}
+	top := core.BuildTopology(c.F(), c.G(), c.H(), c.Clients(), m.coreMode())
+	if err := top.Validate(); err != nil {
+		return nil, err
+	}
+	return top, nil
+}
+
+// NodeInfo describes one identity in a deployment.
+type NodeInfo struct {
+	ID   int
+	Role string // "agreement", "execution", "filter", "client"
+	Addr string
+}
+
+// Nodes lists every identity in the deployment in id order.
+func (c *Config) Nodes() ([]NodeInfo, error) {
+	top, err := c.topology()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]NodeInfo, 0, len(c.d.Addrs))
+	for _, id := range top.AllNodes() {
+		role, _, _ := top.RoleOf(id)
+		// BASE mode builds no execution replicas; don't list identities
+		// an operator could never start.
+		if role == types.RoleExecution && c.Mode() == ModeBase {
+			continue
+		}
+		out = append(out, NodeInfo{
+			ID:   int(id),
+			Role: role.String(),
+			Addr: c.d.Addrs[strconv.Itoa(int(id))],
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// ClientIDs lists the deployment's client identities in id order.
+func (c *Config) ClientIDs() ([]int, error) {
+	top, err := c.topology()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, 0, len(top.Clients))
+	for _, id := range top.Clients {
+		out = append(out, int(id))
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// SetAddr overrides one identity's address — for multi-machine layouts or
+// tests that need kernel-assigned free ports.
+func (c *Config) SetAddr(id int, addr string) error {
+	top, err := c.topology()
+	if err != nil {
+		return err
+	}
+	if _, _, ok := top.RoleOf(types.NodeID(id)); !ok {
+		return fmt.Errorf("saebft: node %d is not part of the topology", id)
+	}
+	c.d.Addrs[strconv.Itoa(id)] = addr
+	return nil
+}
+
+// addrMap converts the JSON address table to NodeID keys.
+func (c *Config) addrMap() (map[types.NodeID]string, error) {
+	out := make(map[types.NodeID]string, len(c.d.Addrs))
+	for k, v := range c.d.Addrs {
+		n, err := strconv.Atoi(k)
+		if err != nil {
+			return nil, fmt.Errorf("saebft: bad node id %q in addrs", k)
+		}
+		out[types.NodeID(n)] = v
+	}
+	return out, nil
+}

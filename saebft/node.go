@@ -1,0 +1,195 @@
+package saebft
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/deploy"
+	"repro/internal/types"
+)
+
+// Node is one replica of a multi-process deployment — agreement, execution,
+// or firewall filter — run in this process and communicating over TCP with
+// the rest of the deployment described by its Config. The saebft-node
+// command is a thin wrapper around it.
+type Node struct {
+	cfg  *Config
+	id   types.NodeID
+	role types.Role
+	logf func(string, ...interface{})
+
+	mu        sync.Mutex
+	running   *deploy.RunningNode
+	watchStop chan struct{}
+	closed    bool
+}
+
+// NewNode validates that id names a non-client identity in the config's
+// topology and prepares the node. It does not listen until Start.
+func NewNode(cfg *Config, id int) (*Node, error) {
+	top, err := cfg.topology()
+	if err != nil {
+		return nil, err
+	}
+	role, _, ok := top.RoleOf(types.NodeID(id))
+	if !ok {
+		return nil, fmt.Errorf("saebft: node %d is not part of the topology", id)
+	}
+	if role == types.RoleClient {
+		return nil, fmt.Errorf("saebft: identity %d is a client; use Dial", id)
+	}
+	return &Node{cfg: cfg, id: types.NodeID(id), role: role}, nil
+}
+
+// SetLogf installs a transport-level log function. By default connection
+// events are silenced; call before Start.
+func (n *Node) SetLogf(f func(string, ...interface{})) { n.logf = f }
+
+// Start brings the node up: it derives its share of the key material,
+// binds its listener, and begins serving. If ctx is cancelable, its
+// cancellation closes the node.
+func (n *Node) Start(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return ErrClosed
+	}
+	if n.running != nil {
+		return errors.New("saebft: node already started")
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	rn, err := deploy.StartNode(n.cfg.d, n.id)
+	if err != nil {
+		return err
+	}
+	rn.Net.SetLogf(logfOrSilent(n.logf))
+	n.running = rn
+	if ctx.Done() != nil {
+		stop := make(chan struct{})
+		n.watchStop = stop
+		go func() {
+			select {
+			case <-ctx.Done():
+				n.Close()
+			case <-stop:
+			}
+		}()
+	}
+	return nil
+}
+
+// Close shuts the node down. Idempotent.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	rn := n.running
+	stop := n.watchStop
+	n.mu.Unlock()
+	if stop != nil {
+		close(stop)
+	}
+	if rn != nil {
+		rn.Close()
+	}
+	return nil
+}
+
+// ID returns the node's identity.
+func (n *Node) ID() int { return int(n.id) }
+
+// Role returns "agreement", "execution", or "filter".
+func (n *Node) Role() string { return n.role.String() }
+
+// Addr returns the node's bound listen address once started.
+func (n *Node) Addr() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.running == nil {
+		return ""
+	}
+	return n.running.Net.Addr()
+}
+
+// DialOption configures Dial.
+type DialOption func(*dialConfig)
+
+type dialConfig struct {
+	ids     []int
+	timeout time.Duration
+	logf    func(string, ...interface{})
+}
+
+// DialClients restricts the handle to specific client identities from the
+// config (default: all of them, giving the widest pipeline).
+func DialClients(ids ...int) DialOption {
+	return func(d *dialConfig) { d.ids = ids }
+}
+
+// DialTimeout sets the default per-request timeout (default 30s).
+func DialTimeout(t time.Duration) DialOption {
+	return func(d *dialConfig) { d.timeout = t }
+}
+
+// DialLogf installs a transport-level log function (default: silent).
+func DialLogf(f func(string, ...interface{})) DialOption {
+	return func(d *dialConfig) { d.logf = f }
+}
+
+// Dial connects a client handle to a running multi-process deployment. The
+// handle pipelines one in-flight request per client identity it owns; use
+// DialClients to pick identities when several handles share a config.
+func Dial(cfg *Config, optfns ...DialOption) (*Client, error) {
+	var dc dialConfig
+	for _, fn := range optfns {
+		fn(&dc)
+	}
+	if dc.timeout == 0 {
+		dc.timeout = 30 * time.Second
+	}
+	opts, err := cfg.d.Options()
+	if err != nil {
+		return nil, err
+	}
+	b, err := core.NewBuilder(opts)
+	if err != nil {
+		return nil, err
+	}
+	addrs, err := cfg.addrMap()
+	if err != nil {
+		return nil, err
+	}
+	ids := dc.ids
+	if len(ids) == 0 {
+		for _, cid := range b.Top.Clients {
+			ids = append(ids, int(cid))
+		}
+	}
+	rt := &tcpRuntime{quit: make(chan struct{})}
+	for _, id := range ids {
+		role, _, ok := b.Top.RoleOf(types.NodeID(id))
+		if !ok || role != types.RoleClient {
+			rt.close()
+			return nil, fmt.Errorf("saebft: %d is not a client identity in this topology", id)
+		}
+		ep, err := newTCPEndpoint(b, addrs, types.NodeID(id), dc.logf)
+		if err != nil {
+			rt.close()
+			return nil, fmt.Errorf("saebft: connecting client %d: %w", id, err)
+		}
+		rt.eps = append(rt.eps, ep)
+	}
+	return newDialedClient(rt, len(rt.eps), dc.timeout), nil
+}

@@ -1,0 +1,163 @@
+package saebft
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sm"
+	"repro/internal/types"
+)
+
+// options accumulates the functional-option state for NewCluster.
+type options struct {
+	mode          Mode
+	replyMode     ReplyMode
+	replyModeSet  bool
+	f, g, h       int
+	clients       int
+	appName       string
+	appFactory    func() sm.StateMachine
+	batchSize     int
+	batchWait     time.Duration
+	pipeline      int
+	macRequests   bool
+	macOrders     bool
+	directReply   bool
+	thresholdBits int
+	seed          string
+	netSeed       int64
+	invokeTimeout time.Duration
+	transport     Transport
+}
+
+// Option configures NewCluster.
+type Option func(*options)
+
+// WithMode selects the replication architecture. Default: ModeSeparate.
+func WithMode(m Mode) Option { return func(o *options) { o.mode = m } }
+
+// WithFaults sets the tolerated fault counts: f for agreement (3f+1
+// replicas), g for execution (2g+1), h for the firewall ((h+1)² filters,
+// firewall mode only). Zero values keep the defaults (1,1,1).
+func WithFaults(f, g, h int) Option {
+	return func(o *options) { o.f, o.g, o.h = f, g, h }
+}
+
+// WithClients sets how many logical paper-model clients back the handle
+// returned by Cluster.Client. Each logical client keeps one request
+// outstanding (§2), so this is the handle's maximum pipelining depth.
+// Default: 4.
+func WithClients(n int) Option { return func(o *options) { o.clients = n } }
+
+// WithApp selects a registered application by name ("kv", "counter",
+// "nfs", "null", or anything added via RegisterApp). Default: "kv".
+func WithApp(name string) Option { return func(o *options) { o.appName = name } }
+
+// WithAppFactory supplies a custom state-machine factory directly; the
+// factory is called once per hosting replica. Overrides WithApp.
+func WithAppFactory(f func() StateMachine) Option {
+	return func(o *options) {
+		if f == nil {
+			o.appFactory = nil
+			return
+		}
+		o.appFactory = func() sm.StateMachine { return f() }
+	}
+}
+
+// WithReplyMode selects the reply-certificate scheme. Default: quorum
+// (forced to threshold in firewall mode, quorum in BASE mode).
+func WithReplyMode(r ReplyMode) Option {
+	return func(o *options) { o.replyMode = r; o.replyModeSet = true }
+}
+
+// WithBatching sets the agreement batch size and the maximum wait to fill a
+// batch before ordering it anyway. Zero values keep the defaults.
+func WithBatching(size int, wait time.Duration) Option {
+	return func(o *options) { o.batchSize = size; o.batchWait = wait }
+}
+
+// WithPipeline bounds how many agreement certificates each message queue
+// keeps in flight toward the execution cluster. Zero keeps the default.
+func WithPipeline(n int) Option { return func(o *options) { o.pipeline = n } }
+
+// WithMACs switches request and/or order authentication from signatures to
+// MAC vectors (the paper's fast path).
+func WithMACs(requests, orders bool) Option {
+	return func(o *options) { o.macRequests = requests; o.macOrders = orders }
+}
+
+// WithDirectReply lets executors send reply shares straight to clients
+// (§3.1.3 optimization; ignored behind the firewall).
+func WithDirectReply(on bool) Option { return func(o *options) { o.directReply = on } }
+
+// WithThresholdBits sizes the threshold-RSA modulus. Small keys (512) keep
+// tests fast; benchmarks use 1024+. Zero keeps the default.
+func WithThresholdBits(bits int) Option { return func(o *options) { o.thresholdBits = bits } }
+
+// WithSeed sets the deterministic key-material seed (and, on the simulated
+// transport, the network schedule seed via its low bits).
+func WithSeed(seed string) Option { return func(o *options) { o.seed = seed } }
+
+// WithNetSeed sets the simulated network's schedule seed independently of
+// the key-material seed.
+func WithNetSeed(seed int64) Option { return func(o *options) { o.netSeed = seed } }
+
+// WithInvokeTimeout sets the default per-request timeout applied when the
+// invoking context has no earlier deadline. On the simulated transport the
+// duration is interpreted in virtual time. Default: 30s.
+func WithInvokeTimeout(d time.Duration) Option {
+	return func(o *options) { o.invokeTimeout = d }
+}
+
+// WithTransport selects how the cluster's nodes communicate. Default:
+// SimTransport().
+func WithTransport(t Transport) Option { return func(o *options) { o.transport = t } }
+
+func (o *options) fillDefaults() {
+	if o.clients == 0 {
+		o.clients = 4
+	}
+	if o.invokeTimeout == 0 {
+		o.invokeTimeout = 30 * time.Second
+	}
+	if o.transport == nil {
+		o.transport = SimTransport()
+	}
+	if o.appName == "" {
+		o.appName = "kv"
+	}
+}
+
+// coreOptions lowers the public options to the internal composition layer.
+func (o *options) coreOptions() (core.Options, error) {
+	app := o.appFactory
+	if app == nil {
+		f, err := appFactory(o.appName)
+		if err != nil {
+			return core.Options{}, err
+		}
+		app = f
+	}
+	opts := core.Options{
+		F:             o.f,
+		G:             o.g,
+		H:             o.h,
+		Clients:       o.clients,
+		Mode:          o.mode.coreMode(),
+		MACRequests:   o.macRequests,
+		MACOrders:     o.macOrders,
+		DirectReply:   o.directReply,
+		BatchSize:     o.batchSize,
+		Pipeline:      o.pipeline,
+		BatchWait:     types.Time(o.batchWait.Nanoseconds()),
+		ThresholdBits: o.thresholdBits,
+		Seed:          o.seed,
+		NetSeed:       o.netSeed,
+		App:           app,
+	}
+	if o.replyModeSet {
+		opts.ReplyMode = o.replyMode.coreMode()
+	}
+	return opts, nil
+}

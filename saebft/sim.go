@@ -1,0 +1,286 @@
+package saebft
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/transport"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// simTransport builds clusters on the deterministic in-process simulator.
+type simTransport struct {
+	cfg SimConfig
+}
+
+func (t *simTransport) start(b *core.Builder, o *options) (clusterRuntime, error) {
+	// Shallow-copy the builder to adjust the network config without
+	// mutating the caller's; topology and key material (the expensive
+	// part) are reused as-is.
+	nb := *b
+	if t.cfg.Seed != 0 {
+		nb.Opts.Net.Seed = t.cfg.Seed
+	}
+	if t.cfg.Drop != 0 || t.cfg.MinDelay != 0 || t.cfg.MaxDelay != 0 {
+		link := transport.DefaultLinkOpts()
+		link.Drop = t.cfg.Drop
+		if t.cfg.MinDelay != 0 {
+			link.MinDelay = types.Time(t.cfg.MinDelay.Nanoseconds())
+		}
+		if t.cfg.MaxDelay != 0 {
+			link.MaxDelay = types.Time(t.cfg.MaxDelay.Nanoseconds())
+		}
+		nb.Opts.Net.DefaultLink = link
+	}
+	nb.Opts.Net.MeasureCompute = t.cfg.MeasureCompute
+	c, err := core.BuildSimFrom(&nb)
+	if err != nil {
+		return nil, err
+	}
+	r := &simRuntime{
+		c:       c,
+		submits: make(chan *simCall, 4*len(c.Clients)+16),
+		calls:   make(chan func()),
+		quit:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	go r.loop()
+	return r, nil
+}
+
+// simCall is one in-flight invocation inside the driver.
+type simCall struct {
+	ctx      context.Context
+	idx      int
+	op       []byte
+	timeout  types.Time
+	deadline types.Time // virtual; set at admission
+	done     chan Result
+}
+
+// simRuntime drives the simulated cluster from a single goroutine that owns
+// the virtual clock: it admits submissions, steps the network while any
+// request is in flight, and parks when idle. All cluster state — protocol
+// nodes, fault injection, stats — is touched only on that goroutine, which
+// preserves the deterministic single-threaded discipline of the simulator
+// while presenting a concurrent, context-aware API to callers.
+type simRuntime struct {
+	c       *core.Cluster
+	submits chan *simCall
+	calls   chan func()
+	quit    chan struct{}
+	done    chan struct{}
+	once    sync.Once
+
+	// holdStepping parks the driver without blocking admission; tests use
+	// it to observe a deterministic number of in-flight requests.
+	holdStepping atomic.Bool
+}
+
+func (r *simRuntime) loop() {
+	defer close(r.done)
+	pending := make(map[int]*simCall)
+	admit := func(call *simCall) {
+		cl := r.c.Clients[call.idx]
+		if err := cl.Submit(call.op, r.c.Net.Now()); err != nil {
+			call.done <- Result{Err: err}
+			return
+		}
+		call.deadline = r.c.Net.Now() + call.timeout
+		pending[call.idx] = call
+	}
+	for {
+		if len(pending) == 0 {
+			// Idle: park until there is work. The virtual clock does
+			// not advance while nothing is in flight.
+			select {
+			case <-r.quit:
+				return
+			case fn := <-r.calls:
+				fn()
+			case call := <-r.submits:
+				admit(call)
+			}
+			continue
+		}
+		// Busy: drain control work without blocking, then advance the
+		// simulation one event.
+		for draining := true; draining; {
+			select {
+			case <-r.quit:
+				for _, call := range pending {
+					call.done <- Result{Err: ErrClosed}
+				}
+				return
+			case fn := <-r.calls:
+				fn()
+			case call := <-r.submits:
+				admit(call)
+			default:
+				draining = false
+			}
+		}
+		if r.holdStepping.Load() {
+			time.Sleep(100 * time.Microsecond)
+			continue
+		}
+		stepped := r.c.Net.Step()
+		now := r.c.Net.Now()
+		for idx, call := range pending {
+			cl := r.c.Clients[idx]
+			switch {
+			case call.ctx.Err() != nil:
+				cl.Cancel()
+				call.done <- Result{Err: call.ctx.Err()}
+				delete(pending, idx)
+			case cl.HasResult():
+				body, _ := cl.Result()
+				call.done <- Result{Reply: body}
+				delete(pending, idx)
+			case now > call.deadline || !stepped:
+				// !stepped means the event queue ran dry, which can
+				// only happen with no live nodes: time would stand
+				// still forever, so fail fast rather than spin.
+				cl.Cancel()
+				call.done <- Result{Err: fmt.Errorf("%w after %v (virtual)", ErrTimeout, time.Duration(call.timeout))}
+				delete(pending, idx)
+			}
+		}
+	}
+}
+
+func (r *simRuntime) invoke(ctx context.Context, idx int, op []byte, timeout time.Duration) ([]byte, error) {
+	if idx < 0 || idx >= len(r.c.Clients) {
+		return nil, fmt.Errorf("saebft: logical client %d out of range", idx)
+	}
+	call := &simCall{
+		ctx:     ctx,
+		idx:     idx,
+		op:      op,
+		timeout: types.Time(timeout.Nanoseconds()),
+		done:    make(chan Result, 1),
+	}
+	select {
+	case r.submits <- call:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-r.quit:
+		return nil, ErrClosed
+	}
+	// The driver checks ctx on every iteration, so it — not this select —
+	// resolves cancellation; that keeps the logical client leased until
+	// its protocol state is actually quiesced.
+	select {
+	case res := <-call.done:
+		return res.Reply, res.Err
+	case <-r.done:
+		return nil, ErrClosed
+	}
+}
+
+// do runs fn on the driver goroutine, serialized against all protocol
+// activity.
+func (r *simRuntime) do(fn func()) error {
+	ran := make(chan struct{})
+	wrapped := func() { fn(); close(ran) }
+	select {
+	case r.calls <- wrapped:
+	case <-r.done:
+		return ErrClosed
+	}
+	select {
+	case <-ran:
+		return nil
+	case <-r.done:
+		return ErrClosed
+	}
+}
+
+func (r *simRuntime) stats() (Stats, error) {
+	var s Stats
+	err := r.do(func() {
+		for _, cl := range r.c.Clients {
+			s.Requests += cl.Metrics.Requests
+			s.Retransmits += cl.Metrics.Retransmits
+			s.Replies += cl.Metrics.Replies
+			s.BadReplies += cl.Metrics.BadReplies
+		}
+		for _, f := range r.c.Filters {
+			s.SharesRejected += f.Metrics.SharesRejected
+		}
+		s.MessagesDelivered = r.c.Net.Stats.Delivered
+		s.MessagesDropped = r.c.Net.Stats.Dropped
+	})
+	return s, err
+}
+
+func (r *simRuntime) close() error {
+	r.once.Do(func() {
+		close(r.quit)
+		<-r.done
+	})
+	return nil
+}
+
+// crash marks one node as crashed. kindRole is a types.Role.
+func (r *simRuntime) crash(id types.NodeID) error {
+	return r.do(func() { r.c.Net.Crash(id) })
+}
+
+func (r *simRuntime) revive(id types.NodeID) error {
+	return r.do(func() { r.c.Net.Revive(id) })
+}
+
+func (r *simRuntime) tap(fn func(from, to int, payload []byte)) error {
+	return r.do(func() {
+		r.c.Net.Tap(func(from, to types.NodeID, data []byte) {
+			fn(int(from), int(to), data)
+		})
+	})
+}
+
+// byzantine replaces execution replica i with an active adversary that
+// floods its upstream neighbors with forged reply shares (claiming bogus
+// results for the first client) and raw garbage, instead of executing
+// anything. The correct protocol must mask it: filters/queues reject the
+// forgeries and g+1 correct executors still certify real replies.
+func (r *simRuntime) byzantine(i int) error {
+	top := r.c.Top
+	if len(top.Execution) == 0 {
+		return fmt.Errorf("saebft: mode has no execution replicas to compromise")
+	}
+	if i < 0 || i >= len(top.Execution) {
+		return fmt.Errorf("saebft: execution replica %d out of range", i)
+	}
+	evil := top.Execution[i]
+	var targets []types.NodeID
+	if top.HasFirewall() {
+		targets = top.Filters[top.H()]
+	} else {
+		targets = top.Agreement
+	}
+	return r.do(func() {
+		send := r.c.Net.Bind(evil)
+		r.c.Net.Swap(evil, transport.NodeFunc{
+			OnDeliver: func(from types.NodeID, data []byte, now types.Time) {
+				for _, t := range targets {
+					forged := &wire.ExecReply{
+						Entries: []wire.Reply{{
+							Seq: 1, Client: top.Clients[0], Timestamp: 1,
+							Body: []byte("FORGED"),
+						}},
+						Executor: evil,
+						Share:    []byte("not a valid threshold share"),
+					}
+					send(t, wire.Marshal(forged))
+					send(t, []byte("garbage"))
+				}
+			},
+		})
+	})
+}

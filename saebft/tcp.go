@@ -1,0 +1,236 @@
+package saebft
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/deploy"
+	"repro/internal/firewall"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// tcpTransport builds clusters whose nodes all live in this process but
+// communicate over real loopback TCP sockets.
+type tcpTransport struct {
+	cfg TCPConfig
+}
+
+func (t *tcpTransport) start(b *core.Builder, o *options) (clusterRuntime, error) {
+	addrs, err := pickAddrs(b.Top.AllNodes(), t.cfg.BasePort)
+	if err != nil {
+		return nil, err
+	}
+	r := &tcpRuntime{quit: make(chan struct{})}
+	for _, id := range serverIDs(b) {
+		n, err := deploy.StartBuilderNode(b, addrs, id)
+		if err != nil {
+			r.close()
+			return nil, fmt.Errorf("saebft: starting node %v: %w", id, err)
+		}
+		n.Net.SetLogf(logfOrSilent(t.cfg.Logf))
+		r.nodes = append(r.nodes, n)
+	}
+	for _, cid := range b.Top.Clients {
+		ep, err := newTCPEndpoint(b, addrs, cid, t.cfg.Logf)
+		if err != nil {
+			r.close()
+			return nil, fmt.Errorf("saebft: starting client endpoint %v: %w", cid, err)
+		}
+		r.eps = append(r.eps, ep)
+	}
+	return r, nil
+}
+
+// serverIDs lists every identity that actually runs a node, in
+// deterministic order. BASE mode builds no execution replicas even though
+// the topology lays out their identities.
+func serverIDs(b *core.Builder) []types.NodeID {
+	top := b.Top
+	var ids []types.NodeID
+	ids = append(ids, top.Agreement...)
+	if b.Opts.Mode != core.ModeBASE {
+		ids = append(ids, top.Execution...)
+	}
+	for _, row := range top.Filters {
+		ids = append(ids, row...)
+	}
+	return ids
+}
+
+// pickAddrs assigns a loopback address to every identity: consecutive ports
+// from basePort, or kernel-chosen free ports when basePort is zero.
+func pickAddrs(ids []types.NodeID, basePort int) (map[types.NodeID]string, error) {
+	addrs := make(map[types.NodeID]string, len(ids))
+	for i, id := range ids {
+		if basePort > 0 {
+			addrs[id] = fmt.Sprintf("127.0.0.1:%d", basePort+i)
+			continue
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		addrs[id] = ln.Addr().String()
+		ln.Close()
+	}
+	return addrs, nil
+}
+
+func logfOrSilent(logf func(string, ...interface{})) func(string, ...interface{}) {
+	if logf != nil {
+		return logf
+	}
+	return func(string, ...interface{}) {}
+}
+
+// tcpEndpoint is one logical client over TCP: a protocol-core client driven
+// by its own runtime goroutine, completing invocations through an
+// event-driven result channel (no polling).
+type tcpEndpoint struct {
+	id      types.NodeID
+	cl      *core.Client
+	net     *transport.TCPNet
+	rt      *transport.Runtime
+	results chan []byte
+}
+
+func newTCPEndpoint(b *core.Builder, addrs map[types.NodeID]string, id types.NodeID, logf func(string, ...interface{})) (*tcpEndpoint, error) {
+	// The runtime's handler is installed after construction; the atomic
+	// indirection keeps early inbound messages (dropped, retransmitted by
+	// peers) from racing the installation.
+	var handler atomic.Pointer[func(from types.NodeID, data []byte)]
+	tcp, err := transport.NewTCPNet(id, addrs, func(from types.NodeID, data []byte) {
+		if h := handler.Load(); h != nil {
+			(*h)(from, data)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	tcp.SetLogf(logfOrSilent(logf))
+	cl, err := b.ClientNode(id, tcp.Send)
+	if err != nil {
+		tcp.Close()
+		return nil, err
+	}
+	// Identities may be reused by later processes (CLI tools, restarted
+	// embedders); wall-clock timestamps keep this incarnation's requests
+	// above any predecessor's in the executors' exactly-once reply table.
+	cl.SetTimestamp(types.Timestamp(time.Now().UnixNano()))
+	ep := &tcpEndpoint{id: id, cl: cl, net: tcp, results: make(chan []byte, 1)}
+	// The hook fires on the runtime goroutine; capacity 1 suffices because
+	// each logical client has at most one request outstanding.
+	cl.SetOnResult(func(body []byte) {
+		select {
+		case ep.results <- body:
+		default:
+		}
+	})
+	rt, h := transport.NewRuntime(cl, tcp.Now, time.Millisecond)
+	handler.Store(&h)
+	ep.rt = rt
+	return ep, nil
+}
+
+func (ep *tcpEndpoint) close() {
+	ep.rt.Close()
+	ep.net.Close()
+}
+
+// tcpRuntime serves invocations over a set of TCP client endpoints. When it
+// also owns server nodes (in-process TCP cluster) it tears them down on
+// close; for dialed handles against an external deployment, nodes is nil.
+type tcpRuntime struct {
+	nodes []*deploy.RunningNode
+	eps   []*tcpEndpoint
+	quit  chan struct{}
+	once  sync.Once
+}
+
+func (r *tcpRuntime) invoke(ctx context.Context, idx int, op []byte, timeout time.Duration) ([]byte, error) {
+	if idx < 0 || idx >= len(r.eps) {
+		return nil, fmt.Errorf("saebft: logical client %d out of range", idx)
+	}
+	ep := r.eps[idx]
+	select {
+	case <-ep.results: // clear any stale result from an abandoned request
+	default:
+	}
+	var submitErr error
+	ep.rt.Do(func(now types.Time) { submitErr = ep.cl.Submit(op, now) })
+	if submitErr != nil {
+		return nil, submitErr
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	abandon := func() {
+		ep.rt.Do(func(types.Time) { ep.cl.Cancel() })
+		select {
+		case <-ep.results: // a result may have raced the cancellation
+		default:
+		}
+	}
+	select {
+	case body := <-ep.results:
+		return body, nil
+	case <-ctx.Done():
+		abandon()
+		return nil, ctx.Err()
+	case <-timer.C:
+		abandon()
+		return nil, fmt.Errorf("%w after %v", ErrTimeout, timeout)
+	case <-r.quit:
+		return nil, ErrClosed
+	}
+}
+
+func (r *tcpRuntime) stats() (Stats, error) {
+	var s Stats
+	for _, ep := range r.eps {
+		select {
+		case <-r.quit:
+			return Stats{}, ErrClosed
+		default:
+		}
+		ep.rt.Do(func(types.Time) {
+			s.Requests += ep.cl.Metrics.Requests
+			s.Retransmits += ep.cl.Metrics.Retransmits
+			s.Replies += ep.cl.Metrics.Replies
+			s.BadReplies += ep.cl.Metrics.BadReplies
+		})
+	}
+	// Filter metrics live inside this process's nodes (in-process TCP
+	// cluster); a dialed handle has no nodes and reports zero.
+	for _, n := range r.nodes {
+		select {
+		case <-r.quit:
+			return Stats{}, ErrClosed
+		default:
+		}
+		n.Inspect(func(node transport.Node) {
+			if f, ok := node.(*firewall.Filter); ok {
+				s.SharesRejected += f.Metrics.SharesRejected
+			}
+		})
+	}
+	return s, nil
+}
+
+func (r *tcpRuntime) close() error {
+	r.once.Do(func() {
+		close(r.quit)
+		for _, ep := range r.eps {
+			ep.close()
+		}
+		for _, n := range r.nodes {
+			n.Close()
+		}
+	})
+	return nil
+}

@@ -1,0 +1,188 @@
+package saebft
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestTCPLoopbackRoundTrip runs a full separated deployment over real
+// loopback TCP sockets and drives a put/get round trip through the public
+// handle.
+func TestTCPLoopbackRoundTrip(t *testing.T) {
+	c, err := NewCluster(
+		WithMode(ModeSeparate),
+		WithApp("kv"),
+		WithClients(2),
+		WithTransport(TCPTransport()),
+		WithThresholdBits(512),
+		WithInvokeTimeout(20*time.Second),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ctx := context.Background()
+	cl := c.Client()
+	put, err := EncodeOp("kv", "put", "transport", "tcp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply, err := cl.Invoke(ctx, put); err != nil {
+		t.Fatalf("put over TCP: %v", err)
+	} else if string(reply) != "OK" {
+		t.Fatalf("put reply = %q", reply)
+	}
+	get, _ := EncodeOp("kv", "get", "transport")
+	reply, err := cl.Invoke(ctx, get)
+	if err != nil {
+		t.Fatalf("get over TCP: %v", err)
+	}
+	if !bytes.Equal(reply, []byte("tcp")) {
+		t.Fatalf("get reply = %q, want tcp", reply)
+	}
+
+	// Pipelined async invocations work over TCP too.
+	a := cl.InvokeAsync(ctx, put)
+	b := cl.InvokeAsync(ctx, get)
+	if res := <-a; res.Err != nil {
+		t.Fatalf("async put: %v", res.Err)
+	}
+	if res := <-b; res.Err != nil {
+		t.Fatalf("async get: %v", res.Err)
+	}
+}
+
+// TestTCPFirewallRoundTrip runs the full privacy-firewall topology —
+// agreement, filter grid, execution — over loopback TCP sockets.
+func TestTCPFirewallRoundTrip(t *testing.T) {
+	c, err := NewCluster(
+		WithMode(ModeFirewall),
+		WithApp("kv"),
+		WithClients(1),
+		WithTransport(TCPTransport()),
+		WithThresholdBits(512),
+		WithInvokeTimeout(30*time.Second),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	put, _ := EncodeOp("kv", "put", "sealed", "body")
+	if reply, err := c.Client().Invoke(ctx, put); err != nil || string(reply) != "OK" {
+		t.Fatalf("put through firewall over TCP: %q, %v", reply, err)
+	}
+	get, _ := EncodeOp("kv", "get", "sealed")
+	reply, err := c.Client().Invoke(ctx, get)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(reply, []byte("body")) {
+		t.Fatalf("get reply = %q, want body", reply)
+	}
+	if _, err := c.Stats(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMultiProcessConfigDeployment exercises the config → StartNode → Dial
+// path that the saebft-node / saebft-client commands wrap: every replica
+// runs on its own listener (here in one process) and a dialed handle talks
+// to them over TCP.
+func TestMultiProcessConfigDeployment(t *testing.T) {
+	cfg, err := GenerateConfig(DeployParams{
+		Mode:          ModeSeparate,
+		App:           "counter",
+		Seed:          "saebft-test-seed",
+		ThresholdBits: 512,
+		BasePort:      0, // overwritten below with free ports
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replace the static port plan with kernel-assigned free ports so
+	// parallel test runs cannot collide.
+	for k := range cfg.d.Addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.d.Addrs[k] = ln.Addr().String()
+		ln.Close()
+	}
+
+	// The config round-trips through disk like a real deployment's.
+	path := filepath.Join(t.TempDir(), "cluster.json")
+	if err := cfg.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.App() != "counter" || loaded.Mode() != ModeSeparate {
+		t.Fatalf("loaded config disagrees: app=%q mode=%v", loaded.App(), loaded.Mode())
+	}
+
+	roundTrip(t, loaded)
+}
+
+func roundTrip(t *testing.T, cfg *Config) {
+	t.Helper()
+	ctx := context.Background()
+	nodes, err := cfg.Nodes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var running []*Node
+	defer func() {
+		for _, n := range running {
+			n.Close()
+		}
+	}()
+	for _, ni := range nodes {
+		if ni.Role == "client" {
+			continue
+		}
+		n, err := NewNode(cfg, ni.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.Start(ctx); err != nil {
+			t.Fatalf("starting %s node %d: %v", ni.Role, ni.ID, err)
+		}
+		running = append(running, n)
+	}
+
+	cl, err := Dial(cfg, DialTimeout(20*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	if reply, err := cl.Invoke(ctx, []byte("inc")); err != nil {
+		t.Fatalf("inc: %v", err)
+	} else if string(reply) != "1" {
+		t.Fatalf("inc reply = %q, want 1", reply)
+	}
+	op, err := EncodeOp("counter", "add", "41")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply, err := cl.Invoke(ctx, op); err != nil {
+		t.Fatalf("add: %v", err)
+	} else if string(reply) != "42" {
+		t.Fatalf("add reply = %q, want 42", reply)
+	}
+}

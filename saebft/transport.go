@@ -1,0 +1,85 @@
+package saebft
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Transport selects how a cluster's nodes communicate. The two
+// implementations — SimTransport and TCPTransport — are constructed here;
+// the interface is sealed (its method is unexported) so the set of
+// transports can evolve without breaking embedders.
+type Transport interface {
+	start(b *core.Builder, opts *options) (clusterRuntime, error)
+}
+
+// clusterRuntime is the running form of a cluster behind a transport: it
+// executes operations on behalf of logical clients and owns every node's
+// lifetime.
+type clusterRuntime interface {
+	// invoke runs op through logical client idx and blocks until a
+	// certified reply, an error, ctx cancellation, or the timeout. The
+	// caller guarantees at most one invoke per idx at a time.
+	invoke(ctx context.Context, idx int, op []byte, timeout time.Duration) ([]byte, error)
+
+	// stats snapshots aggregate counters; it errors when the runtime has
+	// already shut down rather than returning misleading zeros.
+	stats() (Stats, error)
+
+	// close tears the cluster down. Idempotent.
+	close() error
+}
+
+// SimConfig tunes the simulated transport.
+type SimConfig struct {
+	// Seed fixes the network schedule (loss, delays, ordering); runs with
+	// the same seed and workload are bit-for-bit deterministic. Zero
+	// falls back to the cluster's WithNetSeed / key seed.
+	Seed int64
+
+	// Drop is the per-message loss probability on every link.
+	Drop float64
+
+	// MinDelay and MaxDelay bound the uniform per-message delivery delay.
+	// Zero values keep the default fast-LAN model (50–200µs).
+	MinDelay, MaxDelay time.Duration
+
+	// MeasureCompute charges each node's real handler compute time to the
+	// virtual clock, so cryptographic costs surface in virtual-time
+	// measurements (benchmarks use this; correctness tests leave it off).
+	MeasureCompute bool
+}
+
+// SimTransport runs every node in-process on a deterministic simulated
+// network with a virtual clock — the default transport, and the only one
+// offering fault injection (crashes, taps, Byzantine nodes).
+func SimTransport(cfg ...SimConfig) Transport {
+	t := &simTransport{}
+	if len(cfg) > 0 {
+		t.cfg = cfg[0]
+	}
+	return t
+}
+
+// TCPConfig tunes the TCP transport.
+type TCPConfig struct {
+	// BasePort assigns consecutive loopback ports starting here. Zero
+	// picks free ports automatically.
+	BasePort int
+
+	// Logf receives transport-level connection events; nil silences them.
+	Logf func(format string, args ...interface{})
+}
+
+// TCPTransport runs every node in-process but communicating over real
+// loopback TCP sockets with length-prefixed frames — the same wiring the
+// multi-process deployment tools use, collapsed into one process.
+func TCPTransport(cfg ...TCPConfig) Transport {
+	t := &tcpTransport{}
+	if len(cfg) > 0 {
+		t.cfg = cfg[0]
+	}
+	return t
+}

@@ -1,5 +1,6 @@
 // Command saebft-bench regenerates the paper's evaluation tables and
-// figures (§5) on the simulated cluster with compute-time accounting:
+// figures (§5) on the simulated cluster with compute-time accounting, and
+// runs the client-batching throughput sweep CI tracks:
 //
 //	saebft-bench -figure all          # everything, quick scale
 //	saebft-bench -figure 3            # null-server latency table
@@ -8,6 +9,15 @@
 //	saebft-bench -figure 6            # Andrew-N phase times
 //	saebft-bench -figure 7            # Andrew-N with failures
 //	saebft-bench -figure all -scale full   # longer runs, 1024-bit threshold keys
+//
+//	saebft-bench -batching -out BENCH_batching.json
+//	saebft-bench -batching -short -out BENCH_batching.json \
+//	    -baseline .github/bench-baseline.json -max-regress 0.30
+//
+// The -batching mode sweeps client-side batch size × pipeline width over
+// the sim and TCP transports and writes a machine-readable report. With
+// -baseline it exits non-zero when any simulated-transport point regresses
+// more than -max-regress below the baseline — the bench-smoke CI gate.
 package main
 
 import (
@@ -20,10 +30,20 @@ import (
 
 func main() {
 	var (
-		figure = flag.String("figure", "all", "which figure to regenerate: 3, 4, 5, 6, 7, or all")
-		scale  = flag.String("scale", "quick", "run scale: quick or full")
+		figure     = flag.String("figure", "all", "which figure to regenerate: 3, 4, 5, 6, 7, or all")
+		scale      = flag.String("scale", "quick", "run scale: quick or full")
+		batching   = flag.Bool("batching", false, "run the client-batching throughput sweep instead of the paper figures")
+		short      = flag.Bool("short", false, "batching sweep: CI smoke grid (seconds of wall time)")
+		out        = flag.String("out", "", "batching sweep: write the JSON report here")
+		baseline   = flag.String("baseline", "", "batching sweep: compare against this baseline report")
+		maxRegress = flag.Float64("max-regress", 0.30, "batching sweep: tolerated fractional throughput regression vs the baseline")
 	)
 	flag.Parse()
+
+	if *batching {
+		runBatching(*short, *out, *baseline, *maxRegress)
+		return
+	}
 
 	var sc saebft.BenchScale
 	switch *scale {
@@ -48,5 +68,44 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(out)
+	}
+}
+
+func runBatching(short bool, out, baseline string, maxRegress float64) {
+	rep, err := saebft.RunBatchingBench(saebft.BatchBenchConfig{Short: short})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "saebft-bench: batching sweep: %v\n", err)
+		os.Exit(1)
+	}
+	for _, p := range rep.Points {
+		clock := fmt.Sprintf("wall %8.1fms", p.WallMs)
+		if p.Transport == "sim" {
+			clock = fmt.Sprintf("virt %8.1fms", p.VirtualMs)
+		}
+		batch := "off"
+		if p.BatchOps > 0 {
+			batch = fmt.Sprintf("%d", p.BatchOps)
+		}
+		fmt.Printf("%-4s pipeline=%d batch=%-3s ops=%-4d %s  %9.0f ops/s  mean-lat %6.1fms  batches=%-3d width=%d\n",
+			p.Transport, p.Pipeline, batch, p.Ops, clock, p.Throughput, p.MeanLatMs, p.Batches, p.FinalWidth)
+	}
+	if out != "" {
+		if err := rep.WriteFile(out); err != nil {
+			fmt.Fprintf(os.Stderr, "saebft-bench: writing %s: %v\n", out, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", out)
+	}
+	if baseline != "" {
+		base, err := saebft.LoadBenchReport(baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "saebft-bench: loading baseline: %v\n", err)
+			os.Exit(1)
+		}
+		if err := saebft.CompareBenchReports(rep, base, maxRegress); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("within %.0f%% of baseline %s\n", maxRegress*100, baseline)
 	}
 }

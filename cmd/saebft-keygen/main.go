@@ -27,13 +27,13 @@ import (
 
 func main() {
 	var (
-		out           = flag.String("out", "cluster.json", "output config path")
-		mode          = flag.String("mode", "separate", "architecture: base, separate, firewall")
-		app           = flag.String("app", "kv", "application: "+strings.Join(saebft.Apps(), ", "))
-		port          = flag.Int("port", 7000, "first TCP port; nodes use consecutive ports")
-		seed          = flag.String("seed", "", "key material seed (default: random)")
-		f = flag.Int("f", 1, "tolerated agreement faults (3f+1 replicas)")
-		g = flag.Int("g", 1, "tolerated execution faults (2g+1 replicas)")
+		out  = flag.String("out", "cluster.json", "output config path")
+		mode = flag.String("mode", "separate", "architecture: base, separate, firewall")
+		app  = flag.String("app", "kv", "application: "+strings.Join(saebft.Apps(), ", "))
+		port = flag.Int("port", 7000, "first TCP port; nodes use consecutive ports")
+		seed = flag.String("seed", "", "key material seed (default: random)")
+		f    = flag.Int("f", 1, "tolerated agreement faults (3f+1 replicas)")
+		g    = flag.Int("g", 1, "tolerated execution faults (2g+1 replicas)")
 		// Named -filter-faults rather than -h so `saebft-keygen -h`
 		// keeps printing flag's conventional help.
 		h             = flag.Int("filter-faults", 1, "tolerated filter faults h per row (firewall mode)")

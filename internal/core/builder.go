@@ -86,6 +86,7 @@ func (b *Builder) AgreementNode(id types.NodeID, send transport.Sender) (transpo
 		ReplicaAuth:        b.Mat.SigScheme(id),
 		ClientAuth:         b.clientAuth(id),
 		BatchSize:          b.Opts.BatchSize,
+		BatchBytes:         b.Opts.BatchBytes,
 		BatchWait:          b.Opts.BatchWait,
 		CheckpointInterval: b.Opts.CheckpointInterval,
 		WindowSize:         b.Opts.WindowSize,

@@ -34,6 +34,7 @@ type Options struct {
 	DirectReply bool
 
 	BatchSize          int
+	BatchBytes         int
 	Pipeline           int
 	CheckpointInterval types.SeqNum
 	WindowSize         types.SeqNum

@@ -71,6 +71,24 @@ func newDirectApp(id types.NodeID, top *types.Topology, app sm.StateMachine, rep
 	}
 }
 
+// executeOps applies one request body to the state machine. A multi-op
+// envelope (client-side batching) is unpacked and each operation executed
+// in envelope order, their replies packed into one matching reply envelope;
+// any other body is a single opaque operation. This mirrors
+// execnode.(*Replica).executeOps so the coupled baseline answers batched
+// clients identically to the separated architecture.
+func executeOps(app sm.StateMachine, body []byte, nd types.NonDet) []byte {
+	ops, ok := wire.UnpackOps(body)
+	if !ok {
+		return app.Execute(body, nd)
+	}
+	bodies := make([][]byte, len(ops))
+	for i, op := range ops {
+		bodies[i] = app.Execute(op, nd)
+	}
+	return wire.PackOpReplies(bodies)
+}
+
 // Execute implements pbft.App.
 func (a *directApp) Execute(v types.View, n types.SeqNum, nd types.NonDet, reqs []wire.Request, now types.Time) {
 	entries := make([]wire.Reply, 0, len(reqs))
@@ -82,7 +100,7 @@ func (a *directApp) Execute(v types.View, n types.SeqNum, nd types.NonDet, reqs 
 			a.replies[req.Client] = rs
 		}
 		if req.Timestamp > rs.timestamp {
-			rs.body = a.app.Execute(req.Op, nd)
+			rs.body = executeOps(a.app, req.Op, nd)
 			rs.timestamp = req.Timestamp
 		}
 		entries = append(entries, wire.Reply{

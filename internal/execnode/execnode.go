@@ -133,6 +133,7 @@ type Replica struct {
 type Metrics struct {
 	Executed      uint64 // batches executed
 	Requests      uint64 // requests executed (fresh, not retransmissions)
+	MultiOps      uint64 // operations executed out of multi-op envelopes
 	Retransmits   uint64 // retransmission acknowledgements produced
 	Checkpoints   uint64
 	StateTransfer uint64
@@ -369,10 +370,28 @@ func (r *Replica) execute(req *wire.Request, nd types.NonDet) []byte {
 			// same ciphertext and produces the same refusal.
 			return s.SealReply(req.Client, req.Timestamp, []byte("ERR: unreadable request"))
 		}
-		body := r.app.Execute(plain, nd)
+		body := r.executeOps(plain, nd)
 		return s.SealReply(req.Client, req.Timestamp, body)
 	}
-	return r.app.Execute(op, nd)
+	return r.executeOps(op, nd)
+}
+
+// executeOps applies one request body to the state machine. A multi-op
+// envelope (client-side batching) is unpacked and each operation executed
+// in envelope order, their replies packed into one matching reply envelope
+// so the whole batch travels inside a single certified reply entry; any
+// other body is a single opaque operation.
+func (r *Replica) executeOps(body []byte, nd types.NonDet) []byte {
+	ops, ok := wire.UnpackOps(body)
+	if !ok {
+		return r.app.Execute(body, nd)
+	}
+	bodies := make([][]byte, len(ops))
+	for i, op := range ops {
+		bodies[i] = r.app.Execute(op, nd)
+	}
+	r.Metrics.MultiOps += uint64(len(ops))
+	return wire.PackOpReplies(bodies)
 }
 
 // emitBundle signs (or attests) the reply bundle and sends the share.

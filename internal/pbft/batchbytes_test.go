@@ -1,0 +1,58 @@
+package pbft
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/types"
+)
+
+// TestBatchBytesCutsLargeBatches proves the primary cuts a proposal at the
+// byte budget: large request bodies (multi-op envelopes from batching
+// clients) must not pile into one giant pre-prepare even when BatchSize
+// would allow it.
+func TestBatchBytesCutsLargeBatches(t *testing.T) {
+	c := newCluster(t, 9, func(cfg *Config) {
+		cfg.BatchSize = 16
+		cfg.BatchBytes = 2048
+	})
+	big := strings.Repeat("x", 1000)
+	total := 0
+	for i := 0; i < 2; i++ {
+		for _, client := range c.top.Clients {
+			c.sendTo(0, c.request(client, big))
+			total++
+		}
+	}
+	if !c.net.RunUntil(c.allExecuted(total), types.Millisecond(2000)) {
+		t.Fatalf("only %d/%d executed", len(c.apps[0].flatOps()), total)
+	}
+	c.assertConsistentLogs()
+	for _, e := range c.apps[0].log {
+		bytes := 0
+		for _, op := range e.ops {
+			bytes += len(op)
+		}
+		// Each logged op string carries a small "client:ts:" prefix; with
+		// 1000-byte bodies a batch within budget holds at most 2 of them.
+		if len(e.ops) > 2 {
+			t.Fatalf("seq %d packed %d 1000-byte requests (%d bytes) despite a 2048-byte budget", e.seq, len(e.ops), bytes)
+		}
+	}
+	if got := c.replicas[0].Metrics.Batches; got < 3 {
+		t.Fatalf("Batches = %d for %d oversized requests, want >= 3", got, total)
+	}
+}
+
+// TestSingleOversizedRequestStillShips proves one request larger than
+// BatchBytes is proposed alone rather than starved.
+func TestSingleOversizedRequestStillShips(t *testing.T) {
+	c := newCluster(t, 10, func(cfg *Config) {
+		cfg.BatchBytes = 512
+	})
+	c.sendTo(0, c.request(100, strings.Repeat("y", 4096)))
+	if !c.net.RunUntil(c.allExecuted(1), types.Millisecond(1000)) {
+		t.Fatal("oversized request never executed")
+	}
+	c.assertConsistentLogs()
+}

@@ -70,6 +70,7 @@ type Config struct {
 	ClientAuth auth.Scheme
 
 	BatchSize          int        // max requests per batch (paper's bundle size)
+	BatchBytes         int        // max request-body bytes per batch (multi-op requests can be large)
 	BatchWait          types.Time // propose a partial batch after this delay
 	CheckpointInterval types.SeqNum
 	WindowSize         types.SeqNum // high-watermark distance (must be > CheckpointInterval)
@@ -86,6 +87,9 @@ type Config struct {
 func (c *Config) fillDefaults() {
 	if c.BatchSize == 0 {
 		c.BatchSize = 16
+	}
+	if c.BatchBytes == 0 {
+		c.BatchBytes = 256 << 10
 	}
 	if c.BatchWait == 0 {
 		c.BatchWait = types.Millisecond(2)
@@ -169,11 +173,12 @@ type Replica struct {
 	lastStable   types.SeqNum
 	stableProof  []wire.AgreeCheckpoint
 
-	insts   map[types.SeqNum]*instance
-	clients map[types.NodeID]*clientState
-	queue   []*wire.Request // primary: requests awaiting proposal
-	queued  map[types.Digest]bool
-	ndClock types.Timestamp // last nondeterministic timestamp accepted/proposed
+	insts      map[types.SeqNum]*instance
+	clients    map[types.NodeID]*clientState
+	queue      []*wire.Request // primary: requests awaiting proposal
+	queued     map[types.Digest]bool
+	queueBytes int             // sum of queued request-body sizes
+	ndClock    types.Timestamp // last nondeterministic timestamp accepted/proposed
 
 	// checkpointing
 	syncing       bool
@@ -371,6 +376,7 @@ func (r *Replica) enqueue(m *wire.Request, now types.Time) {
 		if !r.queued[d] {
 			r.queued[d] = true
 			r.queue = append(r.queue, m)
+			r.queueBytes += len(m.Op)
 			if r.batchDeadline == 0 {
 				r.batchDeadline = now + r.cfg.BatchWait
 			}
@@ -396,14 +402,24 @@ func (r *Replica) maybePropose(now types.Time) {
 		if !r.inWindow(next) {
 			return
 		}
-		full := len(r.queue) >= r.cfg.BatchSize
+		full := len(r.queue) >= r.cfg.BatchSize || r.queueBytes >= r.cfg.BatchBytes
 		waited := r.batchDeadline != 0 && now >= r.batchDeadline
 		if !full && !waited {
 			return
 		}
-		k := len(r.queue)
-		if k > r.cfg.BatchSize {
-			k = r.cfg.BatchSize
+		// Cut the batch at BatchSize requests or BatchBytes of bodies,
+		// whichever comes first — multi-op requests from batching clients
+		// can be large, and an unbounded pre-prepare would stall the
+		// three-phase exchange behind one giant proposal. A single
+		// oversized request still ships alone.
+		k, kbytes := 0, 0
+		for k < len(r.queue) && k < r.cfg.BatchSize {
+			sz := len(r.queue[k].Op)
+			if k > 0 && kbytes+sz > r.cfg.BatchBytes {
+				break
+			}
+			kbytes += sz
+			k++
 		}
 		batch := make([]wire.Request, 0, k)
 		for _, q := range r.queue[:k] {
@@ -411,6 +427,7 @@ func (r *Replica) maybePropose(now types.Time) {
 			delete(r.queued, q.Digest())
 		}
 		r.queue = append(r.queue[:0], r.queue[k:]...)
+		r.queueBytes -= kbytes
 		if len(r.queue) == 0 {
 			r.batchDeadline = 0
 		} else {

@@ -28,6 +28,7 @@ func (r *Replica) startViewChange(target types.View, now types.Time) {
 	r.Metrics.ViewChanges++
 	r.queue = nil
 	r.queued = make(map[types.Digest]bool)
+	r.queueBytes = 0
 	r.batchDeadline = 0
 
 	vc := r.buildViewChange(target)

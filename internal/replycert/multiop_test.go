@@ -1,0 +1,31 @@
+package replycert
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+func TestSplitOpReplies(t *testing.T) {
+	bodies := [][]byte{[]byte("a"), []byte("bb"), nil}
+	packed := wire.PackOpReplies(bodies)
+	got, err := SplitOpReplies(packed, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range bodies {
+		if !bytes.Equal(got[i], bodies[i]) {
+			t.Fatalf("reply %d = %q, want %q", i, got[i], bodies[i])
+		}
+	}
+	// Count mismatch: the certificate does not answer the submitted batch.
+	if _, err := SplitOpReplies(packed, 2); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("count mismatch err = %v, want ErrInvalid", err)
+	}
+	// A raw (non-envelope) body is not a batched reply.
+	if _, err := SplitOpReplies([]byte("raw"), 1); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("raw body err = %v, want ErrInvalid", err)
+	}
+}

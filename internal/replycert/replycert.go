@@ -216,6 +216,23 @@ func (a *Assembler) Add(m *wire.ExecReply) (*wire.ReplyCert, error) {
 	return &wire.ReplyCert{Entries: pb.entries, Atts: q.Attestations()}, nil
 }
 
+// SplitOpReplies splits the certified reply body of a multi-op request
+// (client-side batching) back into its per-op replies. The enclosing
+// certificate vouches for the whole envelope, so each extracted reply
+// carries the same g+1-correct-executor guarantee as a standalone one; the
+// count must match the ops of the request envelope or the certificate does
+// not answer the batch that was submitted.
+func SplitOpReplies(body []byte, ops int) ([][]byte, error) {
+	bodies, ok := wire.UnpackOpReplies(body)
+	if !ok {
+		return nil, fmt.Errorf("%w: certified reply is not a multi-op envelope", ErrInvalid)
+	}
+	if len(bodies) != ops {
+		return nil, fmt.Errorf("%w: %d replies for %d batched ops", ErrInvalid, len(bodies), ops)
+	}
+	return bodies, nil
+}
+
 // GC drops pending bundles whose highest sequence number is at or below n.
 func (a *Assembler) GC(n types.SeqNum) {
 	for d, pb := range a.pending {

@@ -303,7 +303,7 @@ func TestSetComputeScaleShrinksBusyTime(t *testing.T) {
 		net.Run(types.Millisecond(100))
 		return second
 	}
-	full := run(0)           // unscaled
+	full := run(0)            // unscaled
 	assisted := run(1.0 / 10) // hardware-assist model
 	if full == 0 || assisted == 0 {
 		t.Fatal("deliveries missing")

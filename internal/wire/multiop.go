@@ -1,0 +1,77 @@
+package wire
+
+// Multi-op envelopes implement client-side operation batching: a client
+// handle coalesces several concurrent operations into one paper-model
+// request whose body is a packed envelope, and the execution cluster
+// unpacks it, executes each operation in order, and answers with a packed
+// reply envelope inside the single certified reply entry. The agreement
+// protocol is oblivious to the packing — an envelope orders, retransmits,
+// checkpoints, and seals exactly like any other opaque request body — so
+// one slot of agreement (and one entry of the exactly-once reply table)
+// amortizes over every operation in the envelope.
+//
+// Framing: a two-byte tag (magic, kind) followed by a canonical
+// length-prefixed list of items. A body is treated as an envelope only if
+// it parses completely with no trailing bytes; anything else is a single
+// opaque operation. Callers that might legitimately submit a raw body
+// beginning with the magic byte wrap it in a one-op envelope (see
+// IsMultiOp), which removes the ambiguity end to end.
+
+const (
+	multiOpMagic       = 0xB7
+	multiOpKindOps     = 0x01
+	multiOpKindReplies = 0x02
+)
+
+func packMulti(kind uint8, items [][]byte) []byte {
+	var w Writer
+	w.U8(multiOpMagic)
+	w.U8(kind)
+	w.Len(len(items))
+	for _, it := range items {
+		w.Bytes(it)
+	}
+	return w.B
+}
+
+func unpackMulti(kind uint8, body []byte) ([][]byte, bool) {
+	if len(body) < 2 || body[0] != multiOpMagic || body[1] != kind {
+		return nil, false
+	}
+	r := NewReader(body[2:])
+	n := r.SliceLen()
+	if n == 0 {
+		return nil, false
+	}
+	items := make([][]byte, n)
+	for i := range items {
+		items[i] = r.Bytes()
+	}
+	if r.Err() != nil || r.Remaining() != 0 {
+		return nil, false
+	}
+	return items, true
+}
+
+// PackOps packs one or more operations into a multi-op request body.
+func PackOps(ops [][]byte) []byte { return packMulti(multiOpKindOps, ops) }
+
+// UnpackOps decodes a multi-op request body. It reports false for any body
+// that is not a complete, well-formed envelope — such a body is a single
+// opaque operation.
+func UnpackOps(body []byte) ([][]byte, bool) { return unpackMulti(multiOpKindOps, body) }
+
+// IsMultiOp reports whether body would be mistaken for a multi-op request
+// envelope by its leading tag. Submitters of raw single operations use it
+// to decide whether a body must be escaped into a one-op envelope.
+func IsMultiOp(body []byte) bool {
+	return len(body) >= 2 && body[0] == multiOpMagic && body[1] == multiOpKindOps
+}
+
+// PackOpReplies packs per-op reply bodies into a multi-op reply body, in
+// the same order as the ops of the request envelope they answer.
+func PackOpReplies(bodies [][]byte) []byte { return packMulti(multiOpKindReplies, bodies) }
+
+// UnpackOpReplies decodes a multi-op reply body, reporting false for any
+// body that is not a complete, well-formed reply envelope.
+func UnpackOpReplies(body []byte) ([][]byte, bool) { return unpackMulti(multiOpKindReplies, body) }

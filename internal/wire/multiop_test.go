@@ -1,0 +1,84 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestMultiOpRoundTrip(t *testing.T) {
+	cases := [][][]byte{
+		{[]byte("one")},
+		{[]byte("a"), []byte("bb"), []byte("ccc")},
+		{nil, []byte("x"), nil}, // empty ops survive
+		{bytes.Repeat([]byte{0xB7}, 64)},
+	}
+	for _, ops := range cases {
+		body := PackOps(ops)
+		if !IsMultiOp(body) {
+			t.Fatalf("IsMultiOp(PackOps(%d ops)) = false", len(ops))
+		}
+		got, ok := UnpackOps(body)
+		if !ok {
+			t.Fatalf("UnpackOps failed for %d ops", len(ops))
+		}
+		if len(got) != len(ops) {
+			t.Fatalf("unpacked %d ops, want %d", len(got), len(ops))
+		}
+		for i := range ops {
+			if !bytes.Equal(got[i], ops[i]) {
+				t.Fatalf("op %d = %q, want %q", i, got[i], ops[i])
+			}
+		}
+	}
+}
+
+func TestReplyEnvelopeRoundTrip(t *testing.T) {
+	bodies := [][]byte{[]byte("r1"), nil, []byte("r3")}
+	packed := PackOpReplies(bodies)
+	got, ok := UnpackOpReplies(packed)
+	if !ok {
+		t.Fatal("UnpackOpReplies failed")
+	}
+	if len(got) != 3 || !bytes.Equal(got[0], bodies[0]) || got[1] != nil || !bytes.Equal(got[2], bodies[2]) {
+		t.Fatalf("unpacked %q", got)
+	}
+	// Reply envelopes must not be mistaken for op envelopes and vice versa.
+	if _, ok := UnpackOps(packed); ok {
+		t.Fatal("reply envelope decoded as op envelope")
+	}
+	if _, ok := UnpackOpReplies(PackOps(bodies)); ok {
+		t.Fatal("op envelope decoded as reply envelope")
+	}
+}
+
+func TestUnpackOpsRejectsNonEnvelopes(t *testing.T) {
+	bad := [][]byte{
+		nil,
+		{},
+		[]byte("plain operation"),
+		{multiOpMagic},                 // magic alone
+		{multiOpMagic, multiOpKindOps}, // no count
+		{multiOpMagic, multiOpKindOps, 0, 0, 0, 0},    // zero ops
+		{multiOpMagic, multiOpKindOps, 0, 0, 0, 2, 0}, // truncated items
+		append(PackOps([][]byte{[]byte("x")}), 0xFF),  // trailing byte
+	}
+	for i, body := range bad {
+		if ops, ok := UnpackOps(body); ok {
+			t.Fatalf("case %d: UnpackOps accepted %v as %q", i, body, ops)
+		}
+	}
+}
+
+func TestSingleOpEscaping(t *testing.T) {
+	// A raw op that happens to begin with the envelope tag must be wrapped
+	// by submitters; the wrapped form round-trips to the original.
+	raw := append([]byte{multiOpMagic, multiOpKindOps}, []byte("unlucky prefix")...)
+	if !IsMultiOp(raw) {
+		t.Fatal("test op should look like an envelope")
+	}
+	wrapped := PackOps([][]byte{raw})
+	ops, ok := UnpackOps(wrapped)
+	if !ok || len(ops) != 1 || !bytes.Equal(ops[0], raw) {
+		t.Fatalf("escaped op round-trip failed: %q, %v", ops, ok)
+	}
+}

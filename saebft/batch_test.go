@@ -1,0 +1,311 @@
+package saebft
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// echoApp returns a factory for a state machine that echoes each op back
+// with a prefix, making per-op reply demultiplexing observable.
+func echoApp() func() StateMachine {
+	return func() StateMachine {
+		return StateMachineFunc(func(op []byte, nd NonDet) []byte {
+			return append([]byte("echo:"), op...)
+		})
+	}
+}
+
+func TestClientBatchingSmoke(t *testing.T) {
+	c := startSim(t,
+		WithApp("counter"),
+		WithClients(4),
+		WithClientBatching(8, 0, 0),
+	)
+	cl := c.Client()
+	ctx := context.Background()
+	const n = 24
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i%2 == 0 {
+				if _, err := cl.Invoke(ctx, []byte("inc")); err != nil {
+					errs <- err
+				}
+				return
+			}
+			if res := <-cl.InvokeAsync(ctx, []byte("inc")); res.Err != nil {
+				errs <- res.Err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	reply, err := cl.Invoke(ctx, []byte("get"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(reply) != fmt.Sprint(n) {
+		t.Fatalf("counter = %q after %d batched incs", reply, n)
+	}
+	if got := cl.BatchedOps(); got < n {
+		t.Fatalf("BatchedOps = %d, want >= %d", got, n)
+	}
+	if b := cl.Batches(); b == 0 || b > cl.BatchedOps() {
+		t.Fatalf("Batches = %d inconsistent with BatchedOps = %d", b, cl.BatchedOps())
+	}
+}
+
+// TestBatchRepliesDemux proves that replies demultiplex to the correct
+// caller when many distinct ops share envelopes, on both transports. CI
+// runs it under -race.
+func TestBatchRepliesDemux(t *testing.T) {
+	for _, tr := range []struct {
+		name string
+		opts []Option
+	}{
+		{"sim", nil},
+		{"tcp", []Option{WithTransport(TCPTransport())}},
+	} {
+		t.Run(tr.name, func(t *testing.T) {
+			n := 64
+			if tr.name == "tcp" {
+				n = 24 // real sockets; keep the point cheap
+			}
+			opts := append([]Option{
+				WithAppFactory(echoApp()),
+				WithClients(4),
+				WithClientBatching(8, 0, 500*time.Microsecond),
+			}, tr.opts...)
+			c := startSim(t, opts...)
+			cl := c.Client()
+			ctx := context.Background()
+			var wg sync.WaitGroup
+			errs := make(chan error, n)
+			for i := 0; i < n; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					op := []byte(fmt.Sprintf("op-%03d", i))
+					reply, err := cl.Invoke(ctx, op)
+					if err != nil {
+						errs <- fmt.Errorf("op %d: %w", i, err)
+						return
+					}
+					if want := "echo:" + string(op); string(reply) != want {
+						errs <- fmt.Errorf("op %d got %q, want %q", i, reply, want)
+					}
+				}(i)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+			if got := cl.BatchedOps(); got != uint64(n) {
+				t.Fatalf("BatchedOps = %d, want %d", got, n)
+			}
+		})
+	}
+}
+
+// TestBatchFlushPartialBatch proves the flush interval dispatches a batch
+// that never fills: three ops against maxOps=64 must still complete.
+func TestBatchFlushPartialBatch(t *testing.T) {
+	c := startSim(t,
+		WithAppFactory(echoApp()),
+		WithClients(2),
+		WithClientBatching(64, 0, time.Millisecond),
+	)
+	cl := c.Client()
+	ctx := context.Background()
+	chans := make([]<-chan Result, 3)
+	for i := range chans {
+		chans[i] = cl.InvokeAsync(ctx, []byte(fmt.Sprintf("partial-%d", i)))
+	}
+	for i, ch := range chans {
+		select {
+		case res := <-ch:
+			if res.Err != nil {
+				t.Fatalf("op %d: %v", i, res.Err)
+			}
+			if want := fmt.Sprintf("echo:partial-%d", i); string(res.Reply) != want {
+				t.Fatalf("op %d reply = %q, want %q", i, res.Reply, want)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("op %d never flushed", i)
+		}
+	}
+}
+
+// TestOversizeOpPassesThrough proves a single op larger than maxBytes is
+// not held hostage by the byte budget: it ships alone, effectively
+// unbatched, while small ops keep coalescing around it.
+func TestOversizeOpPassesThrough(t *testing.T) {
+	c := startSim(t,
+		WithAppFactory(echoApp()),
+		WithClients(2),
+		WithClientBatching(8, 128, time.Millisecond),
+	)
+	cl := c.Client()
+	ctx := context.Background()
+	big := bytes.Repeat([]byte("B"), 1024) // 8x the 128-byte budget
+	small := []byte("small")
+	bigCh := cl.InvokeAsync(ctx, big)
+	smallCh := cl.InvokeAsync(ctx, small)
+	if res := <-bigCh; res.Err != nil {
+		t.Fatalf("oversize op: %v", res.Err)
+	} else if !bytes.Equal(res.Reply, append([]byte("echo:"), big...)) {
+		t.Fatalf("oversize reply = %d bytes %q...", len(res.Reply), res.Reply[:16])
+	}
+	if res := <-smallCh; res.Err != nil {
+		t.Fatalf("small op: %v", res.Err)
+	} else if string(res.Reply) != "echo:small" {
+		t.Fatalf("small reply = %q", res.Reply)
+	}
+}
+
+// TestMagicPrefixedOp proves ops that look like multi-op envelopes survive
+// both the batched and unbatched paths (they are escaped end to end).
+func TestMagicPrefixedOp(t *testing.T) {
+	for _, batched := range []bool{false, true} {
+		t.Run(fmt.Sprintf("batched=%v", batched), func(t *testing.T) {
+			opts := []Option{WithAppFactory(echoApp()), WithClients(2)}
+			if batched {
+				opts = append(opts, WithClientBatching(4, 0, time.Millisecond))
+			}
+			c := startSim(t, opts...)
+			op := wire.PackOps([][]byte{[]byte("looks-like-envelope")})
+			reply, err := c.Client().Invoke(context.Background(), op)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := append([]byte("echo:"), op...); !bytes.Equal(reply, want) {
+				t.Fatalf("reply = %q, want the raw op echoed back", reply)
+			}
+		})
+	}
+}
+
+// TestShutdownFailsQueuedOps proves the satellite fix: closing the cluster
+// with ops still queued (batcher queue and in-flight) resolves every
+// result channel with a terminal error instead of leaving callers hanging.
+func TestShutdownFailsQueuedOps(t *testing.T) {
+	c := startSim(t,
+		WithApp("counter"),
+		WithClients(1),
+		WithClientBatching(1, 0, time.Millisecond), // one op per batch, width 1
+	)
+	sr, err := c.sim()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Park the driver: the first op is admitted and stuck in flight, the
+	// rest pile up behind the single logical client.
+	sr.holdStepping.Store(true)
+	ctx := context.Background()
+	cl := c.Client()
+	const n = 6
+	chans := make([]<-chan Result, n)
+	for i := 0; i < n; i++ {
+		chans[i] = cl.InvokeAsync(ctx, []byte("inc"))
+	}
+	time.Sleep(20 * time.Millisecond) // let the first dispatch reach the driver
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i, ch := range chans {
+		select {
+		case res := <-ch:
+			if res.Err == nil {
+				t.Fatalf("op %d: completed after Close; want terminal error", i)
+			}
+			if !errors.Is(res.Err, ErrClosed) && !errors.Is(res.Err, context.Canceled) {
+				t.Fatalf("op %d: err = %v, want ErrClosed", i, res.Err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("op %d: result channel never resolved after Close", i)
+		}
+	}
+	// A fresh call after close fails immediately.
+	if _, err := cl.Invoke(ctx, []byte("inc")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Invoke after Close: err = %v, want ErrClosed", err)
+	}
+}
+
+// TestBatchedCancellationResolvesPromptly proves a canceled context
+// settles its op with ctx.Err() even while the op's batch is stuck in
+// flight (the driver is parked), without waiting for the batch timeout.
+func TestBatchedCancellationResolvesPromptly(t *testing.T) {
+	c := startSim(t,
+		WithApp("counter"),
+		WithClients(1),
+		WithClientBatching(4, 0, 100*time.Microsecond),
+	)
+	sr, err := c.sim()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr.holdStepping.Store(true)
+	defer sr.holdStepping.Store(false)
+	ctx, cancel := context.WithCancel(context.Background())
+	ch := c.Client().InvokeAsync(ctx, []byte("inc"))
+	time.Sleep(10 * time.Millisecond) // let the batch dispatch and stall
+	cancel()
+	select {
+	case res := <-ch:
+		if !errors.Is(res.Err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", res.Err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled op did not resolve while its batch was in flight")
+	}
+}
+
+// TestAdaptiveWidthStaysBounded sanity-checks the controller: under load
+// the dispatch width stays within [1, Pipeline] and ops all complete.
+func TestAdaptiveWidthStaysBounded(t *testing.T) {
+	const width = 8
+	c := startSim(t,
+		WithAppFactory(echoApp()),
+		WithClients(width),
+		WithClientBatching(4, 0, 200*time.Microsecond),
+	)
+	cl := c.Client()
+	ctx := context.Background()
+	const n = 96
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := cl.Invoke(ctx, []byte(fmt.Sprintf("w-%d", i))); err != nil {
+				errs <- err
+			}
+		}(i)
+		if w := cl.PipelineWidth(); w < 1 || w > width {
+			t.Errorf("PipelineWidth = %d outside [1,%d]", w, width)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if w := cl.PipelineWidth(); w < 1 || w > width {
+		t.Fatalf("final PipelineWidth = %d outside [1,%d]", w, width)
+	}
+}

@@ -1,0 +1,281 @@
+package saebft
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// BatchBenchConfig parameterizes RunBatchingBench, the reproducible
+// client-batching/pipeline-width sweep. Zero-value fields take defaults;
+// Short selects a CI-smoke grid small enough to finish in seconds.
+type BatchBenchConfig struct {
+	Transports []string // subset of {"sim", "tcp"}; default both
+	BatchOps   []int    // WithClientBatching maxOps values; 0 = batching off
+	Pipelines  []int    // WithClients widths to sweep
+	Ops        int      // operations per point (all issued concurrently)
+	OpSize     int      // request payload bytes
+	Repeat     int      // samples per point; the best is reported
+	Short      bool     // CI smoke sizing (overrides the grid fields)
+}
+
+func (c *BatchBenchConfig) fillDefaults() {
+	if c.Repeat == 0 {
+		c.Repeat = 1
+		if c.Short {
+			// The smoke grid is cheap, and batch formation depends on
+			// wall-clock goroutine scheduling; best-of-3 smooths scheduler
+			// noise on shared CI machines before the regression gate.
+			c.Repeat = 3
+		}
+	}
+	if c.Short {
+		c.Transports = []string{"sim", "tcp"}
+		c.BatchOps = []int{0, 16}
+		c.Pipelines = []int{8}
+		c.Ops = 64
+		c.OpSize = 128
+		return
+	}
+	if len(c.Transports) == 0 {
+		c.Transports = []string{"sim", "tcp"}
+	}
+	if len(c.BatchOps) == 0 {
+		c.BatchOps = []int{0, 8, 32}
+	}
+	if len(c.Pipelines) == 0 {
+		c.Pipelines = []int{1, 4, 8}
+	}
+	if c.Ops == 0 {
+		c.Ops = 256
+	}
+	if c.OpSize == 0 {
+		c.OpSize = 128
+	}
+}
+
+// BenchPoint is one measured configuration of the batching sweep.
+//
+// On the simulated transport Throughput is computed over virtual time —
+// far more stable across machines than wall clock, though batch formation
+// still depends on real goroutine scheduling, which is why the regression
+// gate keys on these points with a generous floor. On TCP it is computed
+// over wall time (machine-dependent, reported for trend-watching only).
+type BenchPoint struct {
+	Transport  string  `json:"transport"`
+	Pipeline   int     `json:"pipeline"`
+	BatchOps   int     `json:"batch_ops"` // 0 = client batching off
+	Ops        int     `json:"ops"`
+	OpSize     int     `json:"op_size"`
+	WallMs     float64 `json:"wall_ms"`
+	VirtualMs  float64 `json:"virtual_ms,omitempty"` // sim only
+	Throughput float64 `json:"throughput_ops_per_s"`
+	MeanLatMs  float64 `json:"mean_latency_ms"` // wall clock, submission to reply
+	Batches    uint64  `json:"batches"`
+	FinalWidth int     `json:"final_width"`
+}
+
+// key identifies a point for baseline comparison.
+func (p *BenchPoint) key() string {
+	return fmt.Sprintf("%s/p%d/b%d/n%d/s%d", p.Transport, p.Pipeline, p.BatchOps, p.Ops, p.OpSize)
+}
+
+// BenchReport is the machine-readable output of RunBatchingBench; CI
+// uploads it as the BENCH_batching.json artifact and gates merges on it.
+type BenchReport struct {
+	Name          string       `json:"name"`
+	SchemaVersion int          `json:"schema_version"`
+	GoVersion     string       `json:"go_version"`
+	Short         bool         `json:"short"`
+	CreatedUnix   int64        `json:"created_unix"`
+	Points        []BenchPoint `json:"points"`
+}
+
+// RunBatchingBench sweeps client-side batch size × pipeline width over the
+// selected transports and returns one point per configuration. Every point
+// issues cfg.Ops concurrent operations against a fresh cluster and
+// measures completion throughput and latency — the benchmark the
+// ROADMAP's scaling work is tracked against.
+func RunBatchingBench(cfg BatchBenchConfig) (*BenchReport, error) {
+	cfg.fillDefaults()
+	rep := &BenchReport{
+		Name:          "client-batching",
+		SchemaVersion: 1,
+		GoVersion:     runtime.Version(),
+		Short:         cfg.Short,
+		CreatedUnix:   time.Now().Unix(),
+	}
+	for _, tr := range cfg.Transports {
+		for _, pipe := range cfg.Pipelines {
+			for _, bops := range cfg.BatchOps {
+				var best BenchPoint
+				for try := 0; try < cfg.Repeat; try++ {
+					pt, err := runBatchPoint(tr, pipe, bops, cfg.Ops, cfg.OpSize)
+					if err != nil {
+						return nil, fmt.Errorf("saebft: bench point %s/p%d/b%d: %w", tr, pipe, bops, err)
+					}
+					if try == 0 || pt.Throughput > best.Throughput {
+						best = pt
+					}
+				}
+				rep.Points = append(rep.Points, best)
+			}
+		}
+	}
+	return rep, nil
+}
+
+func runBatchPoint(transport string, pipeline, batchOps, ops, opSize int) (BenchPoint, error) {
+	pt := BenchPoint{
+		Transport: transport, Pipeline: pipeline, BatchOps: batchOps,
+		Ops: ops, OpSize: opSize,
+	}
+	opts := []Option{
+		WithApp("null"),
+		WithClients(pipeline),
+		WithSeed("bench-batching"),
+		WithInvokeTimeout(2 * time.Minute),
+	}
+	switch transport {
+	case "sim":
+		opts = append(opts, WithTransport(SimTransport()))
+	case "tcp":
+		opts = append(opts, WithTransport(TCPTransport()))
+	default:
+		return pt, fmt.Errorf("unknown transport %q", transport)
+	}
+	if batchOps > 0 {
+		opts = append(opts, WithClientBatching(batchOps, 0, 100*time.Microsecond))
+	}
+	c, err := NewCluster(opts...)
+	if err != nil {
+		return pt, err
+	}
+	if err := c.Start(context.Background()); err != nil {
+		return pt, err
+	}
+	defer c.Close()
+	cl := c.Client()
+	ctx := context.Background()
+	op := make([]byte, opSize)
+	for i := range op {
+		op[i] = byte(i)
+	}
+	// One warm-up round trip settles connections and the view before the
+	// measured window; its counters are excluded from the report.
+	if _, err := cl.Invoke(ctx, op); err != nil {
+		return pt, err
+	}
+	warmBatches := cl.Batches()
+	virtStart, _ := c.VirtualTime()
+	wallStart := time.Now()
+	// One collector per op records its latency the moment its reply lands
+	// (all ops are submitted together, so sojourn ≈ now - wallStart);
+	// draining sequentially would charge each op the slowest predecessor.
+	var latSum atomic.Int64
+	var wg sync.WaitGroup
+	errc := make(chan error, ops)
+	for i := 0; i < ops; i++ {
+		ch := cl.InvokeAsync(ctx, op)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res := <-ch
+			if res.Err != nil {
+				errc <- fmt.Errorf("op %d: %w", i, res.Err)
+				return
+			}
+			latSum.Add(int64(time.Since(wallStart)))
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(wallStart)
+	select {
+	case err := <-errc:
+		return pt, err
+	default:
+	}
+	pt.WallMs = float64(wall) / 1e6
+	pt.MeanLatMs = float64(latSum.Load()) / float64(ops) / 1e6
+	pt.Batches = cl.Batches() - warmBatches
+	pt.FinalWidth = cl.PipelineWidth()
+	elapsed := wall
+	if transport == "sim" {
+		virtEnd, err := c.VirtualTime()
+		if err != nil {
+			return pt, err
+		}
+		virt := virtEnd - virtStart
+		pt.VirtualMs = float64(virt) / 1e6
+		elapsed = virt
+	}
+	if elapsed <= 0 {
+		elapsed = time.Nanosecond
+	}
+	pt.Throughput = float64(ops) / elapsed.Seconds()
+	return pt, nil
+}
+
+// WriteFile writes the report as indented JSON.
+func (r *BenchReport) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadBenchReport reads a report written by WriteFile.
+func LoadBenchReport(path string) (*BenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r BenchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("saebft: parsing bench report %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// CompareBenchReports gates current against baseline: every simulated-
+// transport baseline point must be matched by a current point whose
+// virtual-time throughput is within maxRegress (e.g. 0.30 for 30%) of the
+// baseline's. Wall-clock (TCP) points are machine-dependent and are not
+// gated. Returns an error describing every regression, or nil.
+func CompareBenchReports(current, baseline *BenchReport, maxRegress float64) error {
+	cur := make(map[string]BenchPoint, len(current.Points))
+	for _, p := range current.Points {
+		cur[p.key()] = p
+	}
+	var failures []string
+	for _, base := range baseline.Points {
+		if base.Transport != "sim" {
+			continue
+		}
+		now, ok := cur[base.key()]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: missing from current run", base.key()))
+			continue
+		}
+		floor := base.Throughput * (1 - maxRegress)
+		if now.Throughput < floor {
+			failures = append(failures,
+				fmt.Sprintf("%s: %.0f ops/s < %.0f (baseline %.0f ops/s - %.0f%%)",
+					base.key(), now.Throughput, floor, base.Throughput, maxRegress*100))
+		}
+	}
+	if len(failures) > 0 {
+		msg := "saebft: bench regression:"
+		for _, f := range failures {
+			msg += "\n  " + f
+		}
+		return fmt.Errorf("%s", msg)
+	}
+	return nil
+}

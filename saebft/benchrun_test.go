@@ -1,0 +1,99 @@
+package saebft
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestBatchingThroughputGain is the acceptance benchmark: at 64 concurrent
+// ops on the simulated transport, client-side batching must deliver at
+// least 2x the virtual-time throughput of unbatched pipelining. (Measured
+// headroom is ~16x; 2x leaves room for scheduler noise.)
+func TestBatchingThroughputGain(t *testing.T) {
+	rep, err := RunBatchingBench(BatchBenchConfig{
+		Transports: []string{"sim"},
+		BatchOps:   []int{0, 16},
+		Pipelines:  []int{8},
+		Ops:        64,
+		OpSize:     128,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var unbatched, batched *BenchPoint
+	for i := range rep.Points {
+		p := &rep.Points[i]
+		switch p.BatchOps {
+		case 0:
+			unbatched = p
+		case 16:
+			batched = p
+		}
+	}
+	if unbatched == nil || batched == nil {
+		t.Fatalf("sweep missing points: %+v", rep.Points)
+	}
+	if unbatched.Throughput <= 0 || batched.Throughput <= 0 {
+		t.Fatalf("non-positive throughput: unbatched=%v batched=%v", unbatched.Throughput, batched.Throughput)
+	}
+	speedup := batched.Throughput / unbatched.Throughput
+	t.Logf("unbatched %.0f ops/s, batched %.0f ops/s, speedup %.1fx (batches=%d, final width=%d)",
+		unbatched.Throughput, batched.Throughput, speedup, batched.Batches, batched.FinalWidth)
+	if speedup < 2 {
+		t.Fatalf("client batching speedup = %.2fx, want >= 2x", speedup)
+	}
+	if batched.Batches == 0 || batched.Batches >= uint64(batched.Ops) {
+		t.Fatalf("batches = %d for %d ops; coalescing did not happen", batched.Batches, batched.Ops)
+	}
+}
+
+// TestBenchReportRoundTripAndGate exercises the JSON artifact and the CI
+// regression gate logic.
+func TestBenchReportRoundTripAndGate(t *testing.T) {
+	rep := &BenchReport{
+		Name: "client-batching", SchemaVersion: 1,
+		Points: []BenchPoint{
+			{Transport: "sim", Pipeline: 8, BatchOps: 16, Ops: 64, OpSize: 128, Throughput: 5000},
+			{Transport: "tcp", Pipeline: 8, BatchOps: 16, Ops: 64, OpSize: 128, Throughput: 3000},
+		},
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_batching.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadBenchReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Points) != 2 || loaded.Points[0].Throughput != 5000 {
+		t.Fatalf("round trip lost data: %+v", loaded.Points)
+	}
+
+	// Identical reports pass the gate.
+	if err := CompareBenchReports(loaded, rep, 0.30); err != nil {
+		t.Fatalf("identical reports flagged: %v", err)
+	}
+	// A 50% sim regression fails a 30% gate.
+	bad := *rep
+	bad.Points = append([]BenchPoint(nil), rep.Points...)
+	bad.Points[0].Throughput = 2500
+	if err := CompareBenchReports(&bad, rep, 0.30); err == nil {
+		t.Fatal("50%% sim regression passed a 30%% gate")
+	}
+	// TCP points are wall-clock and never gated.
+	bad.Points[0].Throughput = 5000
+	bad.Points[1].Throughput = 100
+	if err := CompareBenchReports(&bad, rep, 0.30); err != nil {
+		t.Fatalf("tcp regression was gated: %v", err)
+	}
+	// A missing sim point fails the gate.
+	missing := *rep
+	missing.Points = rep.Points[1:]
+	if err := CompareBenchReports(&missing, rep, 0.30); err == nil {
+		t.Fatal("missing sim point passed the gate")
+	}
+	if _, err := LoadBenchReport(filepath.Join(t.TempDir(), "nope.json")); !os.IsNotExist(err) {
+		t.Fatalf("missing file err = %v", err)
+	}
+}

@@ -5,6 +5,9 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/replycert"
+	"repro/internal/wire"
 )
 
 // Client is a pipelined, context-aware handle onto a replicated service.
@@ -15,6 +18,13 @@ import (
 // through it, and returns it to the pool — so up to Pipeline() invocations
 // proceed concurrently and further calls queue for the next free slot.
 //
+// With client-side batching enabled (WithClientBatching / DialBatching),
+// operations are instead coalesced into multi-op requests: concurrent
+// Invoke/InvokeAsync calls share logical clients, one agreement slot
+// amortizes over a whole envelope of operations, and an adaptive
+// controller widens or narrows the number of concurrently dispatched
+// batches based on observed completion latency.
+//
 // A handle is safe for concurrent use by any number of goroutines.
 type Client struct {
 	cluster *Cluster       // non-nil when owned by an in-process Cluster
@@ -23,16 +33,25 @@ type Client struct {
 	free    chan int
 	width   int
 	timeout time.Duration
+	quit    chan struct{} // closed on terminal shutdown
+	bat     *batcher      // non-nil when client-side batching is enabled
 
 	inFlight    atomic.Int64
 	maxInFlight atomic.Int64
+	batches     atomic.Uint64
+	batchedOps  atomic.Uint64
 
 	closeOnce sync.Once
 	closed    atomic.Bool
 }
 
 func newHandle(width int, timeout time.Duration) *Client {
-	h := &Client{free: make(chan int, width), width: width, timeout: timeout}
+	h := &Client{
+		free:    make(chan int, width),
+		width:   width,
+		timeout: timeout,
+		quit:    make(chan struct{}),
+	}
 	for i := 0; i < width; i++ {
 		h.free <- i
 	}
@@ -51,6 +70,13 @@ func newDialedClient(rt clusterRuntime, width int, timeout time.Duration) *Clien
 	return h
 }
 
+// startBatching attaches a coalescing batcher; called once at construction,
+// before the handle is visible to any other goroutine.
+func (h *Client) startBatching(cfg clientBatching) {
+	cfg.fillDefaults()
+	h.bat = newBatcher(h, cfg)
+}
+
 // runtime resolves the live backend for this handle.
 func (h *Client) runtime() (clusterRuntime, error) {
 	if h.cluster != nil {
@@ -65,6 +91,23 @@ func (h *Client) runtime() (clusterRuntime, error) {
 // Pipeline reports how many invocations the handle can keep in flight
 // concurrently (the number of logical clients backing it).
 func (h *Client) Pipeline() int { return h.width }
+
+// PipelineWidth reports how many batch dispatches the adaptive controller
+// currently allows in flight. Without batching it equals Pipeline().
+func (h *Client) PipelineWidth() int {
+	if h.bat == nil {
+		return h.width
+	}
+	return h.bat.ctrl.width()
+}
+
+// Batches reports how many (multi-op or pass-through) requests the
+// batching path has completed successfully.
+func (h *Client) Batches() uint64 { return h.batches.Load() }
+
+// BatchedOps reports how many operations completed through the batching
+// path; BatchedOps()/Batches() is the achieved amortization factor.
+func (h *Client) BatchedOps() uint64 { return h.batchedOps.Load() }
 
 // InFlight reports how many invocations are currently admitted.
 func (h *Client) InFlight() int { return int(h.inFlight.Load()) }
@@ -84,11 +127,15 @@ func (h *Client) lease(ctx context.Context) (int, error) {
 		return idx, nil
 	case <-ctx.Done():
 		return 0, ctx.Err()
+	case <-h.quit:
+		return 0, ErrClosed
 	}
 }
 
-func (h *Client) admit() {
-	n := h.inFlight.Add(1)
+func (h *Client) admit() { h.admitN(1) }
+
+func (h *Client) admitN(k int) {
+	n := h.inFlight.Add(int64(k))
 	for {
 		max := h.maxInFlight.Load()
 		if n <= max || h.maxInFlight.CompareAndSwap(max, n) {
@@ -97,8 +144,10 @@ func (h *Client) admit() {
 	}
 }
 
-func (h *Client) release(idx int) {
-	h.inFlight.Add(-1)
+func (h *Client) release(idx int) { h.releaseN(idx, 1) }
+
+func (h *Client) releaseN(idx, k int) {
+	h.inFlight.Add(int64(-k))
 	h.free <- idx
 }
 
@@ -121,6 +170,16 @@ func (h *Client) Invoke(ctx context.Context, op []byte) ([]byte, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	if h.bat != nil {
+		select {
+		case res := <-h.bat.enqueue(ctx, op):
+			return res.Reply, res.Err
+		case <-ctx.Done():
+			// The batch resolves on its own; the buffered result channel
+			// absorbs the late delivery.
+			return nil, ctx.Err()
+		}
+	}
 	rt, err := h.runtime()
 	if err != nil {
 		return nil, err
@@ -131,19 +190,43 @@ func (h *Client) Invoke(ctx context.Context, op []byte) ([]byte, error) {
 	}
 	h.admit()
 	defer h.release(idx)
-	return rt.invoke(ctx, idx, op, h.effectiveTimeout(ctx))
+	return h.invokeSingle(ctx, rt, idx, op)
+}
+
+// invokeSingle runs one unbatched operation, escaping bodies that would be
+// mistaken for multi-op envelopes by the execution cluster.
+func (h *Client) invokeSingle(ctx context.Context, rt clusterRuntime, idx int, op []byte) ([]byte, error) {
+	wrapped := wire.IsMultiOp(op)
+	if wrapped {
+		op = wire.PackOps([][]byte{op})
+	}
+	reply, err := rt.invoke(ctx, idx, op, h.effectiveTimeout(ctx))
+	if err != nil || !wrapped {
+		return reply, err
+	}
+	bodies, err := replycert.SplitOpReplies(reply, 1)
+	if err != nil {
+		return nil, err
+	}
+	return bodies[0], nil
 }
 
 // InvokeAsync submits one operation without blocking and returns a channel
 // that receives exactly one Result. Up to Pipeline() invocations run
 // concurrently; beyond that, calls wait (off the caller's goroutine) for a
-// free slot. A canceled context resolves the invocation with ctx.Err() once
-// its logical client has quiesced.
+// free slot. A canceled context resolves the invocation with ctx.Err() —
+// promptly on the batching path (the operation may still execute as part
+// of its batch), or once its logical client has quiesced on the unbatched
+// path. Closing the owning cluster (or the dialed handle) drains queued
+// invocations with ErrClosed.
 func (h *Client) InvokeAsync(ctx context.Context, op []byte) <-chan Result {
-	ch := make(chan Result, 1)
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	if h.bat != nil {
+		return h.bat.enqueue(ctx, op)
+	}
+	ch := make(chan Result, 1)
 	rt, err := h.runtime()
 	if err != nil {
 		ch <- Result{Err: err}
@@ -170,22 +253,36 @@ func (h *Client) InvokeAsync(ctx context.Context, op []byte) <-chan Result {
 }
 
 func (h *Client) finish(ctx context.Context, rt clusterRuntime, idx int, op []byte, ch chan Result) {
-	reply, err := rt.invoke(ctx, idx, op, h.effectiveTimeout(ctx))
+	reply, err := h.invokeSingle(ctx, rt, idx, op)
 	h.release(idx)
 	ch <- Result{Reply: reply, Err: err}
 }
 
-// Close releases a handle obtained from Dial, disconnecting its endpoints.
-// On a handle owned by a Cluster it is a no-op — close the Cluster instead.
-func (h *Client) Close() error {
-	if h.cluster != nil {
-		return nil
-	}
+// shutdown terminally closes the handle: queued batched operations are
+// drained and failed with ErrClosed, waiters for a free logical client are
+// unblocked, and — on a dialed handle — the runtime's endpoints disconnect.
+// Idempotent; invoked by Close on dialed handles and by Cluster.Close on
+// owned ones.
+func (h *Client) shutdown() {
 	h.closeOnce.Do(func() {
 		h.closed.Store(true)
+		close(h.quit)
+		if h.bat != nil {
+			h.bat.stop()
+		}
 		if h.rt != nil {
 			h.rt.close()
 		}
 	})
+}
+
+// Close releases a handle obtained from Dial, disconnecting its endpoints
+// and failing any still-queued operations with ErrClosed. On a handle
+// owned by a Cluster it is a no-op — close the Cluster instead.
+func (h *Client) Close() error {
+	if h.cluster != nil {
+		return nil
+	}
+	h.shutdown()
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 )
@@ -45,6 +46,9 @@ func NewCluster(optfns ...Option) (*Cluster, error) {
 	}
 	c := &Cluster{o: o, builder: b}
 	c.handle = newClusterClient(c, o.clients, o.invokeTimeout)
+	if o.clientBatch.enabled {
+		c.handle.startBatching(o.clientBatch)
+	}
 	return c, nil
 }
 
@@ -98,6 +102,10 @@ func (c *Cluster) Close() error {
 	if stop != nil {
 		close(stop)
 	}
+	// Drain the handle first: queued (not yet dispatched) operations fail
+	// with ErrClosed immediately, then closing the runtime resolves the
+	// in-flight ones.
+	c.handle.shutdown()
 	if rt != nil {
 		return rt.close()
 	}
@@ -168,6 +176,22 @@ func (c *Cluster) sim() (*simRuntime, error) {
 		return nil, ErrSimOnly
 	}
 	return sr, nil
+}
+
+// VirtualTime reports the simulated transport's current virtual clock
+// (simulated transport only). Benchmarks measure deterministic virtual-time
+// throughput with it: the clock advances only with simulated network and
+// (optionally) compute activity, never with host wall time.
+func (c *Cluster) VirtualTime() (time.Duration, error) {
+	sr, err := c.sim()
+	if err != nil {
+		return 0, err
+	}
+	var now time.Duration
+	if err := sr.do(func() { now = time.Duration(sr.c.Net.Now()) }); err != nil {
+		return 0, err
+	}
+	return now, nil
 }
 
 // CrashAgreement crashes agreement replica i (simulated transport only).

@@ -130,6 +130,7 @@ type dialConfig struct {
 	ids     []int
 	timeout time.Duration
 	logf    func(string, ...interface{})
+	batch   clientBatching
 }
 
 // DialClients restricts the handle to specific client identities from the
@@ -146,6 +147,27 @@ func DialTimeout(t time.Duration) DialOption {
 // DialLogf installs a transport-level log function (default: silent).
 func DialLogf(f func(string, ...interface{})) DialOption {
 	return func(d *dialConfig) { d.logf = f }
+}
+
+// DialBatching enables client-side operation batching on the dialed
+// handle, with the same semantics and defaults as WithClientBatching.
+func DialBatching(maxOps, maxBytes int, flushInterval time.Duration) DialOption {
+	return func(d *dialConfig) {
+		d.batch.enabled = true
+		d.batch.maxOps = maxOps
+		d.batch.maxBytes = maxBytes
+		d.batch.flush = flushInterval
+	}
+}
+
+// DialAdaptivePipeline toggles the latency-driven dispatch-width
+// controller on a batching dialed handle (default on), mirroring
+// WithAdaptivePipeline.
+func DialAdaptivePipeline(on bool) DialOption {
+	return func(d *dialConfig) {
+		d.batch.adaptive = on
+		d.batch.adaptSet = true
+	}
 }
 
 // Dial connects a client handle to a running multi-process deployment. The
@@ -191,5 +213,9 @@ func Dial(cfg *Config, optfns ...DialOption) (*Client, error) {
 		}
 		rt.eps = append(rt.eps, ep)
 	}
-	return newDialedClient(rt, len(rt.eps), dc.timeout), nil
+	h := newDialedClient(rt, len(rt.eps), dc.timeout)
+	if dc.batch.enabled {
+		h.startBatching(dc.batch)
+	}
+	return h, nil
 }

@@ -18,8 +18,10 @@ type options struct {
 	appName       string
 	appFactory    func() sm.StateMachine
 	batchSize     int
+	batchBytes    int
 	batchWait     time.Duration
 	pipeline      int
+	clientBatch   clientBatching
 	macRequests   bool
 	macOrders     bool
 	directReply   bool
@@ -75,6 +77,43 @@ func WithReplyMode(r ReplyMode) Option {
 // batch before ordering it anyway. Zero values keep the defaults.
 func WithBatching(size int, wait time.Duration) Option {
 	return func(o *options) { o.batchSize = size; o.batchWait = wait }
+}
+
+// WithBatchBytes bounds the request-body bytes the agreement primary packs
+// into one ordered batch — the byte-level companion of WithBatching, which
+// matters once batching clients submit large multi-op requests. Zero keeps
+// the default (256 KiB).
+func WithBatchBytes(n int) Option { return func(o *options) { o.batchBytes = n } }
+
+// WithClientBatching turns on client-side operation batching: concurrent
+// Invoke/InvokeAsync calls on the cluster's handle are coalesced into
+// multi-op requests of at most maxOps operations or maxBytes of bodies,
+// and a partial batch is flushed after flushInterval. One agreement slot,
+// one execution, and one reply certificate then amortize over the whole
+// batch. A single operation larger than maxBytes passes through on its
+// own. Zero values take the defaults (16 ops, 1 MiB, 200µs).
+//
+// Batching changes throughput, not semantics: every operation still gets
+// its own certified reply, and unrelated operations never see each other.
+func WithClientBatching(maxOps, maxBytes int, flushInterval time.Duration) Option {
+	return func(o *options) {
+		o.clientBatch.enabled = true
+		o.clientBatch.maxOps = maxOps
+		o.clientBatch.maxBytes = maxBytes
+		o.clientBatch.flush = flushInterval
+	}
+}
+
+// WithAdaptivePipeline toggles the latency-driven controller that widens
+// and narrows how many batches the handle keeps in flight (between 1 and
+// WithClients). On by default when client batching is enabled; turning it
+// off pins the dispatch width to WithClients. No effect without
+// WithClientBatching.
+func WithAdaptivePipeline(on bool) Option {
+	return func(o *options) {
+		o.clientBatch.adaptive = on
+		o.clientBatch.adaptSet = true
+	}
 }
 
 // WithPipeline bounds how many agreement certificates each message queue
@@ -149,6 +188,7 @@ func (o *options) coreOptions() (core.Options, error) {
 		MACOrders:     o.macOrders,
 		DirectReply:   o.directReply,
 		BatchSize:     o.batchSize,
+		BatchBytes:    o.batchBytes,
 		Pipeline:      o.pipeline,
 		BatchWait:     types.Time(o.batchWait.Nanoseconds()),
 		ThresholdBits: o.thresholdBits,

@@ -86,8 +86,12 @@ func runBatching(short bool, out, baseline string, maxRegress float64) {
 		if p.BatchOps > 0 {
 			batch = fmt.Sprintf("%d", p.BatchOps)
 		}
-		fmt.Printf("%-4s pipeline=%d batch=%-3s ops=%-4d %s  %9.0f ops/s  mean-lat %6.1fms  batches=%-3d width=%d\n",
-			p.Transport, p.Pipeline, batch, p.Ops, clock, p.Throughput, p.MeanLatMs, p.Batches, p.FinalWidth)
+		store := "mem"
+		if p.Storage {
+			store = "wal"
+		}
+		fmt.Printf("%-4s pipeline=%d batch=%-3s store=%s ops=%-4d %s  %9.0f ops/s  mean-lat %6.1fms  batches=%-3d width=%d\n",
+			p.Transport, p.Pipeline, batch, store, p.Ops, clock, p.Throughput, p.MeanLatMs, p.Batches, p.FinalWidth)
 	}
 	if out != "" {
 		if err := rep.WriteFile(out); err != nil {

@@ -16,6 +16,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"repro/saebft"
 )
@@ -24,6 +25,7 @@ func main() {
 	var (
 		cfgPath = flag.String("config", "cluster.json", "cluster config file (from saebft-keygen)")
 		id      = flag.Int("id", -1, "node identity to run")
+		dataDir = flag.String("data-dir", "", "durable storage root; the node persists its WAL and checkpoints under <data-dir>/node-<id> and recovers from them on restart (empty = in-memory)")
 		verbose = flag.Bool("verbose", false, "log transport-level connection events")
 	)
 	flag.Parse()
@@ -36,7 +38,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "saebft-node:", err)
 		os.Exit(1)
 	}
-	node, err := saebft.NewNode(cfg, *id)
+	var nodeOpts []saebft.NodeOption
+	if *dataDir != "" {
+		nodeOpts = append(nodeOpts, saebft.NodeDataDir(*dataDir))
+	}
+	node, err := saebft.NewNode(cfg, *id, nodeOpts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "saebft-node:", err)
 		os.Exit(1)
@@ -45,17 +51,44 @@ func main() {
 		node.SetLogf(log.Printf)
 	}
 
-	// Signal-driven lifecycle: the context's cancellation closes the node.
+	// Signal-driven graceful shutdown: SIGINT/SIGTERM cancel the context
+	// rather than killing the process mid-write, so Close can flush the
+	// WAL and close the transports. A second signal (the context is no
+	// longer intercepting after stop) kills the process the hard way —
+	// which durable nodes survive too, by recovering on the next start.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if err := node.Start(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "saebft-node:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("saebft-node: %s replica %d listening on %s (%s/%s)\n",
-		node.Role(), node.ID(), node.Addr(), cfg.Mode(), cfg.App())
+	durability := "in-memory"
+	if *dataDir != "" {
+		durability = "durable: " + *dataDir
+	}
+	fmt.Printf("saebft-node: %s replica %d listening on %s (%s/%s, %s)\n",
+		node.Role(), node.ID(), node.Addr(), cfg.Mode(), cfg.App(), durability)
+
+	// A replica whose store fails stops executing (fail-stop) but keeps
+	// its sockets open; poll and say so loudly instead of hanging mute.
+	if *dataDir != "" {
+		go func() {
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(5 * time.Second):
+				}
+				if err := node.StorageErr(); err != nil {
+					log.Printf("saebft-node: STORAGE FAILURE, replica halted (fail-stop): %v", err)
+					return
+				}
+			}
+		}()
+	}
 
 	<-ctx.Done()
-	fmt.Println("saebft-node: shutting down")
+	stop() // restore default signal handling: a second signal force-kills
+	fmt.Println("saebft-node: shutting down (flushing WAL and checkpoints)")
 	node.Close()
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"path/filepath"
 
 	"repro/internal/auth"
 	"repro/internal/execnode"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/replycert"
 	"repro/internal/seal"
 	"repro/internal/sm"
+	"repro/internal/storage"
 	"repro/internal/threshold"
 	"repro/internal/transport"
 	"repro/internal/types"
@@ -68,6 +70,19 @@ func (b *Builder) replyAuth(id types.NodeID) auth.Scheme {
 	return nil
 }
 
+// nodeStore opens (or builds via the injected factory) the durable store
+// for one node identity; (nil, nil) when persistence is not configured.
+func (b *Builder) nodeStore(id types.NodeID) (storage.Store, error) {
+	if b.Opts.Storage != nil {
+		return b.Opts.Storage(id)
+	}
+	if b.Opts.DataDir == "" {
+		return nil, nil
+	}
+	dir := filepath.Join(b.Opts.DataDir, fmt.Sprintf("node-%d", id))
+	return storage.Open(dir, b.Opts.StorageOptions)
+}
+
 func (b *Builder) verifier(id types.NodeID) *replycert.Verifier {
 	if b.Opts.Mode == ModeBASE {
 		return replycert.NewVerifierFor(replycert.ModeQuorum, b.Top.F()+1, b.Top.Agreement, b.replyAuth(id), nil)
@@ -80,6 +95,10 @@ func (b *Builder) verifier(id types.NodeID) *replycert.Verifier {
 // network must drive; engine and queue expose introspection (queue is nil in
 // BASE mode).
 func (b *Builder) AgreementNode(id types.NodeID, send transport.Sender) (transport.Node, *pbft.Replica, *mqueue.Queue, error) {
+	store, err := b.nodeStore(id)
+	if err != nil {
+		return nil, nil, nil, err
+	}
 	engineCfg := pbft.Config{
 		ID:                 id,
 		Topology:           b.Top,
@@ -91,12 +110,23 @@ func (b *Builder) AgreementNode(id types.NodeID, send transport.Sender) (transpo
 		CheckpointInterval: b.Opts.CheckpointInterval,
 		WindowSize:         b.Opts.WindowSize,
 		RequestTimeout:     b.Opts.RequestTimeout,
+		Store:              store,
+	}
+	closeStore := func() {
+		if store != nil {
+			store.Close()
+		}
 	}
 	if b.Opts.Mode == ModeBASE {
 		app := newDirectApp(id, b.Top, b.Opts.App(), b.replyAuth(id), send)
 		engine, err := pbft.New(engineCfg, app, send)
 		if err != nil {
+			closeStore()
 			return nil, nil, nil, err
+		}
+		if err := engine.Recover(0); err != nil {
+			closeStore()
+			return nil, nil, nil, fmt.Errorf("core: recovering agreement replica %v: %w", id, err)
 		}
 		return engine, engine, nil, nil
 	}
@@ -114,11 +144,17 @@ func (b *Builder) AgreementNode(id types.NodeID, send transport.Sender) (transpo
 		CacheReplies: true,
 	}, send)
 	if err != nil {
+		closeStore()
 		return nil, nil, nil, err
 	}
 	engine, err := pbft.New(engineCfg, queue, send)
 	if err != nil {
+		closeStore()
 		return nil, nil, nil, err
+	}
+	if err := engine.Recover(0); err != nil {
+		closeStore()
+		return nil, nil, nil, fmt.Errorf("core: recovering agreement replica %v: %w", id, err)
 	}
 	node := &AgreementNode{ID: id, Engine: engine, Queue: queue}
 	return node, engine, queue, nil
@@ -145,6 +181,15 @@ func (b *Builder) ExecNode(id types.NodeID, send transport.Sender) (*execnode.Re
 	if b.Opts.Mode == ModeFirewall {
 		replyDests = b.Top.Filters[b.Top.H()]
 	}
+	store, err := b.nodeStore(id)
+	if err != nil {
+		return nil, nil, err
+	}
+	closeStore := func() {
+		if store != nil {
+			store.Close()
+		}
+	}
 	app := b.Opts.App()
 	ex, err := execnode.New(execnode.Config{
 		ID:                   id,
@@ -160,9 +205,15 @@ func (b *Builder) ExecNode(id types.NodeID, send transport.Sender) (*execnode.Re
 		Seals:                seals,
 		Pipeline:             b.Opts.Pipeline,
 		CheckpointInterval:   b.Opts.CheckpointInterval,
+		Store:                store,
 	}, app, send)
 	if err != nil {
+		closeStore()
 		return nil, nil, err
+	}
+	if err := ex.Recover(0); err != nil {
+		closeStore()
+		return nil, nil, fmt.Errorf("core: recovering execution replica %v: %w", id, err)
 	}
 	return ex, app, nil
 }

@@ -9,6 +9,7 @@ import (
 	"repro/internal/pbft"
 	"repro/internal/replycert"
 	"repro/internal/sm"
+	"repro/internal/storage"
 	"repro/internal/transport"
 	"repro/internal/types"
 )
@@ -54,6 +55,22 @@ type Options struct {
 	Seed    string // key-material seed
 	NetSeed int64
 	Net     transport.SimNetConfig // optional overrides (Seed wins from NetSeed)
+
+	// DataDir, when set, makes every node built by this process durable:
+	// each gets a write-ahead log and checkpoint store rooted at
+	// <DataDir>/node-<id>, and recovery runs during construction, so a
+	// cluster restarted from the same directory resumes from its newest
+	// stable checkpoint plus WAL tail. Empty keeps nodes in-memory.
+	DataDir string
+
+	// Storage overrides DataDir with a custom per-node store factory
+	// (tests inject failing or observing stores through it). A factory
+	// returning (nil, nil) leaves that node in-memory.
+	Storage storage.Factory
+
+	// StorageOptions tunes segment size, checkpoint retention, and the
+	// fsync policy of DataDir-opened stores.
+	StorageOptions storage.Options
 
 	// App builds one state machine instance per hosting replica.
 	App func() sm.StateMachine
@@ -244,6 +261,30 @@ func (c *Cluster) Invoke(client int, op []byte, timeout types.Time) ([]byte, err
 	}
 	r, _ := cl.Result()
 	return r, nil
+}
+
+// Shutdown flushes and closes every node's durable store (graceful-exit
+// path). No-op for in-memory clusters. The caller must have quiesced the
+// simulation: nodes are not driven afterwards.
+func (c *Cluster) Shutdown() {
+	for _, e := range c.Engines {
+		e.Shutdown()
+	}
+	for _, ex := range c.Execs {
+		ex.Shutdown()
+	}
+}
+
+// Kill abandons every node's durable store without flushing, releasing
+// file handles and directory locks the way process death would (crash
+// tests). No-op for in-memory clusters.
+func (c *Cluster) Kill() {
+	for _, e := range c.Engines {
+		e.CrashStop()
+	}
+	for _, ex := range c.Execs {
+		ex.CrashStop()
+	}
 }
 
 // CrashAgreement crashes agreement replica i.

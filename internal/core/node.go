@@ -43,6 +43,16 @@ func (n *AgreementNode) Tick(now types.Time) {
 	n.Engine.Tick(now)
 }
 
+// Shutdown flushes and closes the engine's durable store (graceful-exit
+// path); the deploy layer invokes it before tearing the runtime down.
+func (n *AgreementNode) Shutdown() { n.Engine.Shutdown() }
+
+// CrashStop abandons the engine's store without flushing (crash tests).
+func (n *AgreementNode) CrashStop() { n.Engine.CrashStop() }
+
+// StorageErr surfaces the engine's first storage failure (fail-stop cause).
+func (n *AgreementNode) StorageErr() error { return n.Engine.StorageErr() }
+
 // directApp is the coupled-baseline application adapter: the agreement
 // engine executes the state machine in place (Figure 1a) and every replica
 // sends its reply share straight to the client, which collects f+1 matching

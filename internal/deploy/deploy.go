@@ -182,19 +182,53 @@ func (n *RunningNode) Inspect(fn func(node transport.Node)) {
 	n.runtime.Do(func(types.Time) { fn(n.node) })
 }
 
-// Close shuts the node down.
+// Close shuts the node down gracefully: the durable store (if any) is
+// flushed and closed on the runtime goroutine — serialized against message
+// delivery, so no record is torn mid-write — before the transports stop.
 func (n *RunningNode) Close() {
+	n.runtime.Do(func(types.Time) {
+		if s, ok := n.node.(interface{ Shutdown() }); ok {
+			s.Shutdown()
+		}
+	})
 	n.runtime.Close()
 	n.Net.Close()
+}
+
+// Kill tears the node down without flushing its store, simulating a crash
+// (kill -9): buffered WAL appends are discarded and the data-dir lock
+// released, as process death would. Recovery tests use it; everything else
+// should Close.
+func (n *RunningNode) Kill() {
+	n.runtime.Close()
+	if cs, ok := n.node.(interface{ CrashStop() }); ok {
+		cs.CrashStop()
+	}
+	n.Net.Close()
+}
+
+// NodeOptions carries per-process settings that are not part of the shared
+// deployment config.
+type NodeOptions struct {
+	// DataDir is the durable-storage root shared by the deployment's
+	// processes on this filesystem; the node persists under
+	// <DataDir>/node-<id>. Empty runs the node in-memory.
+	DataDir string
 }
 
 // StartNode builds and runs the node with the given identity over TCP. It
 // returns once the node is listening; the node runs until Close.
 func StartNode(cfg *Config, id types.NodeID) (*RunningNode, error) {
+	return StartNodeOpts(cfg, id, NodeOptions{})
+}
+
+// StartNodeOpts is StartNode with per-process options (durable storage).
+func StartNodeOpts(cfg *Config, id types.NodeID, nopts NodeOptions) (*RunningNode, error) {
 	opts, err := cfg.Options()
 	if err != nil {
 		return nil, err
 	}
+	opts.DataDir = nopts.DataDir
 	b, err := core.NewBuilder(opts)
 	if err != nil {
 		return nil, err

@@ -26,6 +26,7 @@ import (
 	"repro/internal/replycert"
 	"repro/internal/seal"
 	"repro/internal/sm"
+	"repro/internal/storage"
 	"repro/internal/threshold"
 	"repro/internal/transport"
 	"repro/internal/types"
@@ -68,6 +69,22 @@ type Config struct {
 	Pipeline           int // P: max buffered out-of-order batches
 	CheckpointInterval types.SeqNum
 	FetchRetry         types.Time
+
+	// Store, when non-nil, makes the replica durable: applied agreement
+	// certificates are appended to its WAL (and synced before their
+	// replies are externalized), stable checkpoints are persisted with
+	// their g+1 attestations, and Recover restores both after a restart.
+	// Nil keeps the seed's in-memory behavior.
+	Store storage.Store
+
+	// ReplyRetention bounds the exactly-once reply table: entries whose
+	// client has been idle for more than this many sequence numbers are
+	// pruned at the next checkpoint (a deterministic point, so all correct
+	// replicas prune identically and checkpoint digests still match). A
+	// client that retransmits after falling that far behind is re-executed
+	// rather than answered from cache — the standard trade for a bounded
+	// table. Zero takes the default (4096).
+	ReplyRetention types.SeqNum
 }
 
 func (c *Config) fillDefaults() {
@@ -79,6 +96,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.FetchRetry == 0 {
 		c.FetchRetry = types.Millisecond(40)
+	}
+	if c.ReplyRetention == 0 {
+		c.ReplyRetention = 4096
 	}
 }
 
@@ -97,7 +117,8 @@ type orderCand struct {
 // certificate sent to client c (§3.3).
 type replyState struct {
 	timestamp types.Timestamp
-	body      []byte // cached reply body r' (sealed if sealing is on)
+	body      []byte       // cached reply body r' (sealed if sealing is on)
+	seq       types.SeqNum // batch that last touched this entry (for pruning)
 }
 
 // Replica is one execution-cluster member.
@@ -124,6 +145,10 @@ type Replica struct {
 
 	// gap filling
 	fetchDeadline types.Time
+
+	// durability
+	recovering bool  // suppresses re-logging while replaying the WAL
+	storeErr   error // first storage failure; halts execution (fail-stop)
 
 	// Metrics counts externally observable activity.
 	Metrics Metrics
@@ -175,6 +200,11 @@ func New(cfg Config, app sm.StateMachine, send transport.Sender) (*Replica, erro
 
 // MaxN returns the highest executed sequence number.
 func (r *Replica) MaxN() types.SeqNum { return r.maxN }
+
+// StorageErr reports the first storage failure, if any. A replica whose
+// store fails stops executing (fail-stop) rather than serving undurable
+// results; the cluster masks it like any other fault.
+func (r *Replica) StorageErr() error { return r.storeErr }
 
 // StableSeq returns the latest stable checkpoint sequence number.
 func (r *Replica) StableSeq() types.SeqNum { return r.stableSeq }
@@ -251,9 +281,14 @@ func (r *Replica) onOrder(m *wire.Order, now types.Time) {
 	}
 }
 
-// onOrderProof applies a complete agreement certificate from a peer.
+// onOrderProof applies a complete agreement certificate from a peer (or,
+// during recovery, from the replica's own WAL — replay is bounded by the
+// log tail, so the live pipeline cap does not apply there).
 func (r *Replica) onOrderProof(m *wire.OrderProof, now types.Time) {
-	if m.Seq <= r.maxN || m.Seq > r.maxN+types.SeqNum(r.cfg.Pipeline) {
+	if m.Seq <= r.maxN {
+		return
+	}
+	if !r.recovering && m.Seq > r.maxN+types.SeqNum(r.cfg.Pipeline) {
 		return
 	}
 	od := m.OrderDigest()
@@ -301,11 +336,30 @@ func (r *Replica) completeOrder(n types.SeqNum, cand *orderCand, now types.Time)
 		View: cand.order.View, Seq: n, ND: cand.order.ND,
 		Requests: cand.order.Requests, Atts: atts,
 	}
+	// Durability: log the self-proving certificate before execution can
+	// externalize its effects. Replay feeds it back through onOrderProof.
+	if r.cfg.Store != nil && !r.recovering && r.storeErr == nil {
+		if err := r.cfg.Store.Append(storage.RecOrder, n, wire.Marshal(r.proofs[n])); err != nil {
+			r.storeErr = err
+		}
+	}
 	r.executeReady(now)
 }
 
-// executeReady runs proven batches in sequence order.
+// executeReady runs proven batches in sequence order. With a store
+// configured it first makes every logged certificate durable — one fsync
+// covers the whole delivery burst (group commit), and no reply leaves this
+// replica for a batch that could vanish in a crash.
 func (r *Replica) executeReady(now types.Time) {
+	if r.cfg.Store != nil && !r.recovering {
+		if r.storeErr != nil {
+			return
+		}
+		if err := r.cfg.Store.Sync(); err != nil {
+			r.storeErr = err
+			return
+		}
+	}
 	for {
 		next := r.maxN + 1
 		proof, ok := r.proofs[next]
@@ -333,6 +387,7 @@ func (r *Replica) executeBatch(proof *wire.OrderProof, now types.Time) {
 			rs = &replyState{}
 			r.replies[req.Client] = rs
 		}
+		rs.seq = proof.Seq
 		var entry wire.Reply
 		if req.Timestamp > rs.timestamp {
 			// Case 1: fresh request — execute it.
@@ -418,6 +473,13 @@ func (r *Replica) emitBundle(entries []wire.Reply, now types.Time) {
 	for i := range entries {
 		r.lastOut[entries[i].Client] = out
 	}
+	if r.recovering {
+		// WAL replay rebuilds the share cache only: these replies were
+		// already sent in a previous life, and the agreement cluster's
+		// retransmissions (its queue re-drives replayed batches as Order
+		// resends) will pull them from lastOut via resendCached.
+		return
+	}
 	data := wire.Marshal(out)
 	for _, d := range r.cfg.ReplyDests {
 		r.send(d, data)
@@ -458,6 +520,18 @@ func (r *Replica) resendCached(m *wire.Order) {
 // makeCheckpoint snapshots application state plus the reply table and shares
 // a signed digest with the cluster (§3.3.2).
 func (r *Replica) makeCheckpoint(n types.SeqNum) {
+	// Bound the reply table before snapshotting it. Checkpoint creation is
+	// a deterministic function of the executed log — unlike stability,
+	// which depends on message timing — so every correct replica prunes
+	// the same entries and digests still match.
+	if ret := r.cfg.ReplyRetention; ret > 0 {
+		for id, rs := range r.replies {
+			if rs.seq+ret < n {
+				delete(r.replies, id)
+				delete(r.lastOut, id)
+			}
+		}
+	}
 	payload := r.marshalCheckpoint()
 	digest := types.DigestBytes(payload)
 	r.ckptLocal[n] = payload
@@ -549,12 +623,48 @@ func (r *Replica) makeStable(n types.SeqNum, digest types.Digest, votes map[type
 			delete(r.ckptLocal, seq)
 		}
 	}
+	// Last-reply-share cache entries strictly below the watermark can no
+	// longer be demanded by agreement-cluster retransmissions that matter:
+	// a client still waiting on one would drive a fresh proposal, which
+	// re-answers from the reply table. Dropping them bounds the cache.
+	for c, out := range r.lastOut {
+		if len(out.Entries) > 0 && out.Entries[0].Seq < n {
+			delete(r.lastOut, c)
+		}
+	}
+	// Durability: persist the now-stable checkpoint with its proof, then
+	// let the WAL shed segments the checkpoint supersedes.
+	r.persistStable(n)
 	// If stability ran ahead of local execution we must state-transfer.
 	if r.maxN < n {
 		if _, ok := r.ckptLocal[n]; !ok {
 			r.Metrics.StateTransfer++
 			r.broadcastExec(wire.Marshal(&wire.CheckpointFetch{Seq: n, Executor: r.cfg.ID}))
 		}
+	}
+}
+
+// persistStable writes the stable checkpoint (payload + g+1 attestation
+// proof) to the store, if the payload is locally available, and prunes WAL
+// segments it supersedes. Safe to call repeatedly; the store dedups by
+// sequence number.
+func (r *Replica) persistStable(n types.SeqNum) {
+	if r.cfg.Store == nil || r.storeErr != nil || n != r.stableSeq {
+		return
+	}
+	payload, ok := r.ckptLocal[n]
+	if !ok {
+		return // state ran ahead; onCheckpointData persists once fetched
+	}
+	proof := wire.Marshal(&wire.StableProof{Seq: n, State: r.stableDig, Atts: r.stableAtts})
+	err := r.cfg.Store.SaveCheckpoint(storage.Checkpoint{
+		Seq: n, Digest: r.stableDig, Proof: proof, Payload: payload,
+	})
+	if err == nil {
+		err = r.cfg.Store.Prune(n)
+	}
+	if err != nil {
+		r.storeErr = err
 	}
 }
 
@@ -572,6 +682,7 @@ func (r *Replica) marshalCheckpoint() []byte {
 		rs := r.replies[id]
 		w.Node(id)
 		w.TS(rs.timestamp)
+		w.Seq(rs.seq)
 		w.Bytes(rs.body)
 	}
 	return w.B
@@ -584,7 +695,7 @@ func (r *Replica) restoreCheckpoint(payload []byte) error {
 	replies := make(map[types.NodeID]*replyState, n)
 	for i := 0; i < n; i++ {
 		id := rd.Node()
-		replies[id] = &replyState{timestamp: rd.TS(), body: rd.Bytes()}
+		replies[id] = &replyState{timestamp: rd.TS(), seq: rd.Seq(), body: rd.Bytes()}
 	}
 	if rd.Err() != nil || rd.Remaining() != 0 {
 		return fmt.Errorf("execnode: malformed checkpoint payload")
@@ -690,7 +801,96 @@ func (r *Replica) onCheckpointData(m *wire.CheckpointData, now types.Time) {
 			delete(r.pending, seq)
 		}
 	}
+	// A state transfer that filled in the stable payload completes the
+	// deferred persist from makeStable.
+	r.persistStable(m.Seq)
 	r.executeReady(now)
+}
+
+// --- durable recovery --------------------------------------------------------------
+
+// Recover restores the replica from its store after a restart: the newest
+// checkpoint whose g+1 attestations and digest verify, then the WAL tail
+// replayed through the normal verify-and-execute path (onOrderProof).
+// Anything newer than the log is fetched from peers by the existing
+// catch-up protocol once the replica is back online. Unverifiable
+// checkpoints and records are skipped, never fatal: a replica with a
+// damaged disk restarts empty and state-transfers.
+func (r *Replica) Recover(now types.Time) error {
+	st := r.cfg.Store
+	if st == nil {
+		return nil
+	}
+	r.recovering = true
+	defer func() { r.recovering = false }()
+	cks, err := st.Checkpoints()
+	if err != nil {
+		return err
+	}
+	allowed := make(map[types.NodeID]bool, len(r.top.Execution))
+	for _, id := range r.top.Execution {
+		allowed[id] = true
+	}
+	for _, ck := range cks { // newest first; take the first that verifies
+		if types.DigestBytes(ck.Payload) != ck.Digest {
+			continue
+		}
+		msg, err := wire.Unmarshal(ck.Proof)
+		if err != nil {
+			continue
+		}
+		sp, ok := msg.(*wire.StableProof)
+		if !ok || sp.Seq != ck.Seq || sp.State != ck.Digest {
+			continue
+		}
+		cd := wire.CheckpointDigest(ck.Seq, ck.Digest)
+		if auth.CountDistinct(r.cfg.ExecAuth, auth.KindExecCheckpoint, cd, sp.Atts, allowed) < r.g+1 {
+			continue
+		}
+		if err := r.restoreCheckpoint(ck.Payload); err != nil {
+			continue
+		}
+		r.maxN = ck.Seq
+		r.stableSeq, r.stableDig, r.stableAtts = ck.Seq, ck.Digest, sp.Atts
+		r.ckptLocal[ck.Seq] = ck.Payload
+		break
+	}
+	// Replay the tail. Records are self-proving OrderProofs; feeding them
+	// through the untrusted receive path re-verifies every attestation, so
+	// a tampered WAL can stall recovery but never corrupt state. The
+	// pipeline bound is bypassed while recovering (r.recovering) because
+	// replay is bounded by the log tail, not by live traffic.
+	return st.Replay(r.maxN, func(kind storage.RecordKind, seq types.SeqNum, payload []byte) error {
+		if kind != storage.RecOrder || seq <= r.maxN {
+			return nil
+		}
+		msg, err := wire.Unmarshal(payload)
+		if err != nil {
+			return nil // CRC-clean but unparsable: skip, catch up instead
+		}
+		if proof, ok := msg.(*wire.OrderProof); ok {
+			r.onOrderProof(proof, now)
+		}
+		return nil
+	})
+}
+
+// Shutdown flushes and closes the store (graceful-exit path). The replica
+// must not be driven afterwards.
+func (r *Replica) Shutdown() {
+	if r.cfg.Store == nil {
+		return
+	}
+	_ = r.cfg.Store.Sync()
+	_ = r.cfg.Store.Close()
+}
+
+// CrashStop abandons the store without flushing — the in-process stand-in
+// for kill -9 that recovery tests exercise. Graceful paths use Shutdown.
+func (r *Replica) CrashStop() {
+	if ab, ok := r.cfg.Store.(interface{ Abandon() }); ok {
+		ab.Abandon()
+	}
 }
 
 // Tick retries gap-filling while a gap persists.

@@ -18,7 +18,7 @@ import (
 var top = &types.Topology{
 	Agreement: []types.NodeID{0, 1, 2, 3},
 	Execution: []types.NodeID{100, 101, 102},
-	Clients:   []types.NodeID{1000},
+	Clients:   []types.NodeID{1000, 1001, 1002},
 }
 
 type sentMsg struct {

@@ -22,6 +22,7 @@ import (
 	"sort"
 
 	"repro/internal/auth"
+	"repro/internal/storage"
 	"repro/internal/transport"
 	"repro/internal/types"
 	"repro/internal/wire"
@@ -82,6 +83,24 @@ type Config struct {
 	// OnCommitted, if set, is invoked whenever a batch commits locally
 	// (before execution). Tests use it to observe protocol progress.
 	OnCommitted func(v types.View, n types.SeqNum)
+
+	// Store, when non-nil, makes the replica durable: committed batches
+	// are appended to its WAL as transferable commit certificates (and
+	// synced before execution externalizes them), stable checkpoints are
+	// persisted with their 2f+1 votes, and Recover restores both after a
+	// restart. Nil keeps the seed's in-memory behavior.
+	//
+	// Fault-model boundary: only committed state is persisted. Per-slot
+	// prepare/pre-prepare votes and the current view are not, so a replica
+	// that crashes mid-agreement restarts amnesiac about slots it may have
+	// voted on and could, if the primary of that view is simultaneously
+	// Byzantine, be induced to vote again differently — i.e. a recovering
+	// replica must be counted against f until it has rejoined. Full-cluster
+	// restarts (the scenario this subsystem targets) are safe regardless:
+	// every replica forgets the same uncommitted slots. Persisting votes
+	// for seamless single-replica crash+Byzantine overlap is the paper's
+	// §6 proactive-recovery direction (see ROADMAP).
+	Store storage.Store
 }
 
 func (c *Config) fillDefaults() {
@@ -190,6 +209,10 @@ type Replica struct {
 	executing     bool       // reentrancy guard for executeReady
 	now           types.Time // last observed time, for async callbacks
 
+	// durability
+	recovering bool  // suppresses re-logging while replaying the WAL
+	storeErr   error // first storage failure; halts execution (fail-stop)
+
 	// view change state (viewchange.go)
 	vcs           map[types.View]map[types.NodeID]*wire.ViewChange
 	sentVC        *wire.ViewChange
@@ -256,6 +279,11 @@ func (r *Replica) LastStable() types.SeqNum { return r.lastStable }
 
 // InViewChange reports whether the replica is between views.
 func (r *Replica) InViewChange() bool { return r.inViewChange }
+
+// StorageErr reports the first storage failure, if any. A replica whose
+// store fails stops executing (fail-stop) rather than acting on undurable
+// commits; the cluster masks it like any other fault.
+func (r *Replica) StorageErr() error { return r.storeErr }
 
 // isPrimary reports whether this replica leads the current view.
 func (r *Replica) isPrimary() bool { return r.top.PrimaryIndex(r.view) == r.idx }
@@ -626,6 +654,22 @@ func (r *Replica) checkCommitted(in *instance, now types.Time) {
 		return
 	}
 	in.committed = true
+	// Durability: log the commit as a self-proving transferable
+	// certificate (the same form peers exchange during catch-up), so
+	// replay after a restart re-verifies 2f+1 signatures rather than
+	// trusting the disk.
+	if r.cfg.Store != nil && !r.recovering && r.storeErr == nil {
+		atts := make([]auth.Attestation, 0, len(in.commits))
+		for _, v := range in.commits {
+			if v.od == in.od {
+				atts = append(atts, v.att)
+			}
+		}
+		rec := wire.Marshal(&wire.CommitProof{PP: *in.pp, Commits: atts})
+		if err := r.cfg.Store.Append(storage.RecCommit, in.seq, rec); err != nil {
+			r.storeErr = err
+		}
+	}
 	if r.cfg.OnCommitted != nil {
 		r.cfg.OnCommitted(in.view, in.seq)
 	}
@@ -643,6 +687,18 @@ func (r *Replica) executeReady(now types.Time) {
 	defer func() { r.executing = false }()
 	if now < r.now {
 		now = r.now
+	}
+	// With a store configured, make every logged commit durable before its
+	// execution can externalize effects (the message queue sending order
+	// certificates to executors). One fsync covers the whole burst.
+	if r.cfg.Store != nil && !r.recovering {
+		if r.storeErr != nil {
+			return
+		}
+		if err := r.cfg.Store.Sync(); err != nil {
+			r.storeErr = err
+			return
+		}
 	}
 	for {
 		if r.syncing {
@@ -706,6 +762,11 @@ func (r *Replica) completeCheckpoint(n types.SeqNum, digest types.Digest, payloa
 	digest = types.DigestBytes(payload)
 	r.ckptLocal[n] = savedCheckpoint{digest: digest, payload: payload}
 	r.Metrics.Checkpoints++
+	// If stability raced ahead of the local sync (2f+1 peers finished
+	// first), the deferred persist from makeStable can complete now.
+	if n == r.lastStable {
+		r.persistStable(n)
+	}
 	att, err := r.cfg.ReplicaAuth.Attest(auth.KindAgreeCheckpoint, wire.CheckpointDigest(n, digest), r.top.Agreement)
 	if err != nil {
 		return
@@ -763,6 +824,9 @@ func (r *Replica) makeStable(n types.SeqNum, digest types.Digest, votes map[type
 	}
 	r.lastStable = n
 	r.stableProof = proof
+	// Durability: persist the stable checkpoint with its vote set, then
+	// let the WAL shed segments it supersedes.
+	r.persistStable(n)
 	// If we fell behind (stable point ahead of execution), state-transfer.
 	if r.lastExec < n {
 		if _, ok := r.ckptLocal[n]; !ok {
@@ -783,6 +847,31 @@ func (r *Replica) makeStable(n types.SeqNum, digest types.Digest, votes map[type
 		if seq < n { // keep the latest for serving peers
 			delete(r.ckptLocal, seq)
 		}
+	}
+}
+
+// persistStable writes the stable checkpoint (wrapped payload + 2f+1 vote
+// proof) to the store, if the payload is locally available, and prunes WAL
+// segments it supersedes. Safe to call repeatedly; the store dedups by
+// sequence number.
+func (r *Replica) persistStable(n types.SeqNum) {
+	if r.cfg.Store == nil || r.storeErr != nil || n != r.lastStable {
+		return
+	}
+	saved, ok := r.ckptLocal[n]
+	if !ok {
+		return // payload still syncing or state-transferring; persisted later
+	}
+	err := r.cfg.Store.SaveCheckpoint(storage.Checkpoint{
+		Seq: n, Digest: saved.digest,
+		Proof:   wire.EncodeAgreeProof(r.stableProof),
+		Payload: saved.payload,
+	})
+	if err == nil {
+		err = r.cfg.Store.Prune(n)
+	}
+	if err != nil {
+		r.storeErr = err
 	}
 }
 
@@ -877,6 +966,9 @@ func (r *Replica) onCheckpointData(m *wire.CheckpointData, now types.Time) {
 	r.lastExec = m.Seq
 	r.fetchingSeq = 0
 	r.syncing = false
+	// A state transfer that filled in the stable payload completes the
+	// deferred persist from makeStable.
+	r.persistStable(m.Seq)
 	r.executeReady(now)
 }
 
@@ -918,10 +1010,15 @@ func (r *Replica) onStatus(m *wire.Status, now types.Time) {
 	}
 }
 
-// onCommitProof applies a transferable commit certificate from a peer.
+// onCommitProof applies a transferable commit certificate from a peer (or,
+// during recovery, from the replica's own WAL — replay is bounded by the
+// log tail, so the live window bound does not apply there).
 func (r *Replica) onCommitProof(m *wire.CommitProof, now types.Time) {
 	n := m.PP.Seq
-	if n <= r.lastExec || !r.inWindow(n) {
+	if n <= r.lastExec {
+		return
+	}
+	if !r.recovering && !r.inWindow(n) {
 		return
 	}
 	od := m.PP.OrderDigest()
@@ -944,6 +1041,14 @@ func (r *Replica) onCommitProof(m *wire.CommitProof, now types.Time) {
 	if in.executed {
 		return
 	}
+	// A commit learned via catch-up must hit the WAL like one assembled
+	// from live votes (checkCommitted), or recovery would have a hole at
+	// this slot despite the proof having driven execution.
+	if r.cfg.Store != nil && !r.recovering && !in.committed && r.storeErr == nil {
+		if err := r.cfg.Store.Append(storage.RecCommit, n, wire.Marshal(m)); err != nil {
+			r.storeErr = err
+		}
+	}
 	pp := m.PP
 	in.pp = &pp
 	in.od = od
@@ -956,6 +1061,118 @@ func (r *Replica) onCommitProof(m *wire.CommitProof, now types.Time) {
 		r.ndClock = pp.ND.Time
 	}
 	r.executeReady(now)
+}
+
+// --- durable recovery ---------------------------------------------------------
+
+// Recover restores the replica from its store after a restart: the newest
+// checkpoint whose 2f+1 votes and digest verify, then the WAL tail replayed
+// through the normal verify-and-execute path (onCommitProof). Execution of
+// replayed batches re-drives the message queue, whose retransmissions bring
+// the execution cluster back in step; anything newer than the log arrives
+// via the existing status-gossip catch-up. Unverifiable checkpoints and
+// records are skipped, never fatal.
+func (r *Replica) Recover(now types.Time) error {
+	st := r.cfg.Store
+	if st == nil {
+		return nil
+	}
+	r.recovering = true
+	defer func() { r.recovering = false }()
+	cks, err := st.Checkpoints()
+	if err != nil {
+		return err
+	}
+	allowed := make(map[types.NodeID]bool, r.n)
+	for _, id := range r.top.Agreement {
+		allowed[id] = true
+	}
+	for _, ck := range cks { // newest first; take the first that verifies
+		if types.DigestBytes(ck.Payload) != ck.Digest {
+			continue
+		}
+		votes, err := wire.DecodeAgreeProof(ck.Proof)
+		if err != nil {
+			continue
+		}
+		atts := make([]auth.Attestation, 0, len(votes))
+		for i := range votes {
+			if votes[i].Seq == ck.Seq && votes[i].State == ck.Digest {
+				atts = append(atts, votes[i].Att)
+			}
+		}
+		cd := wire.CheckpointDigest(ck.Seq, ck.Digest)
+		if auth.CountDistinct(r.cfg.ReplicaAuth, auth.KindAgreeCheckpoint, cd, atts, allowed) < 2*r.f+1 {
+			continue
+		}
+		dedup, appPayload, err := r.unwrapCheckpoint(ck.Payload)
+		if err != nil {
+			continue
+		}
+		if err := r.app.Restore(ck.Seq, ck.Digest, appPayload); err != nil {
+			continue
+		}
+		for id, ts := range dedup {
+			cs := r.client(id)
+			cs.lastOrdered = ts
+			cs.lastExecuted = ts
+		}
+		r.ckptLocal[ck.Seq] = savedCheckpoint{digest: ck.Digest, payload: ck.Payload}
+		r.lastExec = ck.Seq
+		r.lastStable = ck.Seq
+		r.stableProof = votes
+		r.nextSeq = ck.Seq
+		break
+	}
+	// Replay the tail. Records are self-proving CommitProofs; the
+	// untrusted receive path re-verifies the 2f+1 signatures, so a
+	// tampered WAL can stall recovery but never forge an order.
+	maxSeen := r.lastExec
+	err = st.Replay(r.lastStable, func(kind storage.RecordKind, seq types.SeqNum, payload []byte) error {
+		if kind != storage.RecCommit || seq <= r.lastStable {
+			return nil
+		}
+		msg, err := wire.Unmarshal(payload)
+		if err != nil {
+			return nil // CRC-clean but unparsable: skip, catch up instead
+		}
+		if proof, ok := msg.(*wire.CommitProof); ok {
+			r.onCommitProof(proof, now)
+			// Advance the proposal floor only for proofs the verify path
+			// actually accepted (instance exists and committed) — a
+			// tampered-but-CRC-valid record with a huge PP.Seq must not
+			// poison nextSeq and wedge this replica's future primariate.
+			n := proof.PP.Seq
+			if in := r.insts[n]; in != nil && in.committed && n > maxSeen {
+				maxSeen = n
+			}
+		}
+		return nil
+	})
+	// A recovered primary must never reuse a sequence number it may have
+	// proposed in a previous life.
+	if maxSeen > r.nextSeq {
+		r.nextSeq = maxSeen
+	}
+	return err
+}
+
+// Shutdown flushes and closes the store (graceful-exit path). The replica
+// must not be driven afterwards.
+func (r *Replica) Shutdown() {
+	if r.cfg.Store == nil {
+		return
+	}
+	_ = r.cfg.Store.Sync()
+	_ = r.cfg.Store.Close()
+}
+
+// CrashStop abandons the store without flushing — the in-process stand-in
+// for kill -9 that recovery tests exercise. Graceful paths use Shutdown.
+func (r *Replica) CrashStop() {
+	if ab, ok := r.cfg.Store.(interface{ Abandon() }); ok {
+		ab.Abandon()
+	}
 }
 
 // --- timers ------------------------------------------------------------------

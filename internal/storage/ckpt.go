@@ -1,0 +1,207 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/types"
+)
+
+// Checkpoint file layout (one file per stable checkpoint, named by sequence
+// number so lexical order is recovery order):
+//
+//	magic "SAEC" | u8 version | u64 seq | 32-byte digest
+//	u32 proof length | proof | u32 payload length | payload
+//	u32 CRC-32C over everything above
+//
+// Files are written to a temp name and renamed into place, so a checkpoint
+// either exists completely or not at all; a crash mid-write leaves only a
+// temp file that the next open sweeps away.
+const (
+	ckptMagic   = "SAEC"
+	ckptVersion = 1
+	ckptSuffix  = ".ck"
+	tmpPrefix   = ".tmp-"
+)
+
+// ckptStore is the atomic checkpoint half of a DiskStore.
+type ckptStore struct {
+	dir  string
+	opts Options
+	seqs []types.SeqNum // ascending, mirrors the files on disk
+}
+
+func ckptPath(dir string, seq types.SeqNum) string {
+	return filepath.Join(dir, fmt.Sprintf("%020d%s", seq, ckptSuffix))
+}
+
+func openCkptStore(dir string, opts Options) (*ckptStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &ckptStore{dir: dir, opts: opts}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() {
+			continue
+		}
+		if strings.HasPrefix(name, tmpPrefix) {
+			// Leftover from a crash mid-save; the rename never happened.
+			_ = os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		if !strings.HasSuffix(name, ckptSuffix) {
+			continue
+		}
+		seq, err := strconv.ParseUint(strings.TrimSuffix(name, ckptSuffix), 10, 64)
+		if err != nil {
+			continue
+		}
+		s.seqs = append(s.seqs, types.SeqNum(seq))
+	}
+	sort.Slice(s.seqs, func(i, j int) bool { return s.seqs[i] < s.seqs[j] })
+	return s, nil
+}
+
+func encodeCheckpoint(ck Checkpoint) []byte {
+	n := 4 + 1 + 8 + types.DigestSize + 4 + len(ck.Proof) + 4 + len(ck.Payload) + 4
+	buf := make([]byte, 0, n)
+	buf = append(buf, ckptMagic...)
+	buf = append(buf, ckptVersion)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(ck.Seq))
+	buf = append(buf, ck.Digest[:]...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(ck.Proof)))
+	buf = append(buf, ck.Proof...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(ck.Payload)))
+	buf = append(buf, ck.Payload...)
+	return binary.BigEndian.AppendUint32(buf, crc32.Checksum(buf, crcTable))
+}
+
+func decodeCheckpoint(data []byte) (Checkpoint, error) {
+	var ck Checkpoint
+	minLen := 4 + 1 + 8 + types.DigestSize + 4 + 4 + 4
+	if len(data) < minLen || string(data[:4]) != ckptMagic || data[4] != ckptVersion {
+		return ck, fmt.Errorf("storage: malformed checkpoint header")
+	}
+	if crc32.Checksum(data[:len(data)-4], crcTable) != binary.BigEndian.Uint32(data[len(data)-4:]) {
+		return ck, fmt.Errorf("storage: checkpoint CRC mismatch")
+	}
+	off := 5
+	ck.Seq = types.SeqNum(binary.BigEndian.Uint64(data[off:]))
+	off += 8
+	copy(ck.Digest[:], data[off:off+types.DigestSize])
+	off += types.DigestSize
+	take := func() ([]byte, error) {
+		if len(data)-off < 4 {
+			return nil, fmt.Errorf("storage: truncated checkpoint")
+		}
+		n := int(binary.BigEndian.Uint32(data[off:]))
+		off += 4
+		if n < 0 || len(data)-off-4 < n {
+			return nil, fmt.Errorf("storage: truncated checkpoint")
+		}
+		out := data[off : off+n]
+		off += n
+		return out, nil
+	}
+	var err error
+	if ck.Proof, err = take(); err != nil {
+		return ck, err
+	}
+	if ck.Payload, err = take(); err != nil {
+		return ck, err
+	}
+	if len(data)-off != 4 {
+		return ck, fmt.Errorf("storage: trailing bytes in checkpoint")
+	}
+	return ck, nil
+}
+
+// save persists one checkpoint atomically and enforces retention.
+func (s *ckptStore) save(ck Checkpoint) error {
+	present := false
+	for _, have := range s.seqs {
+		if have == ck.Seq {
+			// Dedup (recovery re-stabilizing) only if the on-disk file
+			// actually decodes: a corrupt checkpoint must be repaired by
+			// the rewrite below, not skipped — the caller's Prune is about
+			// to delete the WAL segments this checkpoint supersedes.
+			if data, err := os.ReadFile(ckptPath(s.dir, ck.Seq)); err == nil {
+				if _, derr := decodeCheckpoint(data); derr == nil {
+					return nil
+				}
+			}
+			present = true
+			break
+		}
+	}
+	tmp := filepath.Join(s.dir, fmt.Sprintf("%s%d", tmpPrefix, ck.Seq))
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(encodeCheckpoint(ck)); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if s.opts.Fsync != FsyncNever {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, ckptPath(s.dir, ck.Seq)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	syncDir(s.dir)
+	if !present {
+		s.seqs = append(s.seqs, ck.Seq)
+		sort.Slice(s.seqs, func(i, j int) bool { return s.seqs[i] < s.seqs[j] })
+	}
+	for len(s.seqs) > s.opts.RetainCheckpoints {
+		// An already-absent file (out-of-band cleanup) is the desired end
+		// state, not a save failure — the new checkpoint is durable either
+		// way, and escalating here would fail-stop the replica for nothing.
+		if err := os.Remove(ckptPath(s.dir, s.seqs[0])); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+		s.seqs = s.seqs[1:]
+	}
+	return nil
+}
+
+// list loads the stored checkpoints newest-first, skipping unreadable or
+// corrupt files: recovery verifies proofs anyway, and a damaged checkpoint
+// should degrade recovery, not abort it.
+func (s *ckptStore) list() ([]Checkpoint, error) {
+	out := make([]Checkpoint, 0, len(s.seqs))
+	for i := len(s.seqs) - 1; i >= 0; i-- {
+		data, err := os.ReadFile(ckptPath(s.dir, s.seqs[i]))
+		if err != nil {
+			continue
+		}
+		ck, err := decodeCheckpoint(data)
+		if err != nil || ck.Seq != s.seqs[i] {
+			continue
+		}
+		out = append(out, ck)
+	}
+	return out, nil
+}

@@ -1,0 +1,152 @@
+package storage
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/types"
+)
+
+// DiskStore is the on-disk Store: a segmented WAL under <dir>/wal and an
+// atomic checkpoint store under <dir>/ckpt. One DiskStore belongs to one
+// protocol node; calls are serialized internally so the shutdown path can
+// flush concurrently with the node's runtime goroutine.
+type DiskStore struct {
+	dir string
+
+	mu     sync.Mutex
+	lock   *os.File // exclusive flock on <dir>/LOCK (unix)
+	wal    *wal
+	ckpts  *ckptStore
+	closed bool
+}
+
+// Open creates or reopens a node's store rooted at dir, truncating any torn
+// WAL tail left by a crash. The directory is flock-guarded: a second Open
+// (another process, a double-started node) fails loudly instead of
+// interleaving two WAL writers into the same segments.
+func Open(dir string, opts Options) (*DiskStore, error) {
+	opts.fillDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	lock, err := acquireDirLock(dir)
+	if err != nil {
+		return nil, err
+	}
+	w, err := openWAL(filepath.Join(dir, "wal"), opts)
+	if err != nil {
+		releaseDirLock(lock)
+		return nil, err
+	}
+	c, err := openCkptStore(filepath.Join(dir, "ckpt"), opts)
+	if err != nil {
+		w.close()
+		releaseDirLock(lock)
+		return nil, err
+	}
+	return &DiskStore{dir: dir, lock: lock, wal: w, ckpts: c}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *DiskStore) Dir() string { return s.dir }
+
+// Append implements Store.
+func (s *DiskStore) Append(kind RecordKind, seq types.SeqNum, payload []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errClosed
+	}
+	return s.wal.append(kind, seq, payload)
+}
+
+// Sync implements Store.
+func (s *DiskStore) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errClosed
+	}
+	return s.wal.sync()
+}
+
+// SaveCheckpoint implements Store.
+func (s *DiskStore) SaveCheckpoint(ck Checkpoint) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errClosed
+	}
+	return s.ckpts.save(ck)
+}
+
+// Checkpoints implements Store.
+func (s *DiskStore) Checkpoints() ([]Checkpoint, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, errClosed
+	}
+	return s.ckpts.list()
+}
+
+// Replay implements Store.
+func (s *DiskStore) Replay(from types.SeqNum, fn func(kind RecordKind, seq types.SeqNum, payload []byte) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errClosed
+	}
+	return s.wal.replay(from, fn)
+}
+
+// Prune implements Store.
+func (s *DiskStore) Prune(stable types.SeqNum) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errClosed
+	}
+	return s.wal.prune(stable)
+}
+
+// Close implements Store: flushes the WAL and releases file handles.
+func (s *DiskStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	err := s.wal.close()
+	releaseDirLock(s.lock)
+	s.lock = nil
+	return err
+}
+
+// Abandon simulates process death: buffered appends are discarded, file
+// handles closed, and the directory lock released without any flush —
+// exactly what kill -9 leaves behind. Crash-recovery tests reach it via
+// type assertion; it is deliberately not part of the Store interface.
+func (s *DiskStore) Abandon() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	if s.wal.f != nil {
+		_ = s.wal.f.Close() // unflushed bufio contents die with us
+		s.wal.f = nil
+	}
+	releaseDirLock(s.lock)
+	s.lock = nil
+}
+
+type storageError string
+
+func (e storageError) Error() string { return string(e) }
+
+const errClosed = storageError("storage: store is closed")

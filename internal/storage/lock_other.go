@@ -1,0 +1,11 @@
+//go:build !unix
+
+package storage
+
+import "os"
+
+// Non-unix platforms have no flock; stores open without cross-process
+// exclusion there (single-writer discipline is on the operator).
+func acquireDirLock(dir string) (*os.File, error) { return nil, nil }
+
+func releaseDirLock(f *os.File) {}

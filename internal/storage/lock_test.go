@@ -1,0 +1,40 @@
+//go:build unix
+
+package storage
+
+import "testing"
+
+// TestOpenLocksDirectory: a second Open over a live store must fail loudly
+// (two WAL writers would interleave frames into the same segment and read
+// back as a torn tail), while both the graceful Close and the crash-style
+// Abandon release the lock for the next incarnation.
+func TestOpenLocksDirectory(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("second Open over a live store succeeded")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen after Close: %v", err)
+	}
+	if err := s2.Append(RecCommit, 1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	s2.Abandon()
+	s3, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen after Abandon: %v", err)
+	}
+	defer s3.Close()
+	// The abandoned store's buffered append died unflushed, like a crash.
+	if got := collect(t, s3, 0); len(got) != 0 {
+		t.Fatalf("abandoned (unsynced) append survived: %d records", len(got))
+	}
+}

@@ -1,0 +1,35 @@
+//go:build unix
+
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// acquireDirLock takes an exclusive advisory flock on <dir>/LOCK so two
+// processes (an orphaned predecessor, a supervisor restart race, a
+// double-started node) can never run two WAL writers over the same files —
+// interleaved O_APPEND frames would read as a torn tail and truncate
+// acknowledged history. The lock dies with the process, so a kill -9
+// never blocks the restart that recovery exists for.
+func acquireDirLock(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, "LOCK"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: %s is locked by another process: %w", dir, err)
+	}
+	return f, nil
+}
+
+func releaseDirLock(f *os.File) {
+	if f != nil {
+		_ = syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+		_ = f.Close()
+	}
+}

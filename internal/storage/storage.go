@@ -1,0 +1,129 @@
+// Package storage is the durable persistence subsystem: a per-node
+// segmented, CRC-framed, fsync-batched write-ahead log plus an atomic
+// checkpoint store.
+//
+// Protocol nodes append self-contained, independently verifiable protocol
+// records (agreement commit certificates, execution order certificates) to
+// the WAL and persist stable checkpoints — payload plus the quorum of signed
+// attestations proving stability — through the checkpoint store. On restart
+// a node restores the newest checkpoint whose proof verifies, replays the
+// WAL tail through its normal verify-and-execute path, and rejoins the
+// cluster's ordinary catch-up protocol for anything newer. Nothing in this
+// package understands the protocol: records and checkpoints are opaque
+// bytes, and all verification happens in the consumers, so a corrupted disk
+// can degrade a replica into a slow one but never into a lying one.
+//
+// Durability discipline: consumers call Append as records become known and
+// Sync before externalizing their effects (sending replies). Append batches
+// writes in memory; one Sync covers every record appended since the last,
+// which is the group commit that makes fsync cost amortize over whole
+// delivery bursts.
+package storage
+
+import "repro/internal/types"
+
+// RecordKind discriminates WAL record payloads.
+type RecordKind uint8
+
+// WAL record kinds. Payloads are wire-encoded protocol messages that carry
+// their own proofs, so replay can run them through the normal untrusted
+// message paths.
+const (
+	// RecCommit is an agreement-side committed batch: a wire.CommitProof
+	// (pre-prepare plus 2f+1 commit attestations).
+	RecCommit RecordKind = 1
+	// RecOrder is an execution-side applied batch: a wire.OrderProof
+	// (request batch plus 2f+1 order attestations).
+	RecOrder RecordKind = 2
+)
+
+// FsyncMode selects when appended WAL records reach stable media.
+type FsyncMode int
+
+const (
+	// FsyncBatch (the default) flushes and fsyncs on Sync: one fsync per
+	// delivery burst, the group-commit sweet spot.
+	FsyncBatch FsyncMode = iota
+	// FsyncAlways fsyncs on every Append — maximum durability, one fsync
+	// per record.
+	FsyncAlways
+	// FsyncNever flushes to the OS on Sync but never forces media writes;
+	// survives process crashes but not power loss. Benchmark use.
+	FsyncNever
+)
+
+// Options tunes a DiskStore. The zero value gives sensible defaults.
+type Options struct {
+	// SegmentBytes rotates the active WAL segment once it exceeds this
+	// size. Default 4 MiB.
+	SegmentBytes int
+	// RetainCheckpoints keeps the newest K stable checkpoints; older ones
+	// are deleted when a new one is saved. Default 2 (the newest plus one
+	// fallback in case the newest fails verification on recovery).
+	RetainCheckpoints int
+	// Fsync selects the media-write policy. Default FsyncBatch.
+	Fsync FsyncMode
+}
+
+func (o *Options) fillDefaults() {
+	if o.SegmentBytes == 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	if o.RetainCheckpoints == 0 {
+		o.RetainCheckpoints = 2
+	}
+}
+
+// Checkpoint is one persisted stable checkpoint: the serialized state at
+// Seq, its digest, and the consumer's encoding of the quorum attestations
+// proving stability. The store never interprets Proof or Payload; consumers
+// re-verify both on recovery.
+type Checkpoint struct {
+	Seq     types.SeqNum
+	Digest  types.Digest
+	Proof   []byte
+	Payload []byte
+}
+
+// Store is the persistence interface protocol nodes program against. A nil
+// Store means in-memory operation (the seed behavior; the simulator's
+// default).
+//
+// Implementations must tolerate torn or corrupted tails: Open-time recovery
+// truncates the WAL at the first invalid record rather than failing, and
+// Checkpoints skips unreadable files, so a node with a damaged disk comes
+// back empty-handed and catches up from peers instead of crashing.
+type Store interface {
+	// Append adds one record to the WAL. seq is the record's protocol
+	// sequence number, used only for replay filtering and segment GC.
+	Append(kind RecordKind, seq types.SeqNum, payload []byte) error
+
+	// Sync makes every appended record durable per the fsync policy.
+	// No-op when nothing is pending.
+	Sync() error
+
+	// SaveCheckpoint atomically persists a stable checkpoint
+	// (write-temp + rename) and drops checkpoints beyond the retention
+	// limit.
+	SaveCheckpoint(ck Checkpoint) error
+
+	// Checkpoints returns the stored checkpoints newest-first, skipping
+	// any that fail the store's integrity framing. Consumers verify the
+	// digest and stability proof and take the first that passes.
+	Checkpoints() ([]Checkpoint, error)
+
+	// Replay streams WAL records with seq > from, in append order.
+	// Returning an error from fn stops the replay and surfaces the error.
+	Replay(from types.SeqNum, fn func(kind RecordKind, seq types.SeqNum, payload []byte) error) error
+
+	// Prune discards WAL segments whose records all have seq <= stable;
+	// the data they held is superseded by a stable checkpoint.
+	Prune(stable types.SeqNum) error
+
+	// Close flushes and releases the store. Idempotent.
+	Close() error
+}
+
+// Factory builds one node's store; the composition layer calls it once per
+// node identity when durable storage is configured.
+type Factory func(id types.NodeID) (Store, error)

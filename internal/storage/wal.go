@@ -1,0 +1,313 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/types"
+)
+
+// WAL record framing, per record:
+//
+//	u32 big-endian length L of the body (kind + seq + payload)
+//	u32 big-endian CRC-32C over the body
+//	body: u8 kind | u64 big-endian seq | payload (L-9 bytes)
+//
+// A record is valid only if the full frame is present and the CRC matches.
+// The first invalid record marks the end of the log: everything from it on
+// (including any later segments) is a torn tail from an interrupted write
+// and is truncated on open.
+const (
+	recHeaderBytes = 8
+	recBodyMin     = 9 // kind + seq
+	// maxRecordBytes bounds a single record so a corrupted length prefix
+	// cannot drive a huge allocation.
+	maxRecordBytes = 64 << 20
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+const segSuffix = ".seg"
+
+// segment is one WAL file. Only the highest-indexed segment is appended to;
+// lower ones are sealed and eligible for GC once a stable checkpoint covers
+// their highest sequence number.
+type segment struct {
+	index  int
+	path   string
+	maxSeq types.SeqNum
+	size   int64
+}
+
+// wal is the segmented append-only log half of a DiskStore.
+type wal struct {
+	dir  string
+	opts Options
+
+	segs  []*segment // ascending index; last is active
+	f     *os.File   // active segment
+	w     *bufio.Writer
+	dirty bool
+}
+
+func segPath(dir string, index int) string {
+	return filepath.Join(dir, fmt.Sprintf("%08d%s", index, segSuffix))
+}
+
+// openWAL scans every segment in order, truncates the log at the first
+// invalid record (torn tail), and opens the last segment for append.
+func openWAL(dir string, opts Options) (*wal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	w := &wal{dir: dir, opts: opts}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var indices []int
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		idx, err := strconv.Atoi(strings.TrimSuffix(name, segSuffix))
+		if err != nil {
+			continue
+		}
+		indices = append(indices, idx)
+	}
+	sort.Ints(indices)
+	torn := false
+	for _, idx := range indices {
+		path := segPath(dir, idx)
+		if torn {
+			// Everything after a tear is unreachable in append order;
+			// remove it so a future segment index cannot collide.
+			if err := os.Remove(path); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		seg := &segment{index: idx, path: path}
+		validSize, clean, err := scanSegment(path, 0, func(kind RecordKind, seq types.SeqNum, payload []byte) error {
+			if seq > seg.maxSeq {
+				seg.maxSeq = seq
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if !clean {
+			if err := os.Truncate(path, validSize); err != nil {
+				return nil, err
+			}
+			torn = true
+		}
+		seg.size = validSize
+		w.segs = append(w.segs, seg)
+	}
+	if len(w.segs) == 0 {
+		w.segs = append(w.segs, &segment{index: 1, path: segPath(dir, 1)})
+	}
+	if err := w.openActive(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// scanSegment validates the whole file from byte 0, invoking fn for each
+// valid record whose sequence number exceeds from (a protocol seq filter,
+// not a byte offset). It returns the byte offset of the first invalid
+// record and whether the whole file was clean.
+func scanSegment(path string, from types.SeqNum, fn func(kind RecordKind, seq types.SeqNum, payload []byte) error) (validSize int64, clean bool, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, false, err
+	}
+	off := 0
+	for {
+		if len(data)-off < recHeaderBytes {
+			return int64(off), len(data)-off == 0, nil
+		}
+		length := int(binary.BigEndian.Uint32(data[off:]))
+		crc := binary.BigEndian.Uint32(data[off+4:])
+		if length < recBodyMin || length > maxRecordBytes || len(data)-off-recHeaderBytes < length {
+			return int64(off), false, nil
+		}
+		body := data[off+recHeaderBytes : off+recHeaderBytes+length]
+		if crc32.Checksum(body, crcTable) != crc {
+			return int64(off), false, nil
+		}
+		kind := RecordKind(body[0])
+		seq := types.SeqNum(binary.BigEndian.Uint64(body[1:]))
+		if seq > from {
+			if err := fn(kind, seq, body[recBodyMin:]); err != nil {
+				return int64(off), true, err
+			}
+		}
+		off += recHeaderBytes + length
+	}
+}
+
+func (w *wal) openActive() error {
+	seg := w.active()
+	f, err := os.OpenFile(seg.path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	w.f = f
+	w.w = bufio.NewWriterSize(f, 64<<10)
+	return nil
+}
+
+func (w *wal) active() *segment { return w.segs[len(w.segs)-1] }
+
+func (w *wal) append(kind RecordKind, seq types.SeqNum, payload []byte) error {
+	if len(payload)+recBodyMin > maxRecordBytes {
+		return fmt.Errorf("storage: record of %d bytes exceeds the %d-byte limit", len(payload), maxRecordBytes)
+	}
+	seg := w.active()
+	frame := int64(recHeaderBytes + recBodyMin + len(payload))
+	if seg.size > 0 && seg.size+frame > int64(w.opts.SegmentBytes) {
+		if err := w.rotate(); err != nil {
+			return err
+		}
+		seg = w.active()
+	}
+	var hdr [recHeaderBytes + recBodyMin]byte
+	binary.BigEndian.PutUint32(hdr[0:], uint32(recBodyMin+len(payload)))
+	hdr[8] = byte(kind)
+	binary.BigEndian.PutUint64(hdr[9:], uint64(seq))
+	crc := crc32.Checksum(hdr[8:], crcTable)
+	crc = crc32.Update(crc, crcTable, payload)
+	binary.BigEndian.PutUint32(hdr[4:], crc)
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.w.Write(payload); err != nil {
+		return err
+	}
+	seg.size += frame
+	if seq > seg.maxSeq {
+		seg.maxSeq = seq
+	}
+	w.dirty = true
+	if w.opts.Fsync == FsyncAlways {
+		return w.sync()
+	}
+	return nil
+}
+
+// sync flushes buffered appends and, unless fsync is disabled, forces them
+// to stable media. One call covers every append since the last — the group
+// commit.
+func (w *wal) sync() error {
+	if !w.dirty {
+		return nil
+	}
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	if w.opts.Fsync != FsyncNever {
+		if err := w.f.Sync(); err != nil {
+			return err
+		}
+	}
+	w.dirty = false
+	return nil
+}
+
+// rotate seals the active segment and starts the next one.
+func (w *wal) rotate() error {
+	w.dirty = true // force the flush+fsync even if the caller just synced
+	if err := w.sync(); err != nil {
+		return err
+	}
+	if err := w.f.Close(); err != nil {
+		return err
+	}
+	next := &segment{index: w.active().index + 1}
+	next.path = segPath(w.dir, next.index)
+	w.segs = append(w.segs, next)
+	if err := w.openActive(); err != nil {
+		return err
+	}
+	syncDir(w.dir)
+	return nil
+}
+
+// replay streams records with seq > from in append order across segments.
+func (w *wal) replay(from types.SeqNum, fn func(kind RecordKind, seq types.SeqNum, payload []byte) error) error {
+	// Buffered appends must be visible to the file reads below.
+	if w.dirty {
+		if err := w.w.Flush(); err != nil {
+			return err
+		}
+	}
+	for _, seg := range w.segs {
+		if seg.size == 0 {
+			continue
+		}
+		if seg.maxSeq <= from {
+			continue
+		}
+		if _, _, err := scanSegment(seg.path, from, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// prune deletes sealed segments whose records are all covered by a stable
+// checkpoint at the given sequence number. The segment list is rebuilt into
+// a fresh slice and every segment whose removal did not succeed is kept, so
+// a mid-prune I/O failure leaves the in-memory list consistent with disk
+// and the prune retryable.
+func (w *wal) prune(stable types.SeqNum) error {
+	kept := make([]*segment, 0, len(w.segs))
+	var firstErr error
+	for i, seg := range w.segs {
+		if firstErr == nil && i != len(w.segs)-1 && seg.maxSeq <= stable {
+			err := os.Remove(seg.path)
+			if err == nil || os.IsNotExist(err) {
+				continue
+			}
+			firstErr = err
+		}
+		kept = append(kept, seg)
+	}
+	w.segs = kept
+	return firstErr
+}
+
+func (w *wal) close() error {
+	if w.f == nil {
+		return nil
+	}
+	err := w.sync()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.f = nil
+	return err
+}
+
+// syncDir fsyncs a directory so renames and creations survive power loss.
+// Best-effort: some platforms and filesystems reject directory fsync.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	_ = d.Sync()
+	_ = d.Close()
+}

@@ -1,0 +1,269 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/types"
+)
+
+type rec struct {
+	kind    RecordKind
+	seq     types.SeqNum
+	payload []byte
+}
+
+func collect(t *testing.T, s Store, from types.SeqNum) []rec {
+	t.Helper()
+	var out []rec
+	err := s.Replay(from, func(kind RecordKind, seq types.SeqNum, payload []byte) error {
+		cp := append([]byte(nil), payload...)
+		out = append(out, rec{kind, seq, cp})
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return out
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []rec{
+		{RecCommit, 1, []byte("alpha")},
+		{RecOrder, 2, []byte("beta")},
+		{RecCommit, 3, bytes.Repeat([]byte{0xab}, 1000)},
+	}
+	for _, r := range want {
+		if err := s.Append(r.kind, r.seq, r.payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, s, 0)
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].kind != want[i].kind || got[i].seq != want[i].seq || !bytes.Equal(got[i].payload, want[i].payload) {
+			t.Fatalf("record %d mismatch: %+v != %+v", i, got[i], want[i])
+		}
+	}
+	// Replay filtering.
+	if got := collect(t, s, 2); len(got) != 1 || got[0].seq != 3 {
+		t.Fatalf("replay from 2: got %+v", got)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: everything still there, and appends continue.
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if err := s2.Append(RecOrder, 4, []byte("gamma")); err != nil {
+		t.Fatal(err)
+	}
+	if got := collect(t, s2, 0); len(got) != 4 || got[3].seq != 4 {
+		t.Fatalf("after reopen+append: got %d records", len(got))
+	}
+}
+
+func TestWALSegmentRotationAndPrune(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 1; i <= 40; i++ {
+		if err := s.Append(RecOrder, types.SeqNum(i), bytes.Repeat([]byte{byte(i)}, 50)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	segsBefore := countSegments(t, dir)
+	if segsBefore < 5 {
+		t.Fatalf("expected rotation to produce several segments, got %d", segsBefore)
+	}
+	if got := collect(t, s, 0); len(got) != 40 {
+		t.Fatalf("replayed %d records across segments, want 40", len(got))
+	}
+	if err := s.Prune(30); err != nil {
+		t.Fatal(err)
+	}
+	if segsAfter := countSegments(t, dir); segsAfter >= segsBefore {
+		t.Fatalf("prune removed nothing: %d -> %d segments", segsBefore, segsAfter)
+	}
+	// Records above the watermark survive pruning.
+	got := collect(t, s, 30)
+	if len(got) != 10 || got[0].seq != 31 {
+		t.Fatalf("after prune: got %d records starting at %d", len(got), got[0].seq)
+	}
+}
+
+func countSegments(t *testing.T, dir string) int {
+	t.Helper()
+	entries, err := os.ReadDir(filepath.Join(dir, "wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(entries)
+}
+
+// TestWALTornTail covers the crash cases: a record cut mid-frame, trailing
+// garbage, and a flipped payload byte. All must truncate to the last intact
+// record instead of failing.
+func TestWALTornTail(t *testing.T) {
+	cases := []struct {
+		name string
+		want int // records surviving out of 5
+		harm func(path string, cleanSize int64) error
+	}{
+		{"truncated-mid-record", 4, func(path string, cleanSize int64) error {
+			return os.Truncate(path, cleanSize-3)
+		}},
+		// Trailing garbage costs nothing: every intact record survives.
+		{"garbage-appended", 5, func(path string, cleanSize int64) error {
+			f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			_, err = f.Write([]byte{0xde, 0xad, 0xbe})
+			return err
+		}},
+		{"corrupted-last-payload", 4, func(path string, cleanSize int64) error {
+			f, err := os.OpenFile(path, os.O_WRONLY, 0)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			_, err = f.WriteAt([]byte{0xff}, cleanSize-1)
+			return err
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			s, err := Open(dir, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 1; i <= 5; i++ {
+				if err := s.Append(RecCommit, types.SeqNum(i), []byte(fmt.Sprintf("record-%d", i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+			path := segPath(filepath.Join(dir, "wal"), 1)
+			info, err := os.Stat(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tc.harm(path, info.Size()); err != nil {
+				t.Fatal(err)
+			}
+			s2, err := Open(dir, Options{})
+			if err != nil {
+				t.Fatalf("open after %s: %v", tc.name, err)
+			}
+			defer s2.Close()
+			got := collect(t, s2, 0)
+			if len(got) != tc.want {
+				t.Fatalf("after %s: replayed %d records, want %d (torn tail dropped)", tc.name, len(got), tc.want)
+			}
+			// The log must accept appends after truncation.
+			if err := s2.Append(RecCommit, 6, []byte("post-recovery")); err != nil {
+				t.Fatal(err)
+			}
+			if err := s2.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			got = collect(t, s2, 0)
+			if len(got) != tc.want+1 || string(got[len(got)-1].payload) != "post-recovery" {
+				t.Fatalf("append after truncation: got %d records", len(got))
+			}
+		})
+	}
+}
+
+// TestWALTornTailDropsLaterSegments: a tear in an earlier segment makes all
+// later segments unreachable (append order is authoritative), so open must
+// remove them.
+func TestWALTornTailDropsLaterSegments(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 20; i++ {
+		if err := s.Append(RecOrder, types.SeqNum(i), bytes.Repeat([]byte{byte(i)}, 40)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if countSegments(t, dir) < 3 {
+		t.Fatalf("need at least 3 segments, got %d", countSegments(t, dir))
+	}
+	// Corrupt the first record of segment 2.
+	path := segPath(filepath.Join(dir, "wal"), 2)
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xff, 0xff, 0xff, 0xff}, 4); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	s2, err := Open(dir, Options{SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got := collect(t, s2, 0)
+	for _, r := range got {
+		if r.seq > 2 { // segment 1 holds seqs 1..2 with 40-byte payloads
+			t.Fatalf("record %d survived beyond the torn segment", r.seq)
+		}
+	}
+	if countSegments(t, dir) != 2 { // truncated segment 2 + fresh active 2? no: seg2 truncated to 0 and kept, later removed
+		// Segment 2 is truncated to its valid prefix (zero bytes) and
+		// remains the active segment; segments 3+ are deleted.
+		t.Fatalf("later segments not removed: %d segment files", countSegments(t, dir))
+	}
+}
+
+func TestWALAppendVisibleBeforeSync(t *testing.T) {
+	// Replay must see buffered appends (it flushes first): recovery-time
+	// consumers never observe a store that hides acknowledged appends.
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Append(RecCommit, 1, []byte("unsynced")); err != nil {
+		t.Fatal(err)
+	}
+	if got := collect(t, s, 0); len(got) != 1 {
+		t.Fatalf("buffered append invisible to replay: %d records", len(got))
+	}
+}

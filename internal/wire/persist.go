@@ -1,0 +1,40 @@
+package wire
+
+// Persisted-record encodings for the durable storage subsystem
+// (internal/storage). WAL records reuse Marshal/Unmarshal framing of the
+// self-proving protocol messages (CommitProof on the agreement side,
+// OrderProof on the execution side), so replay feeds the normal untrusted
+// message paths. Stable-checkpoint proofs need one extra envelope each:
+//
+//   - execution replicas persist a marshaled StableProof (already a wire
+//     message carrying the g+1 checkpoint attestations);
+//   - agreement replicas persist the 2f+1 AgreeCheckpoint votes that made
+//     the checkpoint stable, encoded by EncodeAgreeProof below (the votes
+//     are a proof set, not a network message, so they get a plain canonical
+//     envelope rather than a MsgType).
+
+// EncodeAgreeProof canonically encodes the vote set proving an agreement
+// checkpoint stable.
+func EncodeAgreeProof(votes []AgreeCheckpoint) []byte {
+	var w Writer
+	w.Len(len(votes))
+	for i := range votes {
+		votes[i].marshalTo(&w)
+	}
+	return w.B
+}
+
+// DecodeAgreeProof decodes a vote set produced by EncodeAgreeProof. The
+// caller re-verifies every attestation; decoding only restores structure.
+func DecodeAgreeProof(data []byte) ([]AgreeCheckpoint, error) {
+	r := NewReader(data)
+	n := r.SliceLen()
+	votes := make([]AgreeCheckpoint, n)
+	for i := 0; i < n; i++ {
+		votes[i].unmarshalFrom(r)
+	}
+	if err := r.finish(); err != nil {
+		return nil, err
+	}
+	return votes, nil
+}

@@ -1,0 +1,45 @@
+package wire
+
+import (
+	"testing"
+
+	"repro/internal/auth"
+	"repro/internal/types"
+)
+
+func TestAgreeProofRoundTrip(t *testing.T) {
+	votes := []AgreeCheckpoint{
+		{Seq: 64, State: types.DigestBytes([]byte("s")), Replica: 0,
+			Att: auth.Attestation{Node: 0, Proof: []byte("sig-0")}},
+		{Seq: 64, State: types.DigestBytes([]byte("s")), Replica: 2,
+			Att: auth.Attestation{Node: 2, Proof: []byte("sig-2")}},
+		{Seq: 64, State: types.DigestBytes([]byte("s")), Replica: 3,
+			Att: auth.Attestation{Node: 3, Proof: []byte("sig-3")}},
+	}
+	got, err := DecodeAgreeProof(EncodeAgreeProof(votes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(votes) {
+		t.Fatalf("decoded %d votes, want %d", len(got), len(votes))
+	}
+	for i := range votes {
+		if got[i].Seq != votes[i].Seq || got[i].State != votes[i].State ||
+			got[i].Replica != votes[i].Replica || got[i].Att.Node != votes[i].Att.Node ||
+			string(got[i].Att.Proof) != string(votes[i].Att.Proof) {
+			t.Fatalf("vote %d did not round-trip: %+v != %+v", i, got[i], votes[i])
+		}
+	}
+	// Empty proof sets round-trip too.
+	if got, err := DecodeAgreeProof(EncodeAgreeProof(nil)); err != nil || len(got) != 0 {
+		t.Fatalf("empty round-trip: %v, %d votes", err, len(got))
+	}
+	// Truncated and trailing-byte encodings fail loudly.
+	enc := EncodeAgreeProof(votes)
+	if _, err := DecodeAgreeProof(enc[:len(enc)-2]); err == nil {
+		t.Fatal("truncated proof decoded")
+	}
+	if _, err := DecodeAgreeProof(append(enc, 0)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}

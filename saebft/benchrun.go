@@ -69,7 +69,8 @@ func (c *BatchBenchConfig) fillDefaults() {
 type BenchPoint struct {
 	Transport  string  `json:"transport"`
 	Pipeline   int     `json:"pipeline"`
-	BatchOps   int     `json:"batch_ops"` // 0 = client batching off
+	BatchOps   int     `json:"batch_ops"`         // 0 = client batching off
+	Storage    bool    `json:"storage,omitempty"` // fsync-batched WAL + checkpoint store enabled
 	Ops        int     `json:"ops"`
 	OpSize     int     `json:"op_size"`
 	WallMs     float64 `json:"wall_ms"`
@@ -82,7 +83,11 @@ type BenchPoint struct {
 
 // key identifies a point for baseline comparison.
 func (p *BenchPoint) key() string {
-	return fmt.Sprintf("%s/p%d/b%d/n%d/s%d", p.Transport, p.Pipeline, p.BatchOps, p.Ops, p.OpSize)
+	k := fmt.Sprintf("%s/p%d/b%d/n%d/s%d", p.Transport, p.Pipeline, p.BatchOps, p.Ops, p.OpSize)
+	if p.Storage {
+		k += "/durable"
+	}
+	return k
 }
 
 // BenchReport is the machine-readable output of RunBatchingBench; CI
@@ -115,7 +120,7 @@ func RunBatchingBench(cfg BatchBenchConfig) (*BenchReport, error) {
 			for _, bops := range cfg.BatchOps {
 				var best BenchPoint
 				for try := 0; try < cfg.Repeat; try++ {
-					pt, err := runBatchPoint(tr, pipe, bops, cfg.Ops, cfg.OpSize)
+					pt, err := runBatchPoint(tr, pipe, bops, cfg.Ops, cfg.OpSize, false)
 					if err != nil {
 						return nil, fmt.Errorf("saebft: bench point %s/p%d/b%d: %w", tr, pipe, bops, err)
 					}
@@ -127,19 +132,57 @@ func RunBatchingBench(cfg BatchBenchConfig) (*BenchReport, error) {
 			}
 		}
 	}
+	// One durable datapoint per transport: batched throughput with the
+	// fsync-batched WAL + checkpoint store enabled, at the widest batch ×
+	// pipeline of the grid. Records what persistence costs relative to the
+	// in-memory points above; not part of the regression gate (the
+	// baseline carries no durable points) since fsync latency is hardware-
+	// dependent.
+	maxPipe, maxBops := 0, 0
+	for _, p := range cfg.Pipelines {
+		if p > maxPipe {
+			maxPipe = p
+		}
+	}
+	for _, b := range cfg.BatchOps {
+		if b > maxBops {
+			maxBops = b
+		}
+	}
+	for _, tr := range cfg.Transports {
+		var best BenchPoint
+		for try := 0; try < cfg.Repeat; try++ {
+			pt, err := runBatchPoint(tr, maxPipe, maxBops, cfg.Ops, cfg.OpSize, true)
+			if err != nil {
+				return nil, fmt.Errorf("saebft: durable bench point %s/p%d/b%d: %w", tr, maxPipe, maxBops, err)
+			}
+			if try == 0 || pt.Throughput > best.Throughput {
+				best = pt
+			}
+		}
+		rep.Points = append(rep.Points, best)
+	}
 	return rep, nil
 }
 
-func runBatchPoint(transport string, pipeline, batchOps, ops, opSize int) (BenchPoint, error) {
+func runBatchPoint(transport string, pipeline, batchOps, ops, opSize int, durable bool) (BenchPoint, error) {
 	pt := BenchPoint{
 		Transport: transport, Pipeline: pipeline, BatchOps: batchOps,
-		Ops: ops, OpSize: opSize,
+		Storage: durable, Ops: ops, OpSize: opSize,
 	}
 	opts := []Option{
 		WithApp("null"),
 		WithClients(pipeline),
 		WithSeed("bench-batching"),
 		WithInvokeTimeout(2 * time.Minute),
+	}
+	if durable {
+		dir, err := os.MkdirTemp("", "saebft-bench-storage-")
+		if err != nil {
+			return pt, err
+		}
+		defer os.RemoveAll(dir)
+		opts = append(opts, WithStorage(StorageConfig{DataDir: dir, Fsync: FsyncBatched}))
 	}
 	switch transport {
 	case "sim":

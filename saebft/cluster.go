@@ -90,13 +90,24 @@ func (c *Cluster) Start(ctx context.Context) error {
 
 // Close shuts the cluster down and releases every node. Idempotent.
 func (c *Cluster) Close() error {
+	rt, done := c.teardown()
+	if done || rt == nil {
+		return nil
+	}
+	return rt.close()
+}
+
+// teardown performs the shared shutdown preamble (mark closed, stop the
+// context watcher, drain the client handle) and hands back the runtime for
+// the caller to close or kill. done reports an earlier teardown already ran.
+func (c *Cluster) teardown() (rt clusterRuntime, done bool) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		return nil
+		return nil, true
 	}
 	c.closed = true
-	rt := c.rt
+	rt = c.rt
 	stop := c.watchStop
 	c.mu.Unlock()
 	if stop != nil {
@@ -106,10 +117,18 @@ func (c *Cluster) Close() error {
 	// with ErrClosed immediately, then closing the runtime resolves the
 	// in-flight ones.
 	c.handle.shutdown()
-	if rt != nil {
-		return rt.close()
+	return rt, false
+}
+
+// kill tears the cluster down abruptly, skipping the durable-store flush —
+// the in-process equivalent of kill -9 on every node at once. Recovery
+// tests use it to exercise crash restarts; everything else should Close.
+func (c *Cluster) kill() {
+	rt, done := c.teardown()
+	if done || rt == nil {
+		return
 	}
-	return nil
+	rt.kill()
 }
 
 // runtime returns the live runtime, or the lifecycle error explaining why

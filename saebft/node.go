@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/deploy"
+	"repro/internal/transport"
 	"repro/internal/types"
 )
 
@@ -17,10 +18,11 @@ import (
 // the rest of the deployment described by its Config. The saebft-node
 // command is a thin wrapper around it.
 type Node struct {
-	cfg  *Config
-	id   types.NodeID
-	role types.Role
-	logf func(string, ...interface{})
+	cfg     *Config
+	id      types.NodeID
+	role    types.Role
+	logf    func(string, ...interface{})
+	dataDir string
 
 	mu        sync.Mutex
 	running   *deploy.RunningNode
@@ -28,9 +30,22 @@ type Node struct {
 	closed    bool
 }
 
+// NodeOption configures NewNode.
+type NodeOption func(*Node)
+
+// NodeDataDir enables durable storage for the node: its write-ahead log and
+// stable checkpoints live under <path>/node-<id>, Start recovers from them,
+// and Close flushes them — so a deployment whose every process is killed
+// and restarted over the same directories resumes without losing an
+// acknowledged operation. The path is per-process state and deliberately
+// not part of the shared config file.
+func NodeDataDir(path string) NodeOption {
+	return func(n *Node) { n.dataDir = path }
+}
+
 // NewNode validates that id names a non-client identity in the config's
 // topology and prepares the node. It does not listen until Start.
-func NewNode(cfg *Config, id int) (*Node, error) {
+func NewNode(cfg *Config, id int, opts ...NodeOption) (*Node, error) {
 	top, err := cfg.topology()
 	if err != nil {
 		return nil, err
@@ -42,7 +57,11 @@ func NewNode(cfg *Config, id int) (*Node, error) {
 	if role == types.RoleClient {
 		return nil, fmt.Errorf("saebft: identity %d is a client; use Dial", id)
 	}
-	return &Node{cfg: cfg, id: types.NodeID(id), role: role}, nil
+	n := &Node{cfg: cfg, id: types.NodeID(id), role: role}
+	for _, fn := range opts {
+		fn(n)
+	}
+	return n, nil
 }
 
 // SetLogf installs a transport-level log function. By default connection
@@ -67,7 +86,7 @@ func (n *Node) Start(ctx context.Context) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	rn, err := deploy.StartNode(n.cfg.d, n.id)
+	rn, err := deploy.StartNodeOpts(n.cfg.d, n.id, deploy.NodeOptions{DataDir: n.dataDir})
 	if err != nil {
 		return err
 	}
@@ -121,6 +140,26 @@ func (n *Node) Addr() string {
 		return ""
 	}
 	return n.running.Net.Addr()
+}
+
+// StorageErr reports the node's first durable-storage failure, if any. A
+// replica whose store fails stops executing (fail-stop) while keeping its
+// sockets open; operators should poll this (saebft-node does) and treat
+// non-nil as the node being down.
+func (n *Node) StorageErr() error {
+	n.mu.Lock()
+	rn := n.running
+	n.mu.Unlock()
+	if rn == nil {
+		return nil
+	}
+	var err error
+	rn.Inspect(func(node transport.Node) {
+		if se, ok := node.(interface{ StorageErr() error }); ok {
+			err = se.StorageErr()
+		}
+	})
+	return err
 }
 
 // DialOption configures Dial.

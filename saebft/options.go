@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/sm"
+	"repro/internal/storage"
 	"repro/internal/types"
 )
 
@@ -26,6 +27,8 @@ type options struct {
 	macOrders     bool
 	directReply   bool
 	thresholdBits int
+	ckptInterval  int
+	storage       StorageConfig
 	seed          string
 	netSeed       int64
 	invokeTimeout time.Duration
@@ -134,6 +137,60 @@ func WithDirectReply(on bool) Option { return func(o *options) { o.directReply =
 // tests fast; benchmarks use 1024+. Zero keeps the default.
 func WithThresholdBits(bits int) Option { return func(o *options) { o.thresholdBits = bits } }
 
+// WithCheckpointInterval sets how many sequence numbers pass between
+// protocol checkpoints in both clusters. Smaller intervals mean tighter
+// recovery points (and more frequent fsyncs of checkpoint files) at the
+// cost of more checkpoint traffic. Zero keeps the default (64).
+func WithCheckpointInterval(n int) Option { return func(o *options) { o.ckptInterval = n } }
+
+// FsyncPolicy selects when durable-storage writes reach stable media.
+type FsyncPolicy int
+
+const (
+	// FsyncBatched (the default) groups all WAL records of one delivery
+	// burst under a single fsync, issued before any of the burst's
+	// replies leave the node — durability at amortized cost.
+	FsyncBatched FsyncPolicy = iota
+	// FsyncEveryRecord fsyncs each appended record individually.
+	FsyncEveryRecord
+	// FsyncNone never forces media writes: state survives process
+	// restarts (the OS page cache persists) but not power loss.
+	// Benchmark use.
+	FsyncNone
+)
+
+// StorageConfig configures the durable storage subsystem: a per-node
+// segmented write-ahead log plus an atomic checkpoint store under
+// <DataDir>/node-<id>. A cluster started over a directory written by a
+// previous incarnation recovers: each node restores its newest stable
+// checkpoint (after re-verifying the stored quorum attestations), replays
+// its WAL tail through the normal execute path, and catches up from peers
+// for anything newer — so even kill -9 of every node at once loses no
+// acknowledged operation.
+type StorageConfig struct {
+	// DataDir roots the per-node stores. Required; the zero config
+	// disables storage.
+	DataDir string
+	// SegmentBytes rotates WAL segments at this size (default 4 MiB).
+	SegmentBytes int
+	// RetainCheckpoints keeps the newest K stable checkpoints per node
+	// (default 2).
+	RetainCheckpoints int
+	// Fsync selects the media-write policy (default FsyncBatched).
+	Fsync FsyncPolicy
+}
+
+// WithStorage enables durable storage for every node the cluster runs in
+// this process. See StorageConfig; WithDataDir is the common shorthand.
+func WithStorage(cfg StorageConfig) Option { return func(o *options) { o.storage = cfg } }
+
+// WithDataDir enables durable storage with default tuning: every node
+// persists its write-ahead log and stable checkpoints under
+// <path>/node-<id>, and Start recovers from them after a restart.
+func WithDataDir(path string) Option {
+	return func(o *options) { o.storage = StorageConfig{DataDir: path} }
+}
+
 // WithSeed sets the deterministic key-material seed (and, on the simulated
 // transport, the network schedule seed via its low bits).
 func WithSeed(seed string) Option { return func(o *options) { o.seed = seed } }
@@ -179,25 +236,47 @@ func (o *options) coreOptions() (core.Options, error) {
 		app = f
 	}
 	opts := core.Options{
-		F:             o.f,
-		G:             o.g,
-		H:             o.h,
-		Clients:       o.clients,
-		Mode:          o.mode.coreMode(),
-		MACRequests:   o.macRequests,
-		MACOrders:     o.macOrders,
-		DirectReply:   o.directReply,
-		BatchSize:     o.batchSize,
-		BatchBytes:    o.batchBytes,
-		Pipeline:      o.pipeline,
-		BatchWait:     types.Time(o.batchWait.Nanoseconds()),
-		ThresholdBits: o.thresholdBits,
-		Seed:          o.seed,
-		NetSeed:       o.netSeed,
-		App:           app,
+		F:                  o.f,
+		G:                  o.g,
+		H:                  o.h,
+		Clients:            o.clients,
+		Mode:               o.mode.coreMode(),
+		MACRequests:        o.macRequests,
+		MACOrders:          o.macOrders,
+		DirectReply:        o.directReply,
+		BatchSize:          o.batchSize,
+		BatchBytes:         o.batchBytes,
+		Pipeline:           o.pipeline,
+		BatchWait:          types.Time(o.batchWait.Nanoseconds()),
+		CheckpointInterval: types.SeqNum(o.ckptInterval),
+		ThresholdBits:      o.thresholdBits,
+		Seed:               o.seed,
+		NetSeed:            o.netSeed,
+		App:                app,
+	}
+	if o.storage.DataDir != "" {
+		opts.DataDir = o.storage.DataDir
+		opts.StorageOptions = o.storage.lower()
 	}
 	if o.replyModeSet {
 		opts.ReplyMode = o.replyMode.coreMode()
 	}
 	return opts, nil
+}
+
+// lower converts the public storage knobs to the internal options.
+func (c StorageConfig) lower() storage.Options {
+	opts := storage.Options{
+		SegmentBytes:      c.SegmentBytes,
+		RetainCheckpoints: c.RetainCheckpoints,
+	}
+	switch c.Fsync {
+	case FsyncEveryRecord:
+		opts.Fsync = storage.FsyncAlways
+	case FsyncNone:
+		opts.Fsync = storage.FsyncNever
+	default:
+		opts.Fsync = storage.FsyncBatch
+	}
+	return opts
 }

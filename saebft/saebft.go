@@ -178,6 +178,12 @@ type Stats struct {
 	// ModeFirewall).
 	SharesRejected uint64
 
+	// StorageFailures counts replicas in this process that have
+	// fail-stopped on a durable-storage error (disk full, I/O failure).
+	// Such a replica keeps its sockets open but stops executing; nonzero
+	// here is the signal to go look at its data directory.
+	StorageFailures uint64
+
 	MessagesDelivered uint64 // sim only
 	MessagesDropped   uint64 // sim only
 }

@@ -42,6 +42,16 @@ func (t *simTransport) start(b *core.Builder, o *options) (clusterRuntime, error
 	if err != nil {
 		return nil, err
 	}
+	if o.storage.DataDir != "" {
+		// Durable deployments outlive the process, so client identities may
+		// be reused across incarnations. Wall-clock timestamps keep this
+		// incarnation's requests above any predecessor's in the recovered
+		// exactly-once reply tables (mirrors the TCP endpoints).
+		now := types.Timestamp(time.Now().UnixNano())
+		for _, cl := range c.Clients {
+			cl.SetTimestamp(now)
+		}
+	}
 	r := &simRuntime{
 		c:       c,
 		submits: make(chan *simCall, 4*len(c.Clients)+16),
@@ -213,6 +223,16 @@ func (r *simRuntime) stats() (Stats, error) {
 		for _, f := range r.c.Filters {
 			s.SharesRejected += f.Metrics.SharesRejected
 		}
+		for _, e := range r.c.Engines {
+			if e.StorageErr() != nil {
+				s.StorageFailures++
+			}
+		}
+		for _, ex := range r.c.Execs {
+			if ex.StorageErr() != nil {
+				s.StorageFailures++
+			}
+		}
 		s.MessagesDelivered = r.c.Net.Stats.Delivered
 		s.MessagesDropped = r.c.Net.Stats.Dropped
 	})
@@ -223,8 +243,22 @@ func (r *simRuntime) close() error {
 	r.once.Do(func() {
 		close(r.quit)
 		<-r.done
+		// The driver goroutine is gone; nodes are quiesced. Flush and
+		// close durable stores (no-op for in-memory clusters).
+		r.c.Shutdown()
 	})
 	return nil
+}
+
+// kill tears the runtime down without flushing durable stores, simulating a
+// whole-process crash (recovery tests only): buffered appends are
+// discarded and data-dir locks released, as process death would do.
+func (r *simRuntime) kill() {
+	r.once.Do(func() {
+		close(r.quit)
+		<-r.done
+		r.c.Kill()
+	})
 }
 
 // crash marks one node as crashed. kindRole is a types.Role.

@@ -217,6 +217,9 @@ func (r *tcpRuntime) stats() (Stats, error) {
 			if f, ok := node.(*firewall.Filter); ok {
 				s.SharesRejected += f.Metrics.SharesRejected
 			}
+			if se, ok := node.(interface{ StorageErr() error }); ok && se.StorageErr() != nil {
+				s.StorageFailures++
+			}
 		})
 	}
 	return s, nil
@@ -229,8 +232,22 @@ func (r *tcpRuntime) close() error {
 			ep.close()
 		}
 		for _, n := range r.nodes {
-			n.Close()
+			n.Close() // graceful: flushes each node's durable store
 		}
 	})
 	return nil
+}
+
+// kill tears the runtime down without flushing durable stores, simulating a
+// whole-process crash (recovery tests only).
+func (r *tcpRuntime) kill() {
+	r.once.Do(func() {
+		close(r.quit)
+		for _, ep := range r.eps {
+			ep.close()
+		}
+		for _, n := range r.nodes {
+			n.Kill()
+		}
+	})
 }

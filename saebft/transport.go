@@ -28,8 +28,15 @@ type clusterRuntime interface {
 	// already shut down rather than returning misleading zeros.
 	stats() (Stats, error)
 
-	// close tears the cluster down. Idempotent.
+	// close tears the cluster down gracefully, flushing durable stores.
+	// Idempotent.
 	close() error
+
+	// kill tears the cluster down abruptly — durable stores are abandoned
+	// unflushed, the in-process equivalent of kill -9 on every node.
+	// Recovery tests depend on this NOT flushing; a runtime without real
+	// crash semantics must not silently fall back to close.
+	kill()
 }
 
 // SimConfig tunes the simulated transport.

@@ -23,10 +23,11 @@ import (
 
 func main() {
 	var (
-		cfgPath = flag.String("config", "cluster.json", "cluster config file (from saebft-keygen)")
-		id      = flag.Int("id", -1, "node identity to run")
-		dataDir = flag.String("data-dir", "", "durable storage root; the node persists its WAL and checkpoints under <data-dir>/node-<id> and recovers from them on restart (empty = in-memory)")
-		verbose = flag.Bool("verbose", false, "log transport-level connection events")
+		cfgPath       = flag.String("config", "cluster.json", "cluster config file (from saebft-keygen)")
+		id            = flag.Int("id", -1, "node identity to run")
+		dataDir       = flag.String("data-dir", "", "durable storage root; the node persists its WAL and checkpoints under <data-dir>/node-<id> and recovers from them on restart (empty = in-memory)")
+		volatileVotes = flag.Bool("volatile-votes", false, "skip agreement voting-state durability (votes, prepared certificates, view transitions): fewer WAL syncs, but a replica recovering under a Byzantine primary counts against f until rejoined")
+		verbose       = flag.Bool("verbose", false, "log transport-level connection events")
 	)
 	flag.Parse()
 	if *id < 0 {
@@ -41,6 +42,9 @@ func main() {
 	var nodeOpts []saebft.NodeOption
 	if *dataDir != "" {
 		nodeOpts = append(nodeOpts, saebft.NodeDataDir(*dataDir))
+		if *volatileVotes {
+			nodeOpts = append(nodeOpts, saebft.NodeVolatileVotes())
+		}
 	}
 	node, err := saebft.NewNode(cfg, *id, nodeOpts...)
 	if err != nil {

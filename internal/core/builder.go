@@ -111,6 +111,7 @@ func (b *Builder) AgreementNode(id types.NodeID, send transport.Sender) (transpo
 		WindowSize:         b.Opts.WindowSize,
 		RequestTimeout:     b.Opts.RequestTimeout,
 		Store:              store,
+		VolatileVotes:      b.Opts.VolatileVotes,
 	}
 	closeStore := func() {
 		if store != nil {

@@ -72,6 +72,15 @@ type Options struct {
 	// fsync policy of DataDir-opened stores.
 	StorageOptions storage.Options
 
+	// VolatileVotes disables agreement-side vote/view durability (the
+	// per-slot vote markers, prepared certificates, and view transitions
+	// pbft logs and syncs before externalizing the corresponding
+	// messages), reverting to committed-state-only persistence: cheaper,
+	// but a replica recovering under a simultaneously-Byzantine primary
+	// must again be counted against f until rejoined. Benchmark use. No
+	// effect without DataDir/Storage.
+	VolatileVotes bool
+
 	// App builds one state machine instance per hosting replica.
 	App func() sm.StateMachine
 }

@@ -214,6 +214,10 @@ type NodeOptions struct {
 	// processes on this filesystem; the node persists under
 	// <DataDir>/node-<id>. Empty runs the node in-memory.
 	DataDir string
+	// VolatileVotes disables agreement-side voting-state durability
+	// (core.Options.VolatileVotes); committed batches and checkpoints
+	// stay durable. Benchmark use.
+	VolatileVotes bool
 }
 
 // StartNode builds and runs the node with the given identity over TCP. It
@@ -229,6 +233,7 @@ func StartNodeOpts(cfg *Config, id types.NodeID, nopts NodeOptions) (*RunningNod
 		return nil, err
 	}
 	opts.DataDir = nopts.DataDir
+	opts.VolatileVotes = nopts.VolatileVotes
 	b, err := core.NewBuilder(opts)
 	if err != nil {
 		return nil, err

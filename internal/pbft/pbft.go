@@ -90,17 +90,26 @@ type Config struct {
 	// persisted with their 2f+1 votes, and Recover restores both after a
 	// restart. Nil keeps the seed's in-memory behavior.
 	//
-	// Fault-model boundary: only committed state is persisted. Per-slot
-	// prepare/pre-prepare votes and the current view are not, so a replica
-	// that crashes mid-agreement restarts amnesiac about slots it may have
-	// voted on and could, if the primary of that view is simultaneously
-	// Byzantine, be induced to vote again differently — i.e. a recovering
-	// replica must be counted against f until it has rejoined. Full-cluster
-	// restarts (the scenario this subsystem targets) are safe regardless:
-	// every replica forgets the same uncommitted slots. Persisting votes
-	// for seamless single-replica crash+Byzantine overlap is the paper's
-	// §6 proactive-recovery direction (see ROADMAP).
+	// Voting state is durable too (unless VolatileVotes): every
+	// pre-prepare proposal/acceptance, sent prepare, sent commit, prepared
+	// certificate, and view transition is appended and synced before the
+	// corresponding message leaves the node. A replica that crashes
+	// mid-agreement therefore restarts remembering every vote it may have
+	// sent: it refuses to send a conflicting vote for any slot it already
+	// voted on (so a simultaneously-Byzantine primary cannot induce it to
+	// equivocate), recovers into the view it was in — mid-campaign
+	// included — and its prepared evidence still feeds view changes. A
+	// recovered replica rejoins through the ordinary catch-up protocol
+	// without counting against f.
 	Store storage.Store
+
+	// VolatileVotes reverts to committed-state-only durability: per-slot
+	// votes, prepared certificates, and view transitions are not logged
+	// (saving one WAL sync per vote message). A replica recovering under
+	// a simultaneously-Byzantine primary must then be counted against f
+	// until it has rejoined; full-cluster restarts remain safe. Benchmark
+	// use. No effect without Store.
+	VolatileVotes bool
 }
 
 func (c *Config) fillDefaults() {
@@ -160,6 +169,16 @@ type savedCheckpoint struct {
 	payload []byte
 }
 
+// votedSlot remembers the strongest vote this replica has sent for one
+// sequence number across all views — and, via the WAL, across crashes. It
+// is the re-vote guard: the replica never sends a vote for the same slot
+// and view with a different digest, and never votes in an older view.
+type votedSlot struct {
+	view  types.View
+	od    types.Digest
+	phase wire.VotePhase
+}
+
 // clientState tracks per-client dedup and retry bookkeeping.
 //
 // lastOrdered is the fast dedup gate: it advances as soon as a pre-prepare
@@ -212,6 +231,9 @@ type Replica struct {
 	// durability
 	recovering bool  // suppresses re-logging while replaying the WAL
 	storeErr   error // first storage failure; halts execution (fail-stop)
+	voted      map[types.SeqNum]votedSlot
+	loggedView types.View // last view transition written to the WAL
+	loggedVC   bool       // ... and whether it was a campaign start
 
 	// view change state (viewchange.go)
 	vcs           map[types.View]map[types.NodeID]*wire.ViewChange
@@ -260,6 +282,7 @@ func New(cfg Config, app App, send transport.Sender) (*Replica, error) {
 		idx:       idx,
 		insts:     make(map[types.SeqNum]*instance),
 		clients:   make(map[types.NodeID]*clientState),
+		voted:     make(map[types.SeqNum]votedSlot),
 		queued:    make(map[types.Digest]bool),
 		ckptVotes: make(map[types.SeqNum]map[types.NodeID]wire.AgreeCheckpoint),
 		ckptLocal: make(map[types.SeqNum]savedCheckpoint),
@@ -315,6 +338,148 @@ func (r *Replica) inst(v types.View, n types.SeqNum) *instance {
 		r.insts[n] = in
 	}
 	return in
+}
+
+// --- durable voting state -----------------------------------------------------
+
+// voteWAL reports whether voting state must be written through the WAL.
+func (r *Replica) voteWAL() bool {
+	return r.cfg.Store != nil && !r.recovering && !r.cfg.VolatileVotes
+}
+
+// mayVote reports whether sending a vote for od at (v, n) is consistent
+// with every vote this replica has ever sent for n — including votes from
+// pre-crash incarnations restored from the WAL. conflict reports a
+// same-view digest mismatch, which is proof the view's primary equivocated
+// (possibly across this replica's crash).
+func (r *Replica) mayVote(v types.View, n types.SeqNum, od types.Digest) (ok, conflict bool) {
+	prev, voted := r.voted[n]
+	if !voted {
+		return true, false
+	}
+	if v < prev.view {
+		return false, false // never regress to voting in an older view
+	}
+	if v == prev.view && prev.od != od {
+		return false, true
+	}
+	return true, false
+}
+
+// logVote records a vote in the in-memory table and, when durable voting is
+// on, appends it to the WAL. It reports whether the caller may proceed to
+// externalize the vote; a storage failure halts the replica (fail-stop)
+// rather than letting it send promises it cannot remember.
+func (r *Replica) logVote(v types.View, n types.SeqNum, od types.Digest, phase wire.VotePhase) bool {
+	prev, ok := r.voted[n]
+	if !ok || v > prev.view || (v == prev.view && phase > prev.phase) {
+		r.voted[n] = votedSlot{view: v, od: od, phase: phase}
+	}
+	if !r.voteWAL() {
+		return true
+	}
+	if r.storeErr != nil {
+		return false
+	}
+	rec := wire.EncodeVoteRecord(wire.VoteRecord{View: v, Seq: n, OD: od, Phase: phase})
+	if err := r.cfg.Store.Append(storage.RecVote, n, rec); err != nil {
+		r.storeErr = err
+		return false
+	}
+	return true
+}
+
+// logPrepared appends the slot's prepared certificate so a post-crash
+// VIEW-CHANGE still carries the evidence that the batch prepared here.
+func (r *Replica) logPrepared(in *instance) bool {
+	if !r.voteWAL() {
+		return true
+	}
+	if r.storeErr != nil {
+		return false
+	}
+	ent := r.preparedEntry(in)
+	if ent == nil {
+		return false // cannot happen for a slot that just prepared
+	}
+	if err := r.cfg.Store.Append(storage.RecPrepared, in.seq, wire.EncodePreparedRecord(ent)); err != nil {
+		r.storeErr = err
+		return false
+	}
+	return true
+}
+
+// logView appends a view transition. Transitions are logged with
+// seq = stable watermark + 1 so the replay cursor (seq > stable) keeps
+// them; persistStable re-logs the current state above each new stable
+// checkpoint before pruning can discard the old record.
+func (r *Replica) logView(v types.View, inChange bool) bool {
+	if !r.voteWAL() {
+		return true
+	}
+	if r.storeErr != nil {
+		return false
+	}
+	if v == r.loggedView && inChange == r.loggedVC {
+		return true // already durable; avoid duplicate records
+	}
+	rec := wire.EncodeViewRecord(wire.ViewRecord{View: v, InChange: inChange})
+	if err := r.cfg.Store.Append(storage.RecView, r.lastStable+1, rec); err != nil {
+		r.storeErr = err
+		return false
+	}
+	r.loggedView, r.loggedVC = v, inChange
+	return true
+}
+
+// syncVotes makes pending vote/view records durable before the message
+// they cover is externalized. One call covers every append since the last
+// sync, so a handler that logs several votes pays one sync.
+func (r *Replica) syncVotes() bool {
+	if !r.voteWAL() {
+		return true
+	}
+	if r.storeErr != nil {
+		return false
+	}
+	if err := r.cfg.Store.Sync(); err != nil {
+		r.storeErr = err
+		return false
+	}
+	return true
+}
+
+// preparedEntry assembles the transferable prepared certificate for an
+// instance: its pre-prepare evidence plus 2f matching backup prepares
+// (deterministically the lowest replica ids). Nil if the instance does not
+// hold enough evidence.
+func (r *Replica) preparedEntry(in *instance) *wire.PreparedEntry {
+	if in.pp == nil {
+		return nil
+	}
+	primary := r.top.Primary(in.view)
+	ids := make([]types.NodeID, 0, len(in.prepares))
+	for id, v := range in.prepares {
+		if id != primary && v.od == in.od {
+			ids = append(ids, id)
+		}
+	}
+	if len(ids) < 2*r.f {
+		return nil
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	prepares := make([]auth.Attestation, 0, 2*r.f)
+	for _, id := range ids[:2*r.f] {
+		prepares = append(prepares, in.prepares[id].att)
+	}
+	return &wire.PreparedEntry{
+		View:       in.view,
+		Seq:        in.seq,
+		ND:         in.pp.ND,
+		Requests:   in.pp.Requests,
+		PrimaryAtt: in.pp.Att,
+		Prepares:   prepares,
+	}
 }
 
 // Deliver implements transport.Node.
@@ -482,6 +647,12 @@ func (r *Replica) propose(n types.SeqNum, batch []wire.Request, now types.Time) 
 		return
 	}
 	pp.Att = att
+	// The proposal is the primary's vote for this slot: make it durable
+	// before any backup can see it, so a recovered primary never proposes
+	// a different batch at a sequence number it already used.
+	if !r.logVote(r.view, n, od, wire.VotePrePrepare) || !r.syncVotes() {
+		return
+	}
 	r.acceptPrePrepare(pp, od, now)
 	r.broadcast(wire.Marshal(pp))
 }
@@ -541,6 +712,16 @@ func (r *Replica) onPrePrepare(m *wire.PrePrepare, now types.Time) {
 		}
 		return
 	}
+	// Re-vote guard: a proposal that contradicts a vote this replica sent
+	// for the slot — in this incarnation or, via the WAL, before a crash —
+	// is refused. A same-view digest conflict is equivocation evidence
+	// even when the earlier pre-prepare itself died with the old process.
+	if voteOK, conflict := r.mayVote(m.View, m.Seq, od); !voteOK {
+		if conflict {
+			r.startViewChange(r.view+1, now)
+		}
+		return
+	}
 	r.acceptPrePrepare(m, od, now)
 	if !r.isPrimary() {
 		prep := &wire.Prepare{View: m.View, Seq: m.Seq, OD: od, Replica: r.cfg.ID}
@@ -549,6 +730,11 @@ func (r *Replica) onPrePrepare(m *wire.PrePrepare, now types.Time) {
 			return
 		}
 		prep.Att = att
+		// The prepare must be durable before it is sent: once a backup's
+		// vote is on the wire it can never be retracted, crash or not.
+		if !r.logVote(m.View, m.Seq, od, wire.VotePrepare) || !r.syncVotes() {
+			return
+		}
 		in.prepares[r.cfg.ID] = vote{od: od, att: att}
 		r.broadcast(wire.Marshal(prep))
 		r.checkPrepared(in, now)
@@ -612,11 +798,20 @@ func (r *Replica) checkPrepared(in *instance, now types.Time) {
 	if count < need {
 		return
 	}
-	in.prepared = true
+	if voteOK, _ := r.mayVote(in.view, in.seq, in.od); !voteOK {
+		return // stale instance; a stronger vote for this slot exists
+	}
 	att, err := r.cfg.ReplicaAuth.Attest(auth.KindCommit, in.od, r.top.Agreement)
 	if err != nil {
 		return
 	}
+	// Durability before the commit claim is externalized: the prepared
+	// certificate (so a post-crash view change still carries the
+	// evidence) and the commit vote itself, under one sync.
+	if !r.logPrepared(in) || !r.logVote(in.view, in.seq, in.od, wire.VoteCommit) || !r.syncVotes() {
+		return
+	}
+	in.prepared = true
 	in.commits[r.cfg.ID] = vote{od: in.od, att: att}
 	cm := &wire.Commit{View: in.view, Seq: in.seq, OD: in.od, Replica: r.cfg.ID, Att: att}
 	r.broadcast(wire.Marshal(cm))
@@ -838,6 +1033,15 @@ func (r *Replica) makeStable(n types.SeqNum, digest types.Digest, votes map[type
 			delete(r.insts, seq)
 		}
 	}
+	// The re-vote guard only matters inside the window: pre-prepares at or
+	// below the stable watermark are rejected by inWindow regardless, so
+	// vote bookkeeping for them can go (mirroring the WAL's segment GC of
+	// RecVote/RecPrepared records below the watermark).
+	for seq := range r.voted {
+		if seq <= n {
+			delete(r.voted, seq)
+		}
+	}
 	for seq := range r.ckptVotes {
 		if seq <= n {
 			delete(r.ckptVotes, seq)
@@ -862,15 +1066,27 @@ func (r *Replica) persistStable(n types.SeqNum) {
 	if !ok {
 		return // payload still syncing or state-transferring; persisted later
 	}
+	// Re-log the current view state above the new watermark and make it
+	// durable BEFORE the checkpoint lands: the checkpoint is what advances
+	// recovery's replay cursor past the old view record, so it must never
+	// reach disk first — a crash between the two would strand the view
+	// below the cursor and restart the replica in view 0. The re-logged
+	// record at n+1 is harmless if the checkpoint never lands, and pruning
+	// (which could delete the segment holding the old record) comes last.
+	r.loggedView, r.loggedVC = 0, false // force a fresh record
+	if !r.logView(r.view, r.inViewChange) || !r.syncVotes() {
+		return
+	}
 	err := r.cfg.Store.SaveCheckpoint(storage.Checkpoint{
 		Seq: n, Digest: saved.digest,
 		Proof:   wire.EncodeAgreeProof(r.stableProof),
 		Payload: saved.payload,
 	})
-	if err == nil {
-		err = r.cfg.Store.Prune(n)
-	}
 	if err != nil {
+		r.storeErr = err
+		return
+	}
+	if err := r.cfg.Store.Prune(n); err != nil {
 		r.storeErr = err
 	}
 }
@@ -1124,37 +1340,121 @@ func (r *Replica) Recover(now types.Time) error {
 		r.nextSeq = ck.Seq
 		break
 	}
-	// Replay the tail. Records are self-proving CommitProofs; the
-	// untrusted receive path re-verifies the 2f+1 signatures, so a
-	// tampered WAL can stall recovery but never forge an order.
+	// Replay the tail: commits, votes, prepared certificates, and view
+	// transitions interleaved in append order. CommitProofs and prepared
+	// certificates are self-proving and go through untrusted verify paths,
+	// so a tampered WAL can stall recovery but never forge an order. Vote
+	// and view records are this replica's own promises: restoring a forged
+	// one can only make the replica refuse votes or campaign spuriously
+	// (liveness, absorbed by the cluster), never break agreement safety.
 	maxSeen := r.lastExec
+	var viewRec *wire.ViewRecord
 	err = st.Replay(r.lastStable, func(kind storage.RecordKind, seq types.SeqNum, payload []byte) error {
-		if kind != storage.RecCommit || seq <= r.lastStable {
-			return nil
-		}
-		msg, err := wire.Unmarshal(payload)
-		if err != nil {
-			return nil // CRC-clean but unparsable: skip, catch up instead
-		}
-		if proof, ok := msg.(*wire.CommitProof); ok {
-			r.onCommitProof(proof, now)
-			// Advance the proposal floor only for proofs the verify path
-			// actually accepted (instance exists and committed) — a
-			// tampered-but-CRC-valid record with a huge PP.Seq must not
-			// poison nextSeq and wedge this replica's future primariate.
-			n := proof.PP.Seq
-			if in := r.insts[n]; in != nil && in.committed && n > maxSeen {
-				maxSeen = n
+		switch kind {
+		case storage.RecCommit:
+			if seq <= r.lastStable {
+				return nil
+			}
+			msg, err := wire.Unmarshal(payload)
+			if err != nil {
+				return nil // CRC-clean but unparsable: skip, catch up instead
+			}
+			if proof, ok := msg.(*wire.CommitProof); ok {
+				r.onCommitProof(proof, now)
+				// Advance the proposal floor only for proofs the verify path
+				// actually accepted (instance exists and committed) — a
+				// tampered-but-CRC-valid record with a huge PP.Seq must not
+				// poison nextSeq and wedge this replica's future primariate.
+				n := proof.PP.Seq
+				if in := r.insts[n]; in != nil && in.committed && n > maxSeen {
+					maxSeen = n
+				}
+			}
+		case storage.RecVote:
+			v, err := wire.DecodeVoteRecord(payload)
+			if err != nil || v.Seq != seq || v.Seq <= r.lastStable {
+				return nil
+			}
+			prev, ok := r.voted[v.Seq]
+			if !ok || v.View > prev.view || (v.View == prev.view && v.Phase > prev.phase) {
+				r.voted[v.Seq] = votedSlot{view: v.View, od: v.OD, phase: v.Phase}
+			}
+		case storage.RecPrepared:
+			ent, err := wire.DecodePreparedRecord(payload)
+			if err == nil && ent.Seq == seq {
+				r.restorePrepared(ent)
+			}
+		case storage.RecView:
+			v, err := wire.DecodeViewRecord(payload)
+			if err == nil {
+				viewRec = &v // append order: the last one is current
 			}
 		}
 		return nil
 	})
 	// A recovered primary must never reuse a sequence number it may have
-	// proposed in a previous life.
+	// proposed (or voted) in a previous life.
+	for n := range r.voted {
+		if n > maxSeen {
+			maxSeen = n
+		}
+	}
 	if maxSeen > r.nextSeq {
 		r.nextSeq = maxSeen
 	}
+	// Re-enter the recorded view. A replica that crashed mid-campaign
+	// resumes campaigning: its rebuilt VIEW-CHANGE (carrying the restored
+	// prepared evidence) goes out on the first Tick, so the cluster's
+	// pending view change can complete with this replica counted in.
+	if viewRec != nil && viewRec.View > r.view {
+		r.view = viewRec.View
+		r.loggedView, r.loggedVC = viewRec.View, viewRec.InChange
+		if viewRec.InChange {
+			r.inViewChange = true
+			vc := r.buildViewChange(r.view)
+			r.sentVC = vc
+			r.storeViewChange(vc)
+			r.vcDeadline = 0 // rebroadcast immediately
+		}
+	}
 	return err
+}
+
+// restorePrepared re-installs a prepared slot from its logged certificate,
+// re-verifying the primary's pre-prepare attestation, the 2f backup
+// prepares, and the canonical nondeterminism — the WAL is untrusted input.
+// Invalid or superseded entries are skipped, never fatal.
+func (r *Replica) restorePrepared(e *wire.PreparedEntry) {
+	if e.Seq <= r.lastStable || e.Seq <= r.lastExec {
+		return
+	}
+	if in := r.insts[e.Seq]; in != nil && (in.committed || in.view >= e.View) {
+		return
+	}
+	if !r.verifyPreparedEvidence(e) {
+		return
+	}
+	od := e.OrderDigest()
+	primary := r.top.Primary(e.View)
+	in := &instance{
+		view: e.View,
+		seq:  e.Seq,
+		od:   od,
+		pp: &wire.PrePrepare{
+			View: e.View, Seq: e.Seq, ND: e.ND,
+			Requests: e.Requests, Primary: primary, Att: e.PrimaryAtt,
+		},
+		prepares: make(map[types.NodeID]vote, len(e.Prepares)),
+		commits:  make(map[types.NodeID]vote),
+		prepared: true,
+	}
+	for _, att := range e.Prepares {
+		in.prepares[att.Node] = vote{od: od, att: att}
+	}
+	r.insts[e.Seq] = in
+	if e.ND.Time > r.ndClock {
+		r.ndClock = e.ND.Time
+	}
 }
 
 // Shutdown flushes and closes the store (graceful-exit path). The replica

@@ -103,6 +103,7 @@ type cluster struct {
 	apps     map[types.NodeID]*fakeApp
 	schemes  map[types.NodeID]auth.Scheme
 	clients  map[types.NodeID]auth.Scheme
+	cfgs     map[types.NodeID]Config // as built, for crash-restart tests
 	nextTS   types.Timestamp
 }
 
@@ -134,6 +135,7 @@ func newCluster(t *testing.T, seed int64, mutate func(*Config)) *cluster {
 		apps:     make(map[types.NodeID]*fakeApp),
 		schemes:  make(map[types.NodeID]auth.Scheme),
 		clients:  make(map[types.NodeID]auth.Scheme),
+		cfgs:     make(map[types.NodeID]Config),
 	}
 	for _, id := range top.Agreement {
 		app := &fakeApp{}
@@ -160,6 +162,7 @@ func newCluster(t *testing.T, seed int64, mutate func(*Config)) *cluster {
 		c.replicas[id] = r
 		c.apps[id] = app
 		c.schemes[id] = cfg.ReplicaAuth
+		c.cfgs[id] = cfg
 		c.net.Register(id, r)
 	}
 	for _, id := range top.Clients {

@@ -1,0 +1,614 @@
+package pbft
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/auth"
+	"repro/internal/storage"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// This file is the Byzantine-recovery scenario suite for the agreement
+// engine's durable voting state: a single replica is killed mid-protocol
+// (its store abandoned unflushed, like kill -9), restarted over the same
+// data directory, and driven by adversarial peers. All scenarios run on the
+// deterministic simulated network with fixed seeds.
+
+// recoveryDir places data under SAEBFT_RECOVERY_DIR when set (CI uploads it
+// as a debugging artifact on failure), else under the test temp dir.
+func recoveryDir(t *testing.T, name string) string {
+	t.Helper()
+	if root := os.Getenv("SAEBFT_RECOVERY_DIR"); root != "" {
+		dir := filepath.Join(root, t.Name(), name)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		return dir
+	}
+	return filepath.Join(t.TempDir(), name)
+}
+
+// durableCluster builds a four-replica cluster whose agreement replicas
+// persist under dir/node-<id>.
+func durableCluster(t *testing.T, seed int64, dir string, mutate func(*Config)) *cluster {
+	t.Helper()
+	c := newCluster(t, seed, func(cfg *Config) {
+		st, err := storage.Open(filepath.Join(dir, fmt.Sprintf("node-%d", cfg.ID)), storage.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { st.Close() })
+		cfg.Store = st
+		if mutate != nil {
+			mutate(cfg)
+		}
+	})
+	// The suite's pump loops retransmit requests past execution; answer
+	// them from "cache" (as the real message queue does) instead of
+	// re-proposing, which the bare fakeApp cannot dedup.
+	for _, app := range c.apps {
+		app.resendOK = true
+	}
+	return c
+}
+
+// crashReplica kills a replica abruptly: network silence plus store
+// abandonment — unflushed WAL buffers die with it.
+func (c *cluster) crashReplica(id types.NodeID) {
+	c.net.Crash(id)
+	c.replicas[id].CrashStop()
+}
+
+// restartReplica rebuilds a crashed replica over its data directory,
+// recovers it, and swaps it back into the network.
+func (c *cluster) restartReplica(t *testing.T, id types.NodeID, dir string) *Replica {
+	t.Helper()
+	st, err := storage.Open(filepath.Join(dir, fmt.Sprintf("node-%d", id)), storage.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	cfg := c.cfgs[id]
+	cfg.Store = st
+	app := &fakeApp{resendOK: true}
+	r, err := New(cfg, app, c.net.Bind(id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Recover(c.net.Now()); err != nil {
+		t.Fatal(err)
+	}
+	c.replicas[id] = r
+	c.apps[id] = app
+	c.cfgs[id] = cfg
+	c.net.Swap(id, r)
+	c.net.Revive(id)
+	return r
+}
+
+// voteKey identifies one (sender, view, slot) vote.
+type voteKey struct {
+	from types.NodeID
+	view types.View
+	seq  types.SeqNum
+}
+
+// voteEvent is one observed prepare/commit send.
+type voteEvent struct {
+	k  voteKey
+	od types.Digest
+}
+
+// voteLog taps the network and records every prepare and commit each node
+// sends — across crashes and restarts — so tests can assert a replica never
+// contradicts a vote from a previous incarnation.
+type voteLog struct {
+	ods    map[voteKey]map[types.Digest]bool
+	events []voteEvent
+}
+
+func newVoteLog() *voteLog {
+	return &voteLog{ods: make(map[voteKey]map[types.Digest]bool)}
+}
+
+func (l *voteLog) observe(from, to types.NodeID, data []byte) {
+	msg, err := wire.Unmarshal(data)
+	if err != nil {
+		return
+	}
+	var k voteKey
+	var od types.Digest
+	switch m := msg.(type) {
+	case *wire.Prepare:
+		k, od = voteKey{from, m.View, m.Seq}, m.OD
+	case *wire.Commit:
+		k, od = voteKey{from, m.View, m.Seq}, m.OD
+	default:
+		return
+	}
+	set := l.ods[k]
+	if set == nil {
+		set = make(map[types.Digest]bool)
+		l.ods[k] = set
+	}
+	if !set[od] {
+		set[od] = true
+		l.events = append(l.events, voteEvent{k: k, od: od})
+	}
+}
+
+// conflicts returns every (view, slot) for which from voted two digests.
+func (l *voteLog) conflicts(from types.NodeID) []voteKey {
+	var out []voteKey
+	for k, set := range l.ods {
+		if k.from == from && len(set) > 1 {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// votedAtOrAbove reports whether from sent any vote in view >= v.
+func (l *voteLog) votedAtOrAbove(from types.NodeID, v types.View) bool {
+	for k := range l.ods {
+		if k.from == from && k.view >= v {
+			return true
+		}
+	}
+	return false
+}
+
+// mark snapshots the event stream; eventsSince replays what came after.
+func (l *voteLog) mark() int { return len(l.events) }
+
+func (l *voteLog) eventsSince(i int) []voteEvent { return l.events[i:] }
+
+// equivocator impersonates agreement replica 0 with its real keys: silent
+// toward the cluster (so suspicion timers run against it) while bombarding
+// the victim with a signed pre-prepare that conflicts with the vote the
+// victim logged before its crash — the exact attack durable voting state
+// exists to defeat.
+type equivocator struct {
+	c      *cluster
+	victim types.NodeID
+	pp     *wire.PrePrepare
+	sent   int
+}
+
+func newEquivocator(c *cluster, victim types.NodeID, orig *wire.PrePrepare) *equivocator {
+	c.t.Helper()
+	t2 := orig.ND.Time + 1 // different agreed time => different order digest
+	pp := &wire.PrePrepare{
+		View: orig.View, Seq: orig.Seq,
+		ND:       types.NonDet{Time: t2, Rand: types.ComputeNonDetRand(orig.Seq, t2)},
+		Requests: orig.Requests,
+		Primary:  0,
+	}
+	att, err := c.schemes[0].Attest(auth.KindPrePrepare, pp.OrderDigest(), c.top.Agreement)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	pp.Att = att
+	return &equivocator{c: c, victim: victim, pp: pp}
+}
+
+func (e *equivocator) Deliver(from types.NodeID, data []byte, now types.Time) {}
+
+func (e *equivocator) Tick(now types.Time) {
+	e.sent++
+	e.c.net.Bind(0)(e.victim, wire.Marshal(e.pp))
+}
+
+// TestByzantineRecoverySingleBackup is the acceptance scenario: backup 2 is
+// killed mid-slot — its prepare for a batch signed, written to the WAL, and
+// on the wire, but the batch not yet committed — and the view's primary
+// turns Byzantine, feeding the restarted backup a conflicting pre-prepare
+// for the very slot it voted on. The suite proves (a) the recovered backup
+// sends no vote conflicting with one it sent before the crash, (b) the
+// cluster commits no conflicting batches, and (c) the backup rejoins and
+// contributes to quorums in the new view.
+func TestByzantineRecoverySingleBackup(t *testing.T) {
+	dir := recoveryDir(t, "byz-backup")
+	c := durableCluster(t, 77, dir, func(cfg *Config) {
+		cfg.BatchSize = 1
+	})
+	votes := newVoteLog()
+	c.net.Tap(votes.observe)
+
+	// Commit a prefix so the victim's WAL holds commits, votes, and
+	// prepared certificates worth recovering.
+	if !c.pumpSequential(100, 5, "pre", types.Millisecond(10000)) {
+		t.Fatal("prefix never executed")
+	}
+
+	// Stop the world at the exact event where backup 2 has voted on a
+	// fresh slot that has not committed, then kill it.
+	const victimID = types.NodeID(2)
+	c.sendTo(0, c.request(100, "victim"))
+	var victimPP *wire.PrePrepare
+	var votedOD types.Digest
+	midSlot := func() bool {
+		for _, in := range c.replicas[victimID].insts {
+			if in.pp == nil || in.committed {
+				continue
+			}
+			if _, ok := in.prepares[victimID]; ok {
+				victimPP, votedOD = in.pp, in.od
+				return true
+			}
+		}
+		return false
+	}
+	if !c.net.RunUntil(midSlot, c.net.Now()+types.Millisecond(3000)) {
+		t.Fatal("backup never voted on the victim slot")
+	}
+	c.crashReplica(victimID)
+
+	// Replace the primary with the equivocator (same keys, silent toward
+	// the cluster, conflicting proposal toward the victim).
+	evil := newEquivocator(c, victimID, victimPP)
+	conflictOD := evil.pp.OrderDigest()
+	if conflictOD == votedOD {
+		t.Fatal("test bug: conflicting proposal has the voted digest")
+	}
+	delete(c.apps, 0)
+	delete(c.replicas, 0)
+	c.net.Swap(0, evil)
+
+	r2 := c.restartReplica(t, victimID, dir)
+	if got := r2.LastExecuted(); got < 5 {
+		t.Fatalf("recovered backup replayed only %d slots, want >= 5", got)
+	}
+
+	// Deliver the conflicting proposal synchronously: the recovered
+	// backup must refuse to re-vote and instead demand a view change —
+	// the same-view digest conflict with its logged vote is equivocation
+	// evidence.
+	r2.Deliver(0, wire.Marshal(evil.pp), c.net.Now())
+	if !r2.InViewChange() || r2.View() != 1 {
+		t.Fatalf("conflicting proposal not refused with a view change (view=%d inVC=%v)",
+			r2.View(), r2.InViewChange())
+	}
+	if in := r2.insts[victimPP.Seq]; in != nil && in.od == conflictOD {
+		t.Fatal("recovered backup adopted the conflicting proposal")
+	}
+
+	// Pump one more request until the cluster (minus the Byzantine
+	// primary) converges in the new view: 5 prefix + victim + post = 7.
+	post := c.request(101, "post")
+	deadline := c.net.Now() + types.Millisecond(20000)
+	for !c.allExecuted(7, 0)() {
+		if c.net.Now() > deadline {
+			for id, app := range c.apps {
+				t.Logf("replica %v: view=%d execs=%d", id, c.replicas[id].View(), len(app.flatOps()))
+			}
+			t.Fatal("cluster never converged in the new view")
+		}
+		c.sendToAll(post)
+		c.net.RunUntil(c.allExecuted(7, 0), c.net.Now()+types.Millisecond(50))
+	}
+
+	// (a) Across both incarnations, node 2 never voted two digests for
+	// the same (view, slot) — the equivocator's bombardment included.
+	if evil.sent == 0 {
+		t.Fatal("test bug: equivocator never sent its conflicting proposal")
+	}
+	if bad := votes.conflicts(victimID); len(bad) != 0 {
+		t.Fatalf("recovered backup sent conflicting votes at %v", bad)
+	}
+	// (b) No conflicting batches committed: all logs agree and every
+	// operation executed exactly once.
+	c.assertConsistentLogs()
+	for id, app := range c.apps {
+		seen := make(map[string]bool)
+		for _, op := range app.flatOps() {
+			if seen[op] {
+				t.Fatalf("replica %v executed %q twice", id, op)
+			}
+			seen[op] = true
+		}
+	}
+	// (c) The recovered backup rejoined and contributed: the new view's
+	// commit quorum (2f+1 of the three correct replicas) is impossible
+	// without its votes, and the tap must show them.
+	if got := r2.View(); got < 1 {
+		t.Fatalf("recovered backup still in view %d", got)
+	}
+	if !votes.votedAtOrAbove(victimID, 1) {
+		t.Fatal("recovered backup never voted in the new view")
+	}
+}
+
+// TestViewChangeDurabilityMidCampaign crashes a backup after it has
+// broadcast a VIEW-CHANGE but before the new view installs. The restarted
+// replica must recover into the campaign (correct target view, still
+// changing), refuse any vote in the abandoned view, and then complete the
+// view change with the others.
+func TestViewChangeDurabilityMidCampaign(t *testing.T) {
+	dir := recoveryDir(t, "vc-campaign")
+	c := durableCluster(t, 78, dir, nil)
+	votes := newVoteLog()
+	c.net.Tap(votes.observe)
+
+	if !c.pumpSequential(100, 3, "pre", types.Millisecond(10000)) {
+		t.Fatal("prefix never executed")
+	}
+
+	// Kill the primary; a pending request drives the backups into a
+	// campaign. Stop at the event where backup 2 enters it.
+	c.net.Crash(0)
+	survive := c.request(100, "survive")
+	c.sendToAll(survive)
+	const victimID = types.NodeID(2)
+	midCampaign := func() bool {
+		r := c.replicas[victimID]
+		return r.InViewChange() && r.View() >= 1
+	}
+	if !c.net.RunUntil(midCampaign, c.net.Now()+types.Millisecond(3000)) {
+		t.Fatal("backup never campaigned")
+	}
+	target := c.replicas[victimID].View()
+	c.crashReplica(victimID)
+
+	r2 := c.restartReplica(t, victimID, dir)
+	if r2.View() != target || !r2.InViewChange() {
+		t.Fatalf("recovered into view %d (inVC=%v), want mid-campaign for view %d",
+			r2.View(), r2.InViewChange(), target)
+	}
+
+	// Never regress: a fresh, correctly-signed pre-prepare from the
+	// abandoned view must be ignored outright.
+	mark := votes.mark()
+	staleSeq := r2.LastExecuted() + 5
+	staleReq := c.request(102, "stale")
+	tNow := types.Timestamp(c.net.Now())
+	stale := &wire.PrePrepare{
+		View: 0, Seq: staleSeq,
+		ND:       types.NonDet{Time: tNow, Rand: types.ComputeNonDetRand(staleSeq, tNow)},
+		Requests: []wire.Request{*staleReq},
+		Primary:  0,
+	}
+	att, err := c.schemes[0].Attest(auth.KindPrePrepare, stale.OrderDigest(), c.top.Agreement)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale.Att = att
+	r2.Deliver(0, wire.Marshal(stale), c.net.Now())
+	if in := r2.insts[staleSeq]; in != nil && in.pp != nil {
+		t.Fatal("recovered replica accepted a pre-prepare from the abandoned view")
+	}
+
+	// The campaign completes (possibly escalating past the original
+	// target) and the pending request executes on every live replica.
+	deadline := c.net.Now() + types.Millisecond(20000)
+	for !c.allExecuted(4, 0)() {
+		if c.net.Now() > deadline {
+			t.Fatal("view change never completed after the restart")
+		}
+		c.sendToAll(survive)
+		c.net.RunUntil(c.allExecuted(4, 0), c.net.Now()+types.Millisecond(50))
+	}
+	c.assertConsistentLogs()
+	if got := r2.View(); got < target {
+		t.Fatalf("recovered replica regressed to view %d < %d", got, target)
+	}
+	for _, ev := range votes.eventsSince(mark) {
+		if ev.k.from == victimID && ev.k.view < target {
+			t.Fatalf("post-restart vote in abandoned view %d at slot %d", ev.k.view, ev.k.seq)
+		}
+	}
+	if bad := votes.conflicts(victimID); len(bad) != 0 {
+		t.Fatalf("conflicting votes at %v", bad)
+	}
+}
+
+// TestViewChangeDurabilityDuringInstall crashes a backup immediately after
+// it installs a new view (the NEW-VIEW is accepted, the install logged, its
+// re-prepares broadcast). The restart must land in the installed view — not
+// the campaign, not the old view — and keep contributing there.
+func TestViewChangeDurabilityDuringInstall(t *testing.T) {
+	dir := recoveryDir(t, "vc-install")
+	c := durableCluster(t, 79, dir, nil)
+	votes := newVoteLog()
+	c.net.Tap(votes.observe)
+
+	if !c.pumpSequential(100, 3, "pre", types.Millisecond(10000)) {
+		t.Fatal("prefix never executed")
+	}
+
+	c.net.Crash(0)
+	survive := c.request(100, "survive")
+	c.sendToAll(survive)
+	const victimID = types.NodeID(3)
+	installed := func() bool {
+		r := c.replicas[victimID]
+		return r.View() >= 1 && !r.InViewChange()
+	}
+	if !c.net.RunUntil(installed, c.net.Now()+types.Millisecond(5000)) {
+		t.Fatal("backup never installed the new view")
+	}
+	installedView := c.replicas[victimID].View()
+	c.crashReplica(victimID)
+
+	r2 := c.restartReplica(t, victimID, dir)
+	if r2.View() != installedView || r2.InViewChange() {
+		t.Fatalf("recovered into view %d (inVC=%v), want installed view %d",
+			r2.View(), r2.InViewChange(), installedView)
+	}
+
+	deadline := c.net.Now() + types.Millisecond(20000)
+	for !c.allExecuted(4, 0)() {
+		if c.net.Now() > deadline {
+			t.Fatal("cluster never converged after the install-crash restart")
+		}
+		c.sendToAll(survive)
+		c.net.RunUntil(c.allExecuted(4, 0), c.net.Now()+types.Millisecond(50))
+	}
+	c.assertConsistentLogs()
+	if bad := votes.conflicts(victimID); len(bad) != 0 {
+		t.Fatalf("conflicting votes at %v", bad)
+	}
+	if !votes.votedAtOrAbove(victimID, installedView) {
+		t.Fatal("recovered replica never contributed in the installed view")
+	}
+}
+
+// blackholeStore wraps a Store and, once armed, silently discards every
+// write after the next SaveCheckpoint completes — modeling a process that
+// dies at that exact instant. It pins the write ordering inside
+// persistStable: the view record must be durable BEFORE the checkpoint that
+// advances recovery's replay cursor, or this crash window loses the view.
+type blackholeStore struct {
+	storage.Store
+	armed bool
+	dead  bool
+}
+
+func (s *blackholeStore) Append(kind storage.RecordKind, seq types.SeqNum, payload []byte) error {
+	if s.dead {
+		return nil
+	}
+	return s.Store.Append(kind, seq, payload)
+}
+
+func (s *blackholeStore) Sync() error {
+	if s.dead {
+		return nil
+	}
+	return s.Store.Sync()
+}
+
+func (s *blackholeStore) SaveCheckpoint(ck storage.Checkpoint) error {
+	if s.dead {
+		return nil
+	}
+	err := s.Store.SaveCheckpoint(ck)
+	if s.armed {
+		s.dead = true
+	}
+	return err
+}
+
+func (s *blackholeStore) Prune(stable types.SeqNum) error {
+	if s.dead {
+		return nil
+	}
+	return s.Store.Prune(stable)
+}
+
+func (s *blackholeStore) Abandon() {
+	if d, ok := s.Store.(*storage.DiskStore); ok {
+		d.Abandon()
+	}
+}
+
+// TestRecoveryViewSurvivesCheckpointCrashWindow kills a replica at the
+// worst possible instant: the moment a new stable checkpoint reaches disk,
+// before anything after it does. The previous view record now sits below
+// the checkpoint's replay cursor, so recovery must be able to rely on the
+// current view having been re-logged durably BEFORE the checkpoint — or the
+// replica would restart in view 0 and could be induced to vote in a view it
+// already abandoned.
+func TestRecoveryViewSurvivesCheckpointCrashWindow(t *testing.T) {
+	dir := recoveryDir(t, "ckpt-window")
+	const victimID = types.NodeID(2)
+	var hole *blackholeStore
+	c := durableCluster(t, 81, dir, func(cfg *Config) {
+		cfg.BatchSize = 1
+		cfg.CheckpointInterval = 4
+		cfg.WindowSize = 16
+		if cfg.ID == victimID {
+			hole = &blackholeStore{Store: cfg.Store}
+			cfg.Store = hole
+		}
+	})
+
+	// Move to view >= 1 so there is a view to lose.
+	c.net.Crash(0)
+	first := c.request(100, "first")
+	c.sendToAll(first)
+	if !c.net.RunUntil(c.allExecuted(1, 0), types.Millisecond(5000)) {
+		t.Fatal("no progress after primary crash")
+	}
+	view := c.replicas[victimID].View()
+	if view == 0 {
+		t.Fatal("view did not advance")
+	}
+	c.net.Revive(0)
+
+	// Arm the trap and run until the victim's next stable checkpoint
+	// lands — at which point its store goes dark, as a crash would.
+	hole.armed = true
+	if !c.pumpSequential(101, 8, "w", c.net.Now()+types.Millisecond(30000)) {
+		t.Fatal("workload stalled")
+	}
+	if !hole.dead {
+		t.Fatal("no checkpoint was saved after arming; test is vacuous")
+	}
+	c.crashReplica(victimID)
+
+	r2 := c.restartReplica(t, victimID, dir)
+	if got := r2.View(); got != view {
+		t.Fatalf("crash at the checkpoint-save instant lost the view: recovered into %d, want %d", got, view)
+	}
+}
+
+// TestRecoveryViewSurvivesCheckpointGC runs a view change, then enough
+// traffic to cross several stable checkpoints (pruning the WAL segments
+// that held the original view records), then crash-restarts a backup. The
+// re-logged view state above the stable watermark must carry the recovered
+// replica straight into the current view.
+func TestRecoveryViewSurvivesCheckpointGC(t *testing.T) {
+	dir := recoveryDir(t, "view-gc")
+	c := durableCluster(t, 80, dir, func(cfg *Config) {
+		cfg.BatchSize = 1
+		cfg.CheckpointInterval = 4
+		cfg.WindowSize = 16
+	})
+
+	// Force the cluster into view 1.
+	c.net.Crash(0)
+	first := c.request(100, "first")
+	c.sendToAll(first)
+	if !c.net.RunUntil(c.allExecuted(1, 0), types.Millisecond(5000)) {
+		t.Fatal("no progress after primary crash")
+	}
+	view := c.replicas[1].View()
+	if view == 0 {
+		t.Fatal("view did not advance")
+	}
+	// Revive the old primary; status gossip forwards the NEW-VIEW proof
+	// and it rejoins the current view.
+	c.net.Revive(0)
+
+	// Cross several checkpoint boundaries so segment GC runs.
+	if !c.pumpSequential(101, 12, "gc", c.net.Now()+types.Millisecond(30000)) {
+		t.Fatal("post-view-change workload stalled")
+	}
+	const victimID = types.NodeID(2)
+	if got := c.replicas[victimID].LastStable(); got < 8 {
+		t.Fatalf("stable checkpoint only at %d; GC never exercised", got)
+	}
+
+	c.crashReplica(victimID)
+	r2 := c.restartReplica(t, victimID, dir)
+	if got := r2.View(); got != view {
+		t.Fatalf("recovered into view %d, want %d (view record lost to GC?)", got, view)
+	}
+	if r2.InViewChange() {
+		t.Fatal("recovered replica believes a campaign is still running")
+	}
+	if got := r2.LastStable(); got < 8 {
+		t.Fatalf("recovered stable checkpoint %d, want >= 8", got)
+	}
+
+	// And it keeps working in that view.
+	if !c.pumpSequential(102, 3, "post", c.net.Now()+types.Millisecond(20000)) {
+		t.Fatal("cluster stalled after the restart")
+	}
+	c.assertConsistentLogs()
+}

@@ -35,6 +35,12 @@ func (r *Replica) startViewChange(target types.View, now types.Time) {
 	r.sentVC = vc
 	r.vcDeadline = now + r.cfg.ViewChangeResend
 	r.storeViewChange(vc)
+	// The campaign start must be durable before the VIEW-CHANGE leaves:
+	// a replica that crashes mid-campaign recovers into the campaign
+	// instead of regressing to voting in the view it already abandoned.
+	if !r.logView(target, true) || !r.syncVotes() {
+		return
+	}
 	r.broadcast(wire.Marshal(vc))
 	r.maybeBuildNewView(now)
 }
@@ -52,29 +58,11 @@ func (r *Replica) buildViewChange(target types.View) *wire.ViewChange {
 		if !in.prepared || in.pp == nil || n <= r.lastStable {
 			continue
 		}
-		primary := r.top.Primary(in.view)
-		prepares := make([]auth.Attestation, 0, len(in.prepares))
-		ids := make([]types.NodeID, 0, len(in.prepares))
-		for id, v := range in.prepares {
-			if id != primary && v.od == in.od {
-				ids = append(ids, id)
-			}
-		}
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-		for _, id := range ids {
-			prepares = append(prepares, in.prepares[id].att)
-		}
-		if len(prepares) < 2*r.f {
+		ent := r.preparedEntry(in)
+		if ent == nil {
 			continue
 		}
-		entries = append(entries, wire.PreparedEntry{
-			View:       in.view,
-			Seq:        n,
-			ND:         in.pp.ND,
-			Requests:   in.pp.Requests,
-			PrimaryAtt: in.pp.Att,
-			Prepares:   prepares[:2*r.f],
-		})
+		entries = append(entries, *ent)
 	}
 	vc := &wire.ViewChange{
 		NewView:    target,
@@ -133,32 +121,42 @@ func (r *Replica) validateViewChange(m *wire.ViewChange) bool {
 		if e.Seq <= m.LastStable || e.View >= m.NewView {
 			return false
 		}
-		od := e.OrderDigest()
-		primary := r.top.Primary(e.View)
-		if e.PrimaryAtt.Node != primary {
-			return false
-		}
-		if r.cfg.ReplicaAuth.Verify(auth.KindPrePrepare, od, e.PrimaryAtt) != nil {
-			return false
-		}
-		// 2f distinct valid prepares from backups of that view.
-		backups := make(map[types.NodeID]bool, r.n)
-		for _, id := range r.top.Agreement {
-			if id != primary {
-				backups[id] = true
-			}
-		}
-		if auth.CountDistinct(r.cfg.ReplicaAuth, auth.KindPrepare, od, e.Prepares, backups) < 2*r.f {
-			return false
-		}
-		// The nondeterminism must be the canonical function of (seq, time);
-		// it was checked when first prepared, but re-verifying keeps a
-		// colluding quorum from smuggling steered randomness forward.
-		if e.ND.Rand != types.ComputeNonDetRand(e.Seq, e.ND.Time) {
+		if !r.verifyPreparedEvidence(e) {
 			return false
 		}
 	}
 	return true
+}
+
+// verifyPreparedEvidence checks a PreparedEntry's transferable proof that a
+// batch prepared somewhere: the view primary's pre-prepare attestation, 2f
+// distinct valid backup prepares over the same order digest, and canonical
+// nondeterminism. Shared by view-change validation (entries arriving from
+// peers) and WAL recovery (entries from the replica's own untrusted disk).
+func (r *Replica) verifyPreparedEvidence(e *wire.PreparedEntry) bool {
+	od := e.OrderDigest()
+	primary := r.top.Primary(e.View)
+	if e.PrimaryAtt.Node != primary {
+		return false
+	}
+	if r.cfg.ReplicaAuth.Verify(auth.KindPrePrepare, od, e.PrimaryAtt) != nil {
+		return false
+	}
+	// 2f distinct valid prepares from backups of that view.
+	backups := make(map[types.NodeID]bool, r.n)
+	for _, id := range r.top.Agreement {
+		if id != primary {
+			backups[id] = true
+		}
+	}
+	if auth.CountDistinct(r.cfg.ReplicaAuth, auth.KindPrepare, od, e.Prepares, backups) < 2*r.f {
+		return false
+	}
+	// The nondeterminism must be the canonical function of (seq, time);
+	// it was checked when first prepared, but re-verifying keeps a
+	// colluding quorum (or a tampered WAL) from smuggling steered
+	// randomness forward.
+	return e.ND.Rand == types.ComputeNonDetRand(e.Seq, e.ND.Time)
 }
 
 func (r *Replica) storeViewChange(m *wire.ViewChange) {
@@ -247,6 +245,20 @@ func (r *Replica) maybeBuildNewView(now types.Time) {
 		return
 	}
 	nv.Att = att
+	// The NEW-VIEW externalizes the install and the primary's re-proposal
+	// votes for the whole O set: make all of it durable first, under one
+	// sync.
+	if !r.logView(r.view, false) {
+		return
+	}
+	for i := range pps {
+		if !r.logVote(pps[i].View, pps[i].Seq, pps[i].OrderDigest(), wire.VotePrePrepare) {
+			return
+		}
+	}
+	if !r.syncVotes() {
+		return
+	}
 	r.broadcast(wire.Marshal(nv))
 	r.installNewView(nv, minS, maxS, now)
 }
@@ -376,23 +388,42 @@ func (r *Replica) installNewView(m *wire.NewView, minS, maxS types.SeqNum, now t
 			delete(r.vcs, v)
 		}
 	}
+	// Make the install durable before this replica's first message in the
+	// new view (for the new primary maybeBuildNewView already logged it;
+	// logView dedups). The backups' re-prepares for the O set are all
+	// logged under one sync and broadcast only afterwards. A storage
+	// failure fail-stops the install like every other vote path.
+	if !r.logView(r.view, false) {
+		return
+	}
 	isPrimary := r.isPrimary()
+	var preps [][]byte
 	for i := range m.PrePrepares {
 		pp := m.PrePrepares[i]
 		if pp.Seq <= r.lastExec || pp.Seq <= r.lastStable {
 			continue
 		}
 		od := pp.OrderDigest()
+		if voteOK, _ := r.mayVote(pp.View, pp.Seq, od); !voteOK {
+			continue // already voted in an even newer view for this slot
+		}
 		r.acceptPrePrepare(&pp, od, now)
 		if !isPrimary {
 			att, err := r.cfg.ReplicaAuth.Attest(auth.KindPrepare, od, r.top.Agreement)
 			if err != nil {
 				continue
 			}
+			if !r.logVote(pp.View, pp.Seq, od, wire.VotePrepare) {
+				continue
+			}
 			in := r.inst(pp.View, pp.Seq)
 			in.prepares[r.cfg.ID] = vote{od: od, att: att}
-			prep := &wire.Prepare{View: pp.View, Seq: pp.Seq, OD: od, Replica: r.cfg.ID, Att: att}
-			r.broadcast(wire.Marshal(prep))
+			preps = append(preps, wire.Marshal(&wire.Prepare{View: pp.View, Seq: pp.Seq, OD: od, Replica: r.cfg.ID, Att: att}))
+		}
+	}
+	if r.syncVotes() {
+		for _, p := range preps {
+			r.broadcast(p)
 		}
 	}
 	// Give the new primary a fresh chance at the buffered client work —

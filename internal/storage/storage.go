@@ -35,6 +35,26 @@ const (
 	// RecOrder is an execution-side applied batch: a wire.OrderProof
 	// (request batch plus 2f+1 order attestations).
 	RecOrder RecordKind = 2
+	// RecVote is an agreement replica's own vote marker for one slot
+	// (wire.VoteRecord): a proposed/accepted pre-prepare, a sent prepare,
+	// or a sent commit. Appended and synced before the vote message is
+	// externalized, so a recovered replica refuses to send a conflicting
+	// vote for any slot it already voted on. seq is the slot, so vote
+	// records are garbage-collected with the segments a stable checkpoint
+	// supersedes.
+	RecVote RecordKind = 3
+	// RecPrepared is the prepared certificate for one slot
+	// (wire.PreparedEntry via wire.EncodePreparedRecord): the primary's
+	// pre-prepare evidence plus 2f prepare attestations. It survives a
+	// crash so the replica's next VIEW-CHANGE still carries the evidence —
+	// without it a recovered replica would count against f until rejoined.
+	RecPrepared RecordKind = 4
+	// RecView is a view transition (wire.ViewRecord): entering a
+	// view-change campaign or installing a new view. Logged with
+	// seq = stable watermark + 1 (and re-logged above each new stable
+	// checkpoint) so the latest view survives both the replay cursor's
+	// seq > stable filter and segment GC.
+	RecView RecordKind = 5
 )
 
 // FsyncMode selects when appended WAL records reach stable media.

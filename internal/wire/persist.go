@@ -1,5 +1,11 @@
 package wire
 
+import (
+	"fmt"
+
+	"repro/internal/types"
+)
+
 // Persisted-record encodings for the durable storage subsystem
 // (internal/storage). WAL records reuse Marshal/Unmarshal framing of the
 // self-proving protocol messages (CommitProof on the agreement side,
@@ -12,6 +18,24 @@ package wire
 //     the checkpoint stable, encoded by EncodeAgreeProof below (the votes
 //     are a proof set, not a network message, so they get a plain canonical
 //     envelope rather than a MsgType).
+//
+// Agreement voting state gets three more record encodings, all local facts
+// rather than network messages, so like the agree-proof they use plain
+// canonical envelopes:
+//
+//   - VoteRecord marks one vote this replica sent (or, for a primary,
+//     proposed) for one slot, written before the vote leaves the node so a
+//     recovered replica can refuse to contradict itself;
+//   - EncodePreparedRecord wraps the PreparedEntry certificate a slot
+//     reached prepared with, so view changes after a restart still carry
+//     the evidence (without it a recovered replica would count against f);
+//   - ViewRecord marks a view transition (campaign start or new-view
+//     install), written before the transition is announced.
+//
+// All three decoders are strict: trailing bytes, unknown discriminator
+// values, and non-canonical booleans are rejected, so a corrupted-but-CRC-
+// valid WAL record is dropped during replay instead of fabricating a
+// phantom vote.
 
 // EncodeAgreeProof canonically encodes the vote set proving an agreement
 // checkpoint stable.
@@ -37,4 +61,105 @@ func DecodeAgreeProof(data []byte) ([]AgreeCheckpoint, error) {
 		return nil, err
 	}
 	return votes, nil
+}
+
+// VotePhase orders the promises a replica makes about one slot: proposing
+// or accepting a pre-prepare, sending a prepare, sending a commit. Higher
+// phases imply the lower ones for the same (view, digest).
+type VotePhase uint8
+
+// Vote phases, in protocol order.
+const (
+	VotePrePrepare VotePhase = 1 // proposed (primary) or accepted the pre-prepare
+	VotePrepare    VotePhase = 2 // sent a prepare
+	VoteCommit     VotePhase = 3 // sent a commit
+)
+
+// VoteRecord is one durable vote marker: this replica attested to order
+// digest OD at slot Seq in View, up to Phase. It is appended (and synced)
+// before the corresponding message is externalized, so after a crash the
+// replica knows every vote it may have sent and refuses to contradict one.
+type VoteRecord struct {
+	View  types.View
+	Seq   types.SeqNum
+	OD    types.Digest
+	Phase VotePhase
+}
+
+// EncodeVoteRecord canonically encodes a vote marker.
+func EncodeVoteRecord(v VoteRecord) []byte {
+	var w Writer
+	w.View(v.View)
+	w.Seq(v.Seq)
+	w.Digest(v.OD)
+	w.U8(uint8(v.Phase))
+	return w.B
+}
+
+// DecodeVoteRecord decodes a vote marker, rejecting trailing bytes and
+// out-of-range phases.
+func DecodeVoteRecord(data []byte) (VoteRecord, error) {
+	r := NewReader(data)
+	v := VoteRecord{View: r.View(), Seq: r.Seq(), OD: r.Digest(), Phase: VotePhase(r.U8())}
+	if err := r.finish(); err != nil {
+		return VoteRecord{}, err
+	}
+	if v.Phase < VotePrePrepare || v.Phase > VoteCommit {
+		return VoteRecord{}, fmt.Errorf("wire: invalid vote phase %d", v.Phase)
+	}
+	return v, nil
+}
+
+// ViewRecord is one durable view transition: InChange true marks the start
+// of a campaign for View (a VIEW-CHANGE is about to be broadcast), false
+// marks View installed (a NEW-VIEW was accepted or built). The latest
+// record in append order is the replica's current view state.
+type ViewRecord struct {
+	View     types.View
+	InChange bool
+}
+
+// EncodeViewRecord canonically encodes a view transition.
+func EncodeViewRecord(v ViewRecord) []byte {
+	var w Writer
+	w.View(v.View)
+	w.Bool(v.InChange)
+	return w.B
+}
+
+// DecodeViewRecord decodes a view transition, rejecting trailing bytes and
+// non-canonical booleans.
+func DecodeViewRecord(data []byte) (ViewRecord, error) {
+	r := NewReader(data)
+	v := ViewRecord{View: r.View()}
+	b := r.U8()
+	if err := r.finish(); err != nil {
+		return ViewRecord{}, err
+	}
+	if b > 1 {
+		return ViewRecord{}, fmt.Errorf("wire: non-canonical bool %d in view record", b)
+	}
+	v.InChange = b == 1
+	return v, nil
+}
+
+// EncodePreparedRecord canonically encodes the prepared certificate for one
+// slot: the primary's pre-prepare evidence plus 2f prepare attestations.
+// Recovery re-verifies every attestation before trusting it.
+func EncodePreparedRecord(e *PreparedEntry) []byte {
+	var w Writer
+	e.marshalTo(&w)
+	return w.B
+}
+
+// DecodePreparedRecord decodes a prepared certificate, rejecting trailing
+// bytes. The caller re-verifies the evidence; decoding restores structure.
+func DecodePreparedRecord(data []byte) (*PreparedEntry, error) {
+	r := NewReader(data)
+	e := &PreparedEntry{}
+	e.unmarshalFrom(r)
+	if err := r.finish(); err != nil {
+		return nil, err
+	}
+	return e, nil
 }

@@ -43,3 +43,89 @@ func TestAgreeProofRoundTrip(t *testing.T) {
 		t.Fatal("trailing bytes accepted")
 	}
 }
+
+func TestVoteRecordRoundTrip(t *testing.T) {
+	for _, phase := range []VotePhase{VotePrePrepare, VotePrepare, VoteCommit} {
+		v := VoteRecord{View: 3, Seq: 99, OD: types.DigestBytes([]byte("od")), Phase: phase}
+		got, err := DecodeVoteRecord(EncodeVoteRecord(v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != v {
+			t.Fatalf("round trip: %+v != %+v", got, v)
+		}
+	}
+	enc := EncodeVoteRecord(VoteRecord{View: 1, Seq: 2, Phase: VotePrepare})
+	if _, err := DecodeVoteRecord(enc[:len(enc)-1]); err == nil {
+		t.Fatal("truncated vote record decoded")
+	}
+	if _, err := DecodeVoteRecord(append(enc, 0)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+	// Out-of-range phases (0 and 4+) are rejected, not silently restored.
+	for _, bad := range []byte{0, 4, 255} {
+		b := append([]byte(nil), enc...)
+		b[len(b)-1] = bad
+		if _, err := DecodeVoteRecord(b); err == nil {
+			t.Fatalf("phase %d accepted", bad)
+		}
+	}
+}
+
+func TestViewRecordRoundTrip(t *testing.T) {
+	for _, v := range []ViewRecord{{View: 0, InChange: false}, {View: 7, InChange: true}} {
+		got, err := DecodeViewRecord(EncodeViewRecord(v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != v {
+			t.Fatalf("round trip: %+v != %+v", got, v)
+		}
+	}
+	enc := EncodeViewRecord(ViewRecord{View: 5, InChange: true})
+	if _, err := DecodeViewRecord(enc[:len(enc)-1]); err == nil {
+		t.Fatal("truncated view record decoded")
+	}
+	if _, err := DecodeViewRecord(append(enc, 1)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+	// A non-canonical boolean is corruption, not a view transition.
+	bad := append([]byte(nil), enc...)
+	bad[len(bad)-1] = 2
+	if _, err := DecodeViewRecord(bad); err == nil {
+		t.Fatal("non-canonical bool accepted")
+	}
+}
+
+func TestPreparedRecordRoundTrip(t *testing.T) {
+	e := &PreparedEntry{
+		View: 2, Seq: 17,
+		ND: types.NonDet{Time: 123, Rand: types.ComputeNonDetRand(17, 123)},
+		Requests: []Request{{
+			Client: 100, Timestamp: 9, Op: []byte("op"),
+			Att: auth.Attestation{Node: 100, Proof: []byte("sig-c")},
+		}},
+		PrimaryAtt: auth.Attestation{Node: 0, Proof: []byte("sig-0")},
+		Prepares: []auth.Attestation{
+			{Node: 1, Proof: []byte("sig-1")},
+			{Node: 2, Proof: []byte("sig-2")},
+		},
+	}
+	enc := EncodePreparedRecord(e)
+	got, err := DecodePreparedRecord(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.OrderDigest() != e.OrderDigest() {
+		t.Fatal("order digest did not survive the round trip")
+	}
+	if len(got.Prepares) != 2 || got.Prepares[1].Node != 2 {
+		t.Fatalf("prepares did not round-trip: %+v", got.Prepares)
+	}
+	if _, err := DecodePreparedRecord(enc[:len(enc)-3]); err == nil {
+		t.Fatal("truncated prepared record decoded")
+	}
+	if _, err := DecodePreparedRecord(append(enc, 0)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}

@@ -18,11 +18,12 @@ import (
 // the rest of the deployment described by its Config. The saebft-node
 // command is a thin wrapper around it.
 type Node struct {
-	cfg     *Config
-	id      types.NodeID
-	role    types.Role
-	logf    func(string, ...interface{})
-	dataDir string
+	cfg           *Config
+	id            types.NodeID
+	role          types.Role
+	logf          func(string, ...interface{})
+	dataDir       string
+	volatileVotes bool
 
 	mu        sync.Mutex
 	running   *deploy.RunningNode
@@ -41,6 +42,15 @@ type NodeOption func(*Node)
 // not part of the shared config file.
 func NodeDataDir(path string) NodeOption {
 	return func(n *Node) { n.dataDir = path }
+}
+
+// NodeVolatileVotes disables agreement-side voting-state durability for a
+// durable node, with the same semantics (and the same caveat) as
+// StorageConfig.VolatileVotes: fewer WAL syncs, but this replica counts
+// against f while it recovers under a Byzantine primary. No effect without
+// NodeDataDir.
+func NodeVolatileVotes() NodeOption {
+	return func(n *Node) { n.volatileVotes = true }
 }
 
 // NewNode validates that id names a non-client identity in the config's
@@ -86,7 +96,7 @@ func (n *Node) Start(ctx context.Context) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	rn, err := deploy.StartNodeOpts(n.cfg.d, n.id, deploy.NodeOptions{DataDir: n.dataDir})
+	rn, err := deploy.StartNodeOpts(n.cfg.d, n.id, deploy.NodeOptions{DataDir: n.dataDir, VolatileVotes: n.volatileVotes})
 	if err != nil {
 		return err
 	}

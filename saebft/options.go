@@ -178,6 +178,17 @@ type StorageConfig struct {
 	RetainCheckpoints int
 	// Fsync selects the media-write policy (default FsyncBatched).
 	Fsync FsyncPolicy
+	// VolatileVotes disables agreement-side voting-state durability. By
+	// default agreement replicas log (and sync) every pre-prepare,
+	// prepare, commit, prepared certificate, and view transition before
+	// sending the corresponding message, so even a single replica that
+	// crashes and restarts under a simultaneously-Byzantine primary can
+	// never be induced to send a conflicting vote, and recovers into the
+	// correct view with its prepared evidence intact. Turning this on
+	// trades that guarantee for fewer WAL syncs (committed batches and
+	// checkpoints stay durable; full-cluster restarts stay safe).
+	// Benchmark use.
+	VolatileVotes bool
 }
 
 // WithStorage enables durable storage for every node the cluster runs in
@@ -257,6 +268,7 @@ func (o *options) coreOptions() (core.Options, error) {
 	if o.storage.DataDir != "" {
 		opts.DataDir = o.storage.DataDir
 		opts.StorageOptions = o.storage.lower()
+		opts.VolatileVotes = o.storage.VolatileVotes
 	}
 	if o.replyModeSet {
 		opts.ReplyMode = o.replyMode.coreMode()

@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -181,6 +182,126 @@ func TestRecoveryRandomKillKV(t *testing.T) {
 				}
 				if got, want := string(reply), fmt.Sprintf("value-%d", i); got != want {
 					t.Fatalf("key-%d: got %q, want %q", i, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestRecoveryRandomKillAgreementOrdering extends the random-kill property
+// runs beyond execution state: an agreement replica (a backup in one
+// variant, the view-0 primary — forcing a mid-load view change — in the
+// other) is crashed while per-key sequential write streams are in flight,
+// more writes are acknowledged in the degraded cluster, and then every node
+// is killed at once and restarted over the same directories. Each key's
+// stream awaits the ack of version j before issuing j+1, so agreement-level
+// loss or reordering is directly observable: after the restart every key
+// must hold exactly its last acknowledged version or the single in-flight
+// successor — never less (a lost acknowledged op) and never more (a
+// re-executed or re-ordered one).
+func TestRecoveryRandomKillAgreementOrdering(t *testing.T) {
+	const keys, versions = 10, 4
+	val := func(j int) string { return fmt.Sprintf("v%03d", j) }
+	for name, victim := range map[string]int{"backup": 3, "primary": 0} {
+		t.Run(name, func(t *testing.T) {
+			dir := recoveryDir(t, "agree-"+name)
+			opt := func() []Option { return []Option{WithApp("kv"), WithClients(8)} }
+			c1 := startDurable(t, dir, opt()...)
+			ctx := context.Background()
+
+			acked := make([]atomic.Int32, keys)
+			issued := make([]atomic.Int32, keys)
+			var totalAcks atomic.Int32
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			for i := 0; i < keys; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					for j := 1; j <= versions; j++ {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						op, err := EncodeOp("kv", "put", fmt.Sprintf("key-%d", i), val(j))
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						issued[i].Store(int32(j))
+						if _, err := c1.Client().Invoke(ctx, op); err != nil {
+							return // killed mid-stream; j stays in flight
+						}
+						acked[i].Store(int32(j))
+						totalAcks.Add(1)
+					}
+				}(i)
+			}
+			waitAcks := func(n int32) {
+				deadline := time.Now().Add(time.Minute)
+				for totalAcks.Load() < n {
+					if time.Now().After(deadline) {
+						t.Fatalf("timed out at %d/%d acks", totalAcks.Load(), n)
+					}
+					time.Sleep(time.Millisecond)
+				}
+			}
+			// Crash one agreement replica under load, then require the
+			// degraded cluster (and, for the primary variant, the new
+			// view) to acknowledge more writes before the full kill.
+			waitAcks(5)
+			if err := c1.CrashAgreement(victim); err != nil {
+				t.Fatal(err)
+			}
+			waitAcks(2 * keys)
+			close(stop)
+			c1.kill()
+			wg.Wait()
+
+			// Restart everything — including the long-crashed agreement
+			// replica, whose WAL is a stale but valid prefix.
+			c2 := startDurable(t, dir, opt()...)
+			defer c2.Close()
+			for i := 0; i < keys; i++ {
+				getOp, err := EncodeOp("kv", "get", fmt.Sprintf("key-%d", i))
+				if err != nil {
+					t.Fatal(err)
+				}
+				reply, err := c2.Client().Invoke(ctx, getOp)
+				if err != nil {
+					t.Fatalf("get key-%d: %v", i, err)
+				}
+				final := 0
+				if len(reply) > 0 {
+					if _, err := fmt.Sscanf(string(reply), "v%03d", &final); err != nil {
+						t.Fatalf("key-%d holds foreign value %q", i, reply)
+					}
+				}
+				a, is := int(acked[i].Load()), int(issued[i].Load())
+				if final < a {
+					t.Fatalf("key-%d: acknowledged version %d lost (found %d)", i, a, final)
+				}
+				if final > is {
+					t.Fatalf("key-%d: version %d appeared but only %d were issued (re-ordered or re-executed)", i, final, is)
+				}
+				// Drive the stream to completion; the cluster must accept
+				// the remaining versions in order.
+				for j := final + 1; j <= versions; j++ {
+					op, err := EncodeOp("kv", "put", fmt.Sprintf("key-%d", i), val(j))
+					if err != nil {
+						t.Fatal(err)
+					}
+					if _, err := c2.Client().Invoke(ctx, op); err != nil {
+						t.Fatalf("re-issue key-%d v%d: %v", i, j, err)
+					}
+				}
+				reply, err = c2.Client().Invoke(ctx, getOp)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got, want := string(reply), val(versions); got != want {
+					t.Fatalf("key-%d: final %q, want %q", i, got, want)
 				}
 			}
 		})

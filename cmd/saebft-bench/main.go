@@ -37,11 +37,12 @@ func main() {
 		out        = flag.String("out", "", "batching sweep: write the JSON report here")
 		baseline   = flag.String("baseline", "", "batching sweep: compare against this baseline report")
 		maxRegress = flag.Float64("max-regress", 0.30, "batching sweep: tolerated fractional throughput regression vs the baseline")
+		useTLS     = flag.Bool("tls", false, "batching sweep: run the TCP points over ephemeral mutual TLS, measuring the link-security cost")
 	)
 	flag.Parse()
 
 	if *batching {
-		runBatching(*short, *out, *baseline, *maxRegress)
+		runBatching(*short, *useTLS, *out, *baseline, *maxRegress)
 		return
 	}
 
@@ -71,8 +72,8 @@ func main() {
 	}
 }
 
-func runBatching(short bool, out, baseline string, maxRegress float64) {
-	rep, err := saebft.RunBatchingBench(saebft.BatchBenchConfig{Short: short})
+func runBatching(short, useTLS bool, out, baseline string, maxRegress float64) {
+	rep, err := saebft.RunBatchingBench(saebft.BatchBenchConfig{Short: short, TLS: useTLS})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "saebft-bench: batching sweep: %v\n", err)
 		os.Exit(1)
@@ -90,8 +91,15 @@ func runBatching(short bool, out, baseline string, maxRegress float64) {
 		if p.Storage {
 			store = "wal"
 		}
+		link := "tcp"
+		if p.TLS {
+			link = "tls"
+		}
+		if p.Transport == "sim" {
+			link = "sim"
+		}
 		fmt.Printf("%-4s pipeline=%d batch=%-3s store=%s ops=%-4d %s  %9.0f ops/s  mean-lat %6.1fms  batches=%-3d width=%d\n",
-			p.Transport, p.Pipeline, batch, store, p.Ops, clock, p.Throughput, p.MeanLatMs, p.Batches, p.FinalWidth)
+			link, p.Pipeline, batch, store, p.Ops, clock, p.Throughput, p.MeanLatMs, p.Batches, p.FinalWidth)
 	}
 	if out != "" {
 		if err := rep.WriteFile(out); err != nil {

@@ -31,9 +31,13 @@ import (
 
 func main() {
 	var (
-		cfgPath = flag.String("config", "cluster.json", "cluster config file")
-		id      = flag.Int("id", 1000, "client identity")
-		timeout = flag.Duration("timeout", 15*time.Second, "per-request timeout")
+		cfgPath  = flag.String("config", "cluster.json", "cluster config file")
+		id       = flag.Int("id", 1000, "client identity")
+		timeout  = flag.Duration("timeout", 15*time.Second, "per-request timeout")
+		useTLS   = flag.Bool("tls", false, "require mutual-TLS links; -tls=false forces plaintext. Default: follow the config (TLS exactly when it has a tls section)")
+		caFile   = flag.String("ca", "", "cluster CA certificate (PEM); default: the config's tls.ca")
+		certFile = flag.String("cert", "", "this client identity's certificate (PEM); default: <tls.certDir>/node-<id>.pem from the config")
+		keyFile  = flag.String("key", "", "this client identity's private key (PEM); default: <tls.certDir>/node-<id>-key.pem from the config")
 	)
 	flag.Parse()
 	args := flag.Args()
@@ -55,7 +59,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "saebft-client:", err)
 		os.Exit(2)
 	}
-	client, err := saebft.Dial(cfg, saebft.DialClients(*id), saebft.DialTimeout(*timeout))
+	dialOpts := []saebft.DialOption{saebft.DialClients(*id), saebft.DialTimeout(*timeout)}
+	tlsOpts, err := tlsDialOptions(cfg, *id, *useTLS, tlsFlagSet(), *caFile, *certFile, *keyFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "saebft-client:", err)
+		os.Exit(1)
+	}
+	client, err := saebft.Dial(cfg, append(dialOpts, tlsOpts...)...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "saebft-client:", err)
 		os.Exit(1)
@@ -68,4 +78,33 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("%s\n", reply)
+}
+
+// tlsFlagSet reports whether -tls was given explicitly (so -tls=false can
+// force plaintext while an absent flag follows the config).
+func tlsFlagSet() bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "tls" {
+			set = true
+		}
+	})
+	return set
+}
+
+// tlsDialOptions maps the shared saebft.TLSFlags resolution onto dial
+// options, mirroring saebft-node's semantics for its link material.
+func tlsDialOptions(cfg *saebft.Config, id int, useTLS, tlsSet bool, ca, cert, key string) ([]saebft.DialOption, error) {
+	flags := saebft.TLSFlags{TLS: useTLS, TLSSet: tlsSet, CA: ca, Cert: cert, Key: key}
+	rca, rcert, rkey, insecure, err := flags.Resolve(cfg, id)
+	switch {
+	case err != nil:
+		return nil, err
+	case insecure:
+		return []saebft.DialOption{saebft.DialInsecure()}, nil
+	case rca != "":
+		return []saebft.DialOption{saebft.DialTLS(rca, rcert, rkey)}, nil
+	default:
+		return nil, nil
+	}
 }

@@ -1,11 +1,15 @@
 // Command saebft-keygen writes a cluster configuration file for a
-// multi-process deployment. All key material is derived from the config's
-// seed, so the file acts as the trusted dealer's output: distribute it only
-// to machines that will run nodes, and treat it as secret.
+// multi-process deployment. All protocol key material is derived from the
+// config's seed, so the file acts as the trusted dealer's output:
+// distribute it only to machines that will run nodes, and treat it as
+// secret. With -tls it additionally mints a cluster CA plus a mutual-TLS
+// certificate pair for every identity (clients included) and records the
+// paths in the config, so every link of the deployment comes up
+// authenticated and encrypted.
 //
 // Usage:
 //
-//	saebft-keygen -out cluster.json -mode firewall -app kv -port 7000
+//	saebft-keygen -out cluster.json -mode firewall -app kv -port 7000 -tls
 //
 // Then start each node in its own process:
 //
@@ -13,6 +17,8 @@
 //	saebft-node -config cluster.json -id 100    # execution replica
 //	saebft-node -config cluster.json -id 200    # firewall filter
 //	saebft-client -config cluster.json -id 1000 put greeting hello
+//
+// See docs/DEPLOYMENT.md for the multi-machine walkthrough.
 package main
 
 import (
@@ -31,6 +37,7 @@ func main() {
 		mode = flag.String("mode", "separate", "architecture: base, separate, firewall")
 		app  = flag.String("app", "kv", "application: "+strings.Join(saebft.Apps(), ", "))
 		port = flag.Int("port", 7000, "first TCP port; nodes use consecutive ports")
+		host = flag.String("host", "127.0.0.1", "address every identity is assigned; edit the addrs map in the written config for multi-machine layouts")
 		seed = flag.String("seed", "", "key material seed (default: random)")
 		f    = flag.Int("f", 1, "tolerated agreement faults (3f+1 replicas)")
 		g    = flag.Int("g", 1, "tolerated execution faults (2g+1 replicas)")
@@ -40,6 +47,8 @@ func main() {
 		clients       = flag.Int("clients", 2, "number of client identities")
 		batch         = flag.Int("batch", 8, "agreement batch (reply bundle) size")
 		thresholdBits = flag.Int("threshold-bits", 1024, "threshold RSA modulus size")
+		useTLS        = flag.Bool("tls", false, "mint a cluster CA + per-identity mutual-TLS certificates and record them in the config")
+		tlsDir        = flag.String("tls-dir", "certs", "directory for the minted TLS material (keep it next to the config file)")
 	)
 	flag.Parse()
 
@@ -58,7 +67,7 @@ func main() {
 		keySeed = fmt.Sprintf("%x", b)
 	}
 
-	cfg, err := saebft.GenerateConfig(saebft.DeployParams{
+	params := saebft.DeployParams{
 		Mode:          m,
 		App:           *app,
 		Seed:          keySeed,
@@ -69,10 +78,20 @@ func main() {
 		BatchSize:     *batch,
 		ThresholdBits: *thresholdBits,
 		BasePort:      *port,
-	})
+		Host:          *host,
+	}
+	cfg, err := saebft.GenerateConfig(params)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "saebft-keygen:", err)
 		os.Exit(1)
+	}
+	if *useTLS {
+		// Certs are written next to the config file, so -out into another
+		// directory keeps the config and its material together.
+		if err := cfg.GenerateTLSFor(*out, *tlsDir); err != nil {
+			fmt.Fprintln(os.Stderr, "saebft-keygen:", err)
+			os.Exit(1)
+		}
 	}
 	if err := cfg.Save(*out); err != nil {
 		fmt.Fprintln(os.Stderr, "saebft-keygen:", err)
@@ -80,8 +99,12 @@ func main() {
 	}
 	// Report the effective values from the generated config, which may
 	// differ from raw flags (GenerateConfig defaults zeros).
-	fmt.Printf("wrote %s (%s/%s, f=%d g=%d h=%d, %d clients)\n",
-		*out, cfg.Mode(), cfg.App(), cfg.F(), cfg.G(), cfg.H(), cfg.Clients())
+	security := "plaintext links (pass -tls for mutual TLS)"
+	if cfg.TLSEnabled() {
+		security = "mutual-TLS links, material under " + *tlsDir
+	}
+	fmt.Printf("wrote %s (%s/%s, f=%d g=%d h=%d, %d clients, %s)\n",
+		*out, cfg.Mode(), cfg.App(), cfg.F(), cfg.G(), cfg.H(), cfg.Clients(), security)
 	fmt.Println("node identities and addresses:")
 	nodes, err := cfg.Nodes()
 	if err != nil {

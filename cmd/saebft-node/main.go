@@ -28,6 +28,11 @@ func main() {
 		dataDir       = flag.String("data-dir", "", "durable storage root; the node persists its WAL and checkpoints under <data-dir>/node-<id> and recovers from them on restart (empty = in-memory)")
 		volatileVotes = flag.Bool("volatile-votes", false, "skip agreement voting-state durability (votes, prepared certificates, view transitions): fewer WAL syncs, but a replica recovering under a Byzantine primary counts against f until rejoined")
 		verbose       = flag.Bool("verbose", false, "log transport-level connection events")
+		useTLS        = flag.Bool("tls", false, "require mutual-TLS links; -tls=false forces plaintext. Default: follow the config (TLS exactly when it has a tls section)")
+		caFile        = flag.String("ca", "", "cluster CA certificate (PEM); default: the config's tls.ca")
+		certFile      = flag.String("cert", "", "this node's certificate (PEM); default: <tls.certDir>/node-<id>.pem from the config")
+		keyFile       = flag.String("key", "", "this node's private key (PEM); default: <tls.certDir>/node-<id>-key.pem from the config")
+		statsEvery    = flag.Duration("stats-every", 0, "log transport link counters at this interval (0 = off); see docs/DEPLOYMENT.md troubleshooting")
 	)
 	flag.Parse()
 	if *id < 0 {
@@ -46,6 +51,12 @@ func main() {
 			nodeOpts = append(nodeOpts, saebft.NodeVolatileVotes())
 		}
 	}
+	tlsOpts, err := tlsNodeOptions(cfg, *id, *useTLS, tlsFlagSet(), *caFile, *certFile, *keyFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "saebft-node:", err)
+		os.Exit(1)
+	}
+	nodeOpts = append(nodeOpts, tlsOpts...)
 	node, err := saebft.NewNode(cfg, *id, nodeOpts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "saebft-node:", err)
@@ -70,8 +81,28 @@ func main() {
 	if *dataDir != "" {
 		durability = "durable: " + *dataDir
 	}
-	fmt.Printf("saebft-node: %s replica %d listening on %s (%s/%s, %s)\n",
-		node.Role(), node.ID(), node.Addr(), cfg.Mode(), cfg.App(), durability)
+	links := "plaintext links"
+	if node.Secure() {
+		links = "mutual-TLS links"
+	}
+	fmt.Printf("saebft-node: %s replica %d listening on %s (%s/%s, %s, %s)\n",
+		node.Role(), node.ID(), node.Addr(), cfg.Mode(), cfg.App(), durability, links)
+
+	if *statsEvery > 0 {
+		go func() {
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(*statsEvery):
+				}
+				s := node.LinkStats()
+				log.Printf("saebft-node: links: dials=%d dialFail=%d handshakes=%d hsFail=%d authRej=%d reconnects=%d sent=%d recv=%d dropped=%d",
+					s.Dials, s.DialFailures, s.Handshakes, s.HandshakeFailures, s.AuthRejects,
+					s.Reconnects, s.FramesSent, s.FramesReceived, s.FramesDropped)
+			}
+		}()
+	}
 
 	// A replica whose store fails stops executing (fail-stop) but keeps
 	// its sockets open; poll and say so loudly instead of hanging mute.
@@ -95,4 +126,33 @@ func main() {
 	stop() // restore default signal handling: a second signal force-kills
 	fmt.Println("saebft-node: shutting down (flushing WAL and checkpoints)")
 	node.Close()
+}
+
+// tlsFlagSet reports whether -tls was given explicitly (so -tls=false can
+// force plaintext while an absent flag follows the config).
+func tlsFlagSet() bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "tls" {
+			set = true
+		}
+	})
+	return set
+}
+
+// tlsNodeOptions maps the shared saebft.TLSFlags resolution onto node
+// options.
+func tlsNodeOptions(cfg *saebft.Config, id int, useTLS, tlsSet bool, ca, cert, key string) ([]saebft.NodeOption, error) {
+	flags := saebft.TLSFlags{TLS: useTLS, TLSSet: tlsSet, CA: ca, Cert: cert, Key: key}
+	rca, rcert, rkey, insecure, err := flags.Resolve(cfg, id)
+	switch {
+	case err != nil:
+		return nil, err
+	case insecure:
+		return []saebft.NodeOption{saebft.NodeInsecure()}, nil
+	case rca != "":
+		return []saebft.NodeOption{saebft.NodeTLS(rca, rcert, rkey)}, nil
+	default:
+		return nil, nil // config-driven: TLS exactly when the config prescribes it
+	}
 }

@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"sync/atomic"
 	"time"
@@ -40,6 +41,19 @@ type Config struct {
 	BatchSize     int               `json:"batchSize"`
 	ThresholdBits int               `json:"thresholdBits"`
 	Addrs         map[string]string `json:"addrs"` // NodeID (decimal) → host:port
+	TLS           *TLSSettings      `json:"tls,omitempty"`
+
+	// baseDir is the directory the config was loaded from; relative TLS
+	// paths resolve against it so a config file can travel with its certs.
+	baseDir string
+}
+
+// TLSSettings names the deployment's mutual-TLS material. Paths are
+// relative to the config file's directory (or absolute). CertDir holds one
+// node-<id>.pem / node-<id>-key.pem pair per identity, clients included.
+type TLSSettings struct {
+	CA      string `json:"ca"`
+	CertDir string `json:"certDir"`
 }
 
 // Default returns a one-box deployment descriptor with sequential loopback
@@ -84,7 +98,88 @@ func Load(path string) (*Config, error) {
 	if err := json.Unmarshal(data, &cfg); err != nil {
 		return nil, fmt.Errorf("deploy: parsing %s: %w", path, err)
 	}
+	cfg.baseDir = filepath.Dir(path)
 	return &cfg, nil
+}
+
+// ResolvePath resolves a config-relative path against the directory the
+// config was loaded from. Absolute paths and configs never loaded from disk
+// pass through unchanged.
+func (c *Config) ResolvePath(p string) string {
+	if p == "" || filepath.IsAbs(p) || c.baseDir == "" {
+		return p
+	}
+	return filepath.Join(c.baseDir, p)
+}
+
+// TLSPaths returns the CA certificate and identity cert/key paths for id,
+// resolved against the config location; ok is false when the deployment is
+// plaintext.
+func (c *Config) TLSPaths(id types.NodeID) (ca, cert, key string, ok bool) {
+	if c.TLS == nil {
+		return "", "", "", false
+	}
+	dir := c.ResolvePath(c.TLS.CertDir)
+	return c.ResolvePath(c.TLS.CA),
+		filepath.Join(dir, fmt.Sprintf("node-%d.pem", id)),
+		filepath.Join(dir, fmt.Sprintf("node-%d-key.pem", id)),
+		true
+}
+
+// GenerateTLS mints a fresh cluster CA plus one leaf certificate pair per
+// given identity, writes the PEM files under writeDir (created if needed),
+// and records recordDir's paths in the config. Callers that know where the
+// config file will live pass recordDir relative to it and writeDir resolved
+// against that location, so the config and its certs travel together; the
+// simple case is writeDir == recordDir. The CA key (ca-key.pem) is written
+// alongside for minting future certificates; nodes never need it.
+func (c *Config) GenerateTLS(ids []types.NodeID, writeDir, recordDir string) error {
+	dir := writeDir
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return err
+	}
+	ca, err := transport.NewCA("saebft cluster CA (" + c.Seed + ")")
+	if err != nil {
+		return err
+	}
+	caKey, err := ca.KeyPEM()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "ca.pem"), ca.CertPEM(), 0o644); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "ca-key.pem"), caKey, 0o600); err != nil {
+		return err
+	}
+	for _, id := range ids {
+		certPEM, keyPEM, err := ca.IssuePEM(id)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dir, fmt.Sprintf("node-%d.pem", id)), certPEM, 0o644); err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dir, fmt.Sprintf("node-%d-key.pem", id)), keyPEM, 0o600); err != nil {
+			return err
+		}
+	}
+	c.TLS = &TLSSettings{CA: filepath.Join(recordDir, "ca.pem"), CertDir: recordDir}
+	return nil
+}
+
+// Security loads identity id's TLS material per the config; nil when the
+// deployment is plaintext.
+func (c *Config) Security(id types.NodeID) (*transport.Security, error) {
+	ca, cert, key, ok := c.TLSPaths(id)
+	if !ok {
+		return nil, nil
+	}
+	sec, err := transport.LoadSecurity(id, ca, cert, key)
+	if err != nil {
+		return nil, fmt.Errorf("deploy: TLS material for node %v: %w", id, err)
+	}
+	return sec, nil
 }
 
 // Save writes the config file.
@@ -218,6 +313,32 @@ type NodeOptions struct {
 	// (core.Options.VolatileVotes); committed batches and checkpoints
 	// stay durable. Benchmark use.
 	VolatileVotes bool
+	// TLSCA, TLSCert, TLSKey override the config's TLS material for this
+	// process (all three together). When the config has no TLS section,
+	// setting them enables TLS for this node.
+	TLSCA, TLSCert, TLSKey string
+	// DisableTLS forces plaintext links even when the config has a TLS
+	// section (loopback debugging only).
+	DisableTLS bool
+}
+
+// security resolves the node's link security from the per-process overrides
+// and the shared config, in that order.
+func (n NodeOptions) security(cfg *Config, id types.NodeID) (*transport.Security, error) {
+	if n.DisableTLS {
+		return nil, nil
+	}
+	if n.TLSCert != "" || n.TLSKey != "" || n.TLSCA != "" {
+		if n.TLSCA == "" || n.TLSCert == "" || n.TLSKey == "" {
+			return nil, fmt.Errorf("deploy: TLS override needs all of CA, cert, and key")
+		}
+		sec, err := transport.LoadSecurity(id, n.TLSCA, n.TLSCert, n.TLSKey)
+		if err != nil {
+			return nil, fmt.Errorf("deploy: TLS material for node %v: %w", id, err)
+		}
+		return sec, nil
+	}
+	return cfg.Security(id)
 }
 
 // StartNode builds and runs the node with the given identity over TCP. It
@@ -242,14 +363,25 @@ func StartNodeOpts(cfg *Config, id types.NodeID, nopts NodeOptions) (*RunningNod
 	if err != nil {
 		return nil, err
 	}
-	return StartBuilderNode(b, addrs, id)
+	sec, err := nopts.security(cfg, id)
+	if err != nil {
+		return nil, err
+	}
+	return StartBuilderNodeOpts(b, addrs, id, transport.TCPOptions{Security: sec})
 }
 
-// StartBuilderNode runs one node of an already-prepared builder over TCP.
-// The public saebft API uses it to run clusters built from programmatic
-// options (including custom application factories that no config file could
-// name); StartNode is the config-file path to the same wiring.
+// StartBuilderNode runs one node of an already-prepared builder over
+// plaintext TCP with default link tuning; see StartBuilderNodeOpts.
 func StartBuilderNode(b *core.Builder, addrs map[types.NodeID]string, id types.NodeID) (*RunningNode, error) {
+	return StartBuilderNodeOpts(b, addrs, id, transport.TCPOptions{})
+}
+
+// StartBuilderNodeOpts runs one node of an already-prepared builder over
+// TCP with explicit link options (mutual TLS, timeouts, queue bounds). The
+// public saebft API uses it to run clusters built from programmatic options
+// (including custom application factories that no config file could name);
+// StartNode is the config-file path to the same wiring.
+func StartBuilderNodeOpts(b *core.Builder, addrs map[types.NodeID]string, id types.NodeID, topts transport.TCPOptions) (*RunningNode, error) {
 	role, _, ok := b.Top.RoleOf(id)
 	if !ok {
 		return nil, fmt.Errorf("deploy: node %v is not part of the topology", id)
@@ -260,11 +392,11 @@ func StartBuilderNode(b *core.Builder, addrs map[types.NodeID]string, id types.N
 	// Messages arriving before installation are dropped, which the
 	// protocols tolerate (peers retransmit).
 	var runtimeHandler atomic.Pointer[func(from types.NodeID, data []byte)]
-	tcp, err := transport.NewTCPNet(id, addrs, func(from types.NodeID, data []byte) {
+	tcp, err := transport.NewTCPNetOpts(id, addrs, func(from types.NodeID, data []byte) {
 		if h := runtimeHandler.Load(); h != nil {
 			(*h)(from, data)
 		}
-	})
+	}, topts)
 	if err != nil {
 		return nil, err
 	}
@@ -298,7 +430,8 @@ type TCPClient struct {
 	mu     chan struct{} // serializes Call against the runtime goroutine
 }
 
-// NewTCPClient connects a client identity from the config.
+// NewTCPClient connects a client identity from the config, with the link
+// security the config prescribes.
 func NewTCPClient(cfg *Config, id types.NodeID) (*TCPClient, error) {
 	opts, err := cfg.Options()
 	if err != nil {
@@ -315,12 +448,16 @@ func NewTCPClient(cfg *Config, id types.NodeID) (*TCPClient, error) {
 	if err != nil {
 		return nil, err
 	}
+	sec, err := cfg.Security(id)
+	if err != nil {
+		return nil, err
+	}
 	var runtimeHandler atomic.Pointer[func(from types.NodeID, data []byte)]
-	tcp, err := transport.NewTCPNet(id, addrs, func(from types.NodeID, data []byte) {
+	tcp, err := transport.NewTCPNetOpts(id, addrs, func(from types.NodeID, data []byte) {
 		if h := runtimeHandler.Load(); h != nil {
 			(*h)(from, data)
 		}
-	})
+	}, transport.TCPOptions{Security: sec})
 	if err != nil {
 		return nil, err
 	}

@@ -1,34 +1,150 @@
 package transport
 
 import (
+	"crypto/tls"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"log"
+	"math/rand/v2"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/types"
 )
 
-// Frame layout: [u32 payload length][u32 sender id][payload].
+// Wire format. Every connection opens with a fixed-size hello that names the
+// protocol and the sender's identity; the listener answers with a one-byte
+// ack only after the hello is accepted (and, under TLS, bound to the peer's
+// authenticated certificate identity). The ack matters: TLS 1.3 completes
+// the client-side handshake before the server has judged the client
+// certificate, so without an explicit accept signal a rejected dialer would
+// think its handshake succeeded and reset its backoff. Frame layout after
+// the hello/ack: [u32 payload length][u32 sender id][payload].
 const (
 	frameHeader  = 8
 	maxFrameSize = 64 << 20 // refuse absurd frames from broken/byzantine peers
+
+	helloMagic   = 0x53414542 // "SAEB"
+	helloVersion = 2
+	helloSize    = 12   // [u32 magic][u32 version][u32 sender id]
+	helloAck     = 0x06 // listener's accept byte (ASCII ACK)
 )
+
+// TCPOptions tunes a TCPNet endpoint. The zero value gives plaintext links
+// with the defaults below — loopback-friendly; WAN deployments should set
+// Security and raise the timeouts to match their RTTs.
+type TCPOptions struct {
+	// Security enables mutual TLS with identity binding on every link.
+	// Nil means plaintext (simulator parity and loopback tests).
+	Security *Security
+
+	// DialTimeout bounds one connection attempt (default 1s).
+	DialTimeout time.Duration
+
+	// HandshakeTimeout bounds the TLS handshake plus hello exchange on a
+	// new connection, in both directions (default 5s). It is what evicts
+	// port scanners and half-open peers.
+	HandshakeTimeout time.Duration
+
+	// WriteTimeout bounds each frame write (default 5s); a peer that
+	// stalls longer has its connection torn down and redialed.
+	WriteTimeout time.Duration
+
+	// BackoffMin and BackoffMax bound the jittered exponential reconnect
+	// backoff (defaults 10ms and 2s). Backoff resets to BackoffMin only
+	// after a fully authenticated handshake, so a listener that accepts
+	// and then rejects us cannot hold the dialer in a tight retry loop.
+	BackoffMin, BackoffMax time.Duration
+
+	// QueueLen bounds each peer's outbound frame queue (default 4096).
+	// When the queue is full the oldest frame is dropped first: during an
+	// outage the queue holds the newest window of traffic, which is what
+	// the retransmitting protocols want on reconnect.
+	QueueLen int
+}
+
+func (o *TCPOptions) fillDefaults() {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = time.Second
+	}
+	if o.HandshakeTimeout <= 0 {
+		o.HandshakeTimeout = 5 * time.Second
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 5 * time.Second
+	}
+	if o.BackoffMin <= 0 {
+		o.BackoffMin = 10 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 2 * time.Second
+	}
+	if o.BackoffMax < o.BackoffMin {
+		o.BackoffMax = o.BackoffMin
+	}
+	if o.QueueLen <= 0 {
+		o.QueueLen = 4096
+	}
+}
+
+// LinkStats snapshots an endpoint's link-state counters. All counters are
+// cumulative since the endpoint started; self-sends bypass the links and are
+// not counted.
+type LinkStats struct {
+	Dials             uint64 // outbound connection attempts
+	DialFailures      uint64 // attempts that failed before any handshake
+	Handshakes        uint64 // authenticated handshakes completed (both directions)
+	HandshakeFailures uint64 // TLS/hello failures (both directions)
+	AuthRejects       uint64 // authenticated identity contradicted the claimed sender
+	Reconnects        uint64 // successful handshakes after a previous connection was lost
+	FramesSent        uint64
+	FramesReceived    uint64
+	BytesSent         uint64
+	BytesReceived     uint64
+	FramesDropped     uint64 // bounded-queue oldest-drops + frames abandoned while a peer was unreachable
+}
+
+// linkCounters is the atomic backing store for LinkStats.
+type linkCounters struct {
+	dials, dialFailures, handshakes, handshakeFailures, authRejects,
+	reconnects, framesSent, framesReceived, bytesSent, bytesReceived,
+	framesDropped atomic.Uint64
+}
+
+func (c *linkCounters) snapshot() LinkStats {
+	return LinkStats{
+		Dials:             c.dials.Load(),
+		DialFailures:      c.dialFailures.Load(),
+		Handshakes:        c.handshakes.Load(),
+		HandshakeFailures: c.handshakeFailures.Load(),
+		AuthRejects:       c.authRejects.Load(),
+		Reconnects:        c.reconnects.Load(),
+		FramesSent:        c.framesSent.Load(),
+		FramesReceived:    c.framesReceived.Load(),
+		BytesSent:         c.bytesSent.Load(),
+		BytesReceived:     c.bytesReceived.Load(),
+		FramesDropped:     c.framesDropped.Load(),
+	}
+}
 
 // TCPNet is a mesh of persistent TCP connections between nodes. Each node
 // listens on its configured address; senders dial lazily and reconnect with
-// backoff. Delivery is best-effort: messages queued while a peer is
-// unreachable are dropped, matching the unreliable network model the
-// protocols are designed for.
+// jittered exponential backoff. With TCPOptions.Security set, every link is
+// mutual TLS and every peer's claimed identity is bound to its certificate
+// before any frame is parsed. Delivery is best-effort: messages queued while
+// a peer is unreachable are bounded and dropped oldest-first, matching the
+// unreliable network model the protocols are designed for.
 type TCPNet struct {
 	self  types.NodeID
 	addrs map[types.NodeID]string
+	opts  TCPOptions
 	ln    net.Listener
-	logf  func(string, ...interface{})
+	logf  atomic.Pointer[func(string, ...interface{})]
+	stats linkCounters
 
 	mu      sync.Mutex
 	peers   map[types.NodeID]*tcpPeer
@@ -40,20 +156,27 @@ type TCPNet struct {
 }
 
 type tcpPeer struct {
-	mu   sync.Mutex
-	conn net.Conn
-	out  chan []byte
-	stop chan struct{}
+	out           chan []byte
+	stop          chan struct{}
+	everConnected bool // writeLoop-only; reconnect accounting
 }
 
-// NewTCPNet creates a node endpoint. addrs maps every node (including self)
-// to "host:port". The handler is invoked from receiving goroutines; it must
-// be safe for concurrent use (Runtime serializes into the protocol core).
+// NewTCPNet creates a plaintext node endpoint with default tuning. addrs
+// maps every node (including self) to "host:port". The handler is invoked
+// from receiving goroutines; it must be safe for concurrent use (Runtime
+// serializes into the protocol core).
 func NewTCPNet(self types.NodeID, addrs map[types.NodeID]string, handler func(from types.NodeID, data []byte)) (*TCPNet, error) {
+	return NewTCPNetOpts(self, addrs, handler, TCPOptions{})
+}
+
+// NewTCPNetOpts is NewTCPNet with explicit link tuning and (optionally)
+// mutual-TLS security.
+func NewTCPNetOpts(self types.NodeID, addrs map[types.NodeID]string, handler func(from types.NodeID, data []byte), opts TCPOptions) (*TCPNet, error) {
 	addr, ok := addrs[self]
 	if !ok {
 		return nil, fmt.Errorf("tcp: no address configured for self %v", self)
 	}
+	opts.fillDefaults()
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("tcp: listen %s: %w", addr, err)
@@ -61,13 +184,14 @@ func NewTCPNet(self types.NodeID, addrs map[types.NodeID]string, handler func(fr
 	n := &TCPNet{
 		self:    self,
 		addrs:   addrs,
+		opts:    opts,
 		ln:      ln,
-		logf:    log.Printf,
 		peers:   make(map[types.NodeID]*tcpPeer),
 		inbound: make(map[net.Conn]bool),
 		handler: handler,
 		start:   time.Now(),
 	}
+	n.SetLogf(log.Printf)
 	n.wg.Add(1)
 	go n.acceptLoop()
 	return n, nil
@@ -79,8 +203,22 @@ func (n *TCPNet) Addr() string { return n.ln.Addr().String() }
 // Now returns monotonic time since the endpoint started.
 func (n *TCPNet) Now() types.Time { return types.Time(time.Since(n.start).Nanoseconds()) }
 
-// SetLogf replaces the error logger (tests silence it).
-func (n *TCPNet) SetLogf(f func(string, ...interface{})) { n.logf = f }
+// SetLogf replaces the error logger (tests silence it). Safe to call while
+// the endpoint is live — connection goroutines may be logging concurrently.
+func (n *TCPNet) SetLogf(f func(string, ...interface{})) { n.logf.Store(&f) }
+
+// log emits through the current logger.
+func (n *TCPNet) log(format string, args ...interface{}) {
+	if f := n.logf.Load(); f != nil {
+		(*f)(format, args...)
+	}
+}
+
+// Stats snapshots the endpoint's cumulative link-state counters.
+func (n *TCPNet) Stats() LinkStats { return n.stats.snapshot() }
+
+// Secure reports whether the endpoint's links run over mutual TLS.
+func (n *TCPNet) Secure() bool { return n.opts.Security != nil }
 
 func (n *TCPNet) acceptLoop() {
 	defer n.wg.Done()
@@ -100,33 +238,101 @@ func (n *TCPNet) acceptLoop() {
 		n.wg.Add(1)
 		go func() {
 			defer n.wg.Done()
-			n.readLoop(conn)
+			n.serveConn(conn)
 		}()
 	}
 }
 
-func (n *TCPNet) readLoop(conn net.Conn) {
+// serveConn authenticates one inbound connection and then reads frames from
+// it until it breaks. No frame reaches the handler before the hello (and,
+// under TLS, the certificate identity) has been verified.
+func (n *TCPNet) serveConn(raw net.Conn) {
+	conn := raw
 	defer func() {
 		conn.Close()
 		n.mu.Lock()
-		delete(n.inbound, conn)
+		delete(n.inbound, raw)
 		n.mu.Unlock()
 	}()
+
+	conn.SetDeadline(time.Now().Add(n.opts.HandshakeTimeout))
+	var certID types.NodeID = types.NoNode
+	if sec := n.opts.Security; sec != nil {
+		tconn := tls.Server(conn, sec.serverConfig())
+		if err := tconn.Handshake(); err != nil {
+			n.stats.handshakeFailures.Add(1)
+			n.log("tcp %v: inbound TLS handshake from %s: %v", n.self, raw.RemoteAddr(), err)
+			tconn.Close()
+			return
+		}
+		id, err := peerCertID(tconn)
+		if err != nil {
+			n.stats.handshakeFailures.Add(1)
+			n.log("tcp %v: inbound peer certificate from %s: %v", n.self, raw.RemoteAddr(), err)
+			tconn.Close()
+			return
+		}
+		certID = id
+		conn = tconn
+		// Track the TLS wrapper from here on so Close unblocks reads on it.
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			tconn.Close()
+			return
+		}
+		delete(n.inbound, raw)
+		n.inbound[tconn] = true
+		n.mu.Unlock()
+		defer func() {
+			n.mu.Lock()
+			delete(n.inbound, tconn)
+			n.mu.Unlock()
+		}()
+	}
+
+	from, err := readHello(conn)
+	if err != nil {
+		n.stats.handshakeFailures.Add(1)
+		n.log("tcp %v: inbound hello from %s: %v", n.self, raw.RemoteAddr(), err)
+		return
+	}
+	if certID != types.NoNode && certID != from {
+		n.stats.authRejects.Add(1)
+		n.log("tcp %v: peer %s presented certificate for node %v but claims to be node %v; closing",
+			n.self, raw.RemoteAddr(), certID, from)
+		return
+	}
+	if _, err := conn.Write([]byte{helloAck}); err != nil {
+		n.stats.handshakeFailures.Add(1)
+		return
+	}
+	conn.SetDeadline(time.Time{})
+	n.stats.handshakes.Add(1)
+
 	hdr := make([]byte, frameHeader)
 	for {
 		if _, err := io.ReadFull(conn, hdr); err != nil {
 			return
 		}
 		size := binary.BigEndian.Uint32(hdr[0:4])
-		from := types.NodeID(int32(binary.BigEndian.Uint32(hdr[4:8])))
+		sender := types.NodeID(int32(binary.BigEndian.Uint32(hdr[4:8])))
+		if sender != from {
+			// One connection speaks for exactly one authenticated identity.
+			n.stats.authRejects.Add(1)
+			n.log("tcp %v: connection authenticated as %v framed a message as %v; closing", n.self, from, sender)
+			return
+		}
 		if size > maxFrameSize {
-			n.logf("tcp %v: oversized frame (%d bytes) from %v", n.self, size, from)
+			n.log("tcp %v: oversized frame (%d bytes) from %v", n.self, size, from)
 			return
 		}
 		payload := make([]byte, size)
 		if _, err := io.ReadFull(conn, payload); err != nil {
 			return
 		}
+		n.stats.framesReceived.Add(1)
+		n.stats.bytesReceived.Add(uint64(frameHeader + len(payload)))
 		n.mu.Lock()
 		h, closed := n.handler, n.closed
 		n.mu.Unlock()
@@ -137,8 +343,35 @@ func (n *TCPNet) readLoop(conn net.Conn) {
 	}
 }
 
+// writeHello sends the connection preamble naming this endpoint.
+func writeHello(conn net.Conn, self types.NodeID) error {
+	var hello [helloSize]byte
+	binary.BigEndian.PutUint32(hello[0:4], helloMagic)
+	binary.BigEndian.PutUint32(hello[4:8], helloVersion)
+	binary.BigEndian.PutUint32(hello[8:12], uint32(int32(self)))
+	_, err := conn.Write(hello[:])
+	return err
+}
+
+// readHello validates the connection preamble and returns the claimed
+// sender identity.
+func readHello(conn net.Conn) (types.NodeID, error) {
+	var hello [helloSize]byte
+	if _, err := io.ReadFull(conn, hello[:]); err != nil {
+		return types.NoNode, fmt.Errorf("reading hello: %w", err)
+	}
+	if m := binary.BigEndian.Uint32(hello[0:4]); m != helloMagic {
+		return types.NoNode, fmt.Errorf("bad magic %#x", m)
+	}
+	if v := binary.BigEndian.Uint32(hello[4:8]); v != helloVersion {
+		return types.NoNode, fmt.Errorf("unsupported protocol version %d", v)
+	}
+	return types.NodeID(int32(binary.BigEndian.Uint32(hello[8:12]))), nil
+}
+
 // Send transmits asynchronously; it never blocks the caller. Messages to
-// unknown or unreachable peers are dropped.
+// unknown peers are dropped; messages to unreachable peers are queued up to
+// QueueLen frames, oldest dropped first.
 func (n *TCPNet) Send(to types.NodeID, data []byte) {
 	if to == n.self {
 		n.handler(n.self, data)
@@ -146,6 +379,7 @@ func (n *TCPNet) Send(to types.NodeID, data []byte) {
 	}
 	addr, ok := n.addrs[to]
 	if !ok {
+		n.stats.framesDropped.Add(1)
 		return
 	}
 	n.mu.Lock()
@@ -155,12 +389,12 @@ func (n *TCPNet) Send(to types.NodeID, data []byte) {
 	}
 	p := n.peers[to]
 	if p == nil {
-		p = &tcpPeer{out: make(chan []byte, 4096), stop: make(chan struct{})}
+		p = &tcpPeer{out: make(chan []byte, n.opts.QueueLen), stop: make(chan struct{})}
 		n.peers[to] = p
 		n.wg.Add(1)
 		go func() {
 			defer n.wg.Done()
-			n.writeLoop(p, addr)
+			n.writeLoop(p, to, addr)
 		}()
 	}
 	n.mu.Unlock()
@@ -172,13 +406,80 @@ func (n *TCPNet) Send(to types.NodeID, data []byte) {
 	select {
 	case p.out <- frame:
 	default:
-		// Peer queue full: drop, the protocols retransmit.
+		// Queue full: drop the oldest frame so the queue holds the newest
+		// window of traffic, then retry once (the writeLoop may have
+		// drained concurrently; losing that race just drops this frame,
+		// which the protocols tolerate).
+		select {
+		case <-p.out:
+			n.stats.framesDropped.Add(1)
+		default:
+		}
+		select {
+		case p.out <- frame:
+		default:
+			n.stats.framesDropped.Add(1)
+		}
 	}
 }
 
-func (n *TCPNet) writeLoop(p *tcpPeer, addr string) {
+// dialPeer establishes and fully authenticates one outbound connection:
+// TCP dial, then (with Security) the mutual-TLS handshake pinned to the
+// target's identity, then the hello. Only a connection that passed all of
+// that is returned — the caller resets its backoff on success.
+func (n *TCPNet) dialPeer(to types.NodeID, addr string) (net.Conn, error) {
+	n.stats.dials.Add(1)
+	conn, err := net.DialTimeout("tcp", addr, n.opts.DialTimeout)
+	if err != nil {
+		n.stats.dialFailures.Add(1)
+		return nil, err
+	}
+	conn.SetDeadline(time.Now().Add(n.opts.HandshakeTimeout))
+	if sec := n.opts.Security; sec != nil {
+		tconn := tls.Client(conn, sec.clientConfig(to))
+		if err := tconn.Handshake(); err != nil {
+			n.stats.handshakeFailures.Add(1)
+			tconn.Close()
+			return nil, fmt.Errorf("TLS handshake with node %v: %w", to, err)
+		}
+		conn = tconn
+	}
+	if err := writeHello(conn, n.self); err != nil {
+		n.stats.handshakeFailures.Add(1)
+		conn.Close()
+		return nil, fmt.Errorf("hello to node %v: %w", to, err)
+	}
+	// Wait for the listener's accept byte: under TLS 1.3 our handshake
+	// "succeeds" locally before the server has judged our certificate, and
+	// in plaintext the hello is fire-and-forget — only the ack proves the
+	// peer actually accepted us, which is what gates the backoff reset.
+	var ack [1]byte
+	if _, err := io.ReadFull(conn, ack[:]); err != nil || ack[0] != helloAck {
+		n.stats.handshakeFailures.Add(1)
+		conn.Close()
+		if err == nil {
+			err = fmt.Errorf("unexpected ack byte %#x", ack[0])
+		}
+		return nil, fmt.Errorf("hello ack from node %v: %w", to, err)
+	}
+	conn.SetDeadline(time.Time{})
+	n.stats.handshakes.Add(1)
+	return conn, nil
+}
+
+// jitter spreads a backoff uniformly over [b/2, b], so a mesh of dialers
+// whose peer died together does not thunder back in lockstep.
+func jitter(b time.Duration) time.Duration {
+	if b <= 1 {
+		return b
+	}
+	half := b / 2
+	return half + rand.N(half+1)
+}
+
+func (n *TCPNet) writeLoop(p *tcpPeer, to types.NodeID, addr string) {
 	var conn net.Conn
-	backoff := 10 * time.Millisecond
+	backoff := n.opts.BackoffMin
 	for {
 		select {
 		case <-p.stop:
@@ -188,33 +489,48 @@ func (n *TCPNet) writeLoop(p *tcpPeer, addr string) {
 			return
 		case frame := <-p.out:
 			for conn == nil {
-				var err error
-				conn, err = net.DialTimeout("tcp", addr, time.Second)
+				c, err := n.dialPeer(to, addr)
 				if err != nil {
-					conn = nil
+					n.log("tcp %v: connecting to node %v (%s): %v", n.self, to, addr, err)
+					// Connection attempt failed; drop the pending frame
+					// rather than buffering unboundedly, and back off with
+					// jitter before the next attempt.
+					n.stats.framesDropped.Add(1)
+					frame = nil
 					select {
 					case <-p.stop:
 						return
-					case <-time.After(backoff):
+					case <-time.After(jitter(backoff)):
 					}
-					if backoff < time.Second {
+					if backoff < n.opts.BackoffMax {
 						backoff *= 2
+						if backoff > n.opts.BackoffMax {
+							backoff = n.opts.BackoffMax
+						}
 					}
-					// Connection attempts failed; drop the pending
-					// frame rather than buffering unboundedly.
-					frame = nil
 					break
 				}
-				backoff = 10 * time.Millisecond
+				conn = c
+				// Reset only here: the handshake authenticated the peer. A
+				// listener that accepts TCP but fails auth keeps backing off.
+				backoff = n.opts.BackoffMin
+				if p.everConnected {
+					n.stats.reconnects.Add(1)
+				}
+				p.everConnected = true
 			}
 			if conn == nil || frame == nil {
 				continue
 			}
-			conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+			conn.SetWriteDeadline(time.Now().Add(n.opts.WriteTimeout))
 			if _, err := conn.Write(frame); err != nil {
+				n.stats.framesDropped.Add(1)
 				conn.Close()
 				conn = nil
+				continue
 			}
+			n.stats.framesSent.Add(1)
+			n.stats.bytesSent.Add(uint64(len(frame)))
 		}
 	}
 }
@@ -237,7 +553,7 @@ func (n *TCPNet) Close() error {
 
 	n.ln.Close()
 	for _, c := range inbound {
-		c.Close() // unblocks readLoops parked in ReadFull
+		c.Close() // unblocks serveConns parked in ReadFull
 	}
 	for _, p := range peers {
 		close(p.stop)

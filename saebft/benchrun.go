@@ -22,6 +22,7 @@ type BatchBenchConfig struct {
 	OpSize     int      // request payload bytes
 	Repeat     int      // samples per point; the best is reported
 	Short      bool     // CI smoke sizing (overrides the grid fields)
+	TLS        bool     // run TCP points over ephemeral mutual TLS (sim points are unaffected)
 }
 
 func (c *BatchBenchConfig) fillDefaults() {
@@ -71,6 +72,7 @@ type BenchPoint struct {
 	Pipeline   int     `json:"pipeline"`
 	BatchOps   int     `json:"batch_ops"`         // 0 = client batching off
 	Storage    bool    `json:"storage,omitempty"` // fsync-batched WAL + checkpoint store enabled
+	TLS        bool    `json:"tls,omitempty"`     // links over mutual TLS (TCP only)
 	Ops        int     `json:"ops"`
 	OpSize     int     `json:"op_size"`
 	WallMs     float64 `json:"wall_ms"`
@@ -86,6 +88,9 @@ func (p *BenchPoint) key() string {
 	k := fmt.Sprintf("%s/p%d/b%d/n%d/s%d", p.Transport, p.Pipeline, p.BatchOps, p.Ops, p.OpSize)
 	if p.Storage {
 		k += "/durable"
+	}
+	if p.TLS {
+		k += "/tls"
 	}
 	return k
 }
@@ -120,7 +125,7 @@ func RunBatchingBench(cfg BatchBenchConfig) (*BenchReport, error) {
 			for _, bops := range cfg.BatchOps {
 				var best BenchPoint
 				for try := 0; try < cfg.Repeat; try++ {
-					pt, err := runBatchPoint(tr, pipe, bops, cfg.Ops, cfg.OpSize, false)
+					pt, err := runBatchPoint(tr, pipe, bops, cfg.Ops, cfg.OpSize, false, cfg.TLS)
 					if err != nil {
 						return nil, fmt.Errorf("saebft: bench point %s/p%d/b%d: %w", tr, pipe, bops, err)
 					}
@@ -152,7 +157,7 @@ func RunBatchingBench(cfg BatchBenchConfig) (*BenchReport, error) {
 	for _, tr := range cfg.Transports {
 		var best BenchPoint
 		for try := 0; try < cfg.Repeat; try++ {
-			pt, err := runBatchPoint(tr, maxPipe, maxBops, cfg.Ops, cfg.OpSize, true)
+			pt, err := runBatchPoint(tr, maxPipe, maxBops, cfg.Ops, cfg.OpSize, true, cfg.TLS)
 			if err != nil {
 				return nil, fmt.Errorf("saebft: durable bench point %s/p%d/b%d: %w", tr, maxPipe, maxBops, err)
 			}
@@ -165,10 +170,11 @@ func RunBatchingBench(cfg BatchBenchConfig) (*BenchReport, error) {
 	return rep, nil
 }
 
-func runBatchPoint(transport string, pipeline, batchOps, ops, opSize int, durable bool) (BenchPoint, error) {
+func runBatchPoint(transport string, pipeline, batchOps, ops, opSize int, durable, secure bool) (BenchPoint, error) {
+	secure = secure && transport == "tcp" // the simulator has no links to secure
 	pt := BenchPoint{
 		Transport: transport, Pipeline: pipeline, BatchOps: batchOps,
-		Storage: durable, Ops: ops, OpSize: opSize,
+		Storage: durable, Ops: ops, OpSize: opSize, TLS: secure,
 	}
 	opts := []Option{
 		WithApp("null"),
@@ -189,6 +195,9 @@ func runBatchPoint(transport string, pipeline, batchOps, ops, opSize int, durabl
 		opts = append(opts, WithTransport(SimTransport()))
 	case "tcp":
 		opts = append(opts, WithTransport(TCPTransport()))
+		if secure {
+			opts = append(opts, WithTLS(TLSConfig{Ephemeral: true}))
+		}
 	default:
 		return pt, fmt.Errorf("unknown transport %q", transport)
 	}

@@ -88,6 +88,18 @@ func (h *Client) runtime() (clusterRuntime, error) {
 	return h.rt, nil
 }
 
+// Stats snapshots aggregate counters from the handle's backend: for a
+// cluster handle the whole cluster (same as Cluster.Stats), for a dialed
+// handle this process's client endpoints — including their TCP link
+// counters, which is what an operator debugging a WAN deployment wants.
+func (h *Client) Stats() (Stats, error) {
+	rt, err := h.runtime()
+	if err != nil {
+		return Stats{}, err
+	}
+	return rt.stats()
+}
+
 // Pipeline reports how many invocations the handle can keep in flight
 // concurrently (the number of logical clients backing it).
 func (h *Client) Pipeline() int { return h.width }

@@ -36,6 +36,14 @@ func NewCluster(optfns ...Option) (*Cluster, error) {
 		fn(&o)
 	}
 	o.fillDefaults()
+	if o.tls.enabled() {
+		if _, ok := o.transport.(*tcpTransport); !ok {
+			return nil, errors.New("saebft: WithTLS requires WithTransport(TCPTransport(...)); the simulated transport has no links to secure")
+		}
+		if o.tls.Dir != "" && o.tls.Ephemeral {
+			return nil, errors.New("saebft: TLSConfig sets both Dir and Ephemeral")
+		}
+	}
 	copts, err := o.coreOptions()
 	if err != nil {
 		return nil, err

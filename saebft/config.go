@@ -40,6 +40,13 @@ type DeployParams struct {
 	// 127.0.0.1. Edit the saved file for multi-machine layouts.
 	BasePort int
 	Host     string
+
+	// TLSDir, when set, mints a cluster CA plus per-identity certificates
+	// under this directory and records the paths in the config, exactly
+	// like Config.GenerateTLS — so the emitted deployment runs every link
+	// over mutual TLS. Keep it relative to where the config file will be
+	// saved.
+	TLSDir string
 }
 
 // GenerateConfig builds a deployment descriptor, assigning an address to
@@ -105,7 +112,13 @@ func GenerateConfig(p DeployParams) (*Config, error) {
 		d.Addrs[strconv.Itoa(int(id))] = fmt.Sprintf("%s:%d", p.Host, port)
 		port++
 	}
-	return &Config{d: d}, nil
+	cfg := &Config{d: d}
+	if p.TLSDir != "" {
+		if err := cfg.GenerateTLS(p.TLSDir); err != nil {
+			return nil, err
+		}
+	}
+	return cfg, nil
 }
 
 // LoadConfig reads a deployment descriptor from disk and validates its

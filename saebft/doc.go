@@ -1,0 +1,67 @@
+// Package saebft is the public embedding API for the separated-BFT system
+// reproduced from "Separating Agreement from Execution for Byzantine Fault
+// Tolerant Services" (Yin, Martin, Venkataramani, Alvisi & Dahlin, SOSP
+// 2003), grown toward a deployable replicated service.
+//
+// It exposes the three architectures the paper compares — the coupled BASE
+// baseline, the separated 3f+1 agreement / 2g+1 execution architecture, and
+// the privacy-firewall variant — behind one constructor with functional
+// options, a context-aware lifecycle, and a pipelined client handle:
+//
+//	cluster, err := saebft.NewCluster(
+//		saebft.WithMode(saebft.ModeSeparate),
+//		saebft.WithApp("kv"),
+//		saebft.WithClients(8),
+//	)
+//	if err != nil { ... }
+//	if err := cluster.Start(ctx); err != nil { ... }
+//	defer cluster.Close()
+//
+//	client := cluster.Client()
+//	reply, err := client.Invoke(ctx, op)          // synchronous
+//	resc := client.InvokeAsync(ctx, op)           // pipelined
+//
+// Every reply is backed by a verified reply certificate: g+1 matching
+// execution-replica replies, or a single (g+1)-of-(2g+1) threshold RSA
+// signature (WithReplyMode(ReplyThreshold)).
+//
+// # Transports
+//
+// The same constructor drives either transport. SimTransport (the default)
+// runs every node in-process on a deterministic simulated network with a
+// virtual clock and fault injection — crashes (Cluster.CrashAgreement,
+// Cluster.CrashExec), Byzantine executors (Cluster.ByzantineExec), and
+// message taps (Cluster.Tap). TCPTransport runs the same nodes over real
+// loopback TCP sockets, the identical wiring the multi-process tools use.
+//
+// # Secure links
+//
+// TCP links can run over mutual TLS with authenticated identity binding:
+// WithTLS(TLSConfig{...}) for in-process clusters, `saebft-keygen -tls` /
+// Config.GenerateTLS for multi-process deployments. Every connection is
+// then TLS 1.3, both peers present cluster-CA-signed certificates, and a
+// peer whose certificate identity does not match the node identity it
+// claims is rejected before any protocol byte is parsed. Link-state
+// counters (Stats.Link, Node.LinkStats) expose dials, handshakes, rejects,
+// frame flow, and bounded-queue drops for operations; the troubleshooting
+// guide in docs/DEPLOYMENT.md is keyed to them.
+//
+// # Durability
+//
+// WithDataDir / WithStorage persist every node's write-ahead log and stable
+// checkpoints; a cluster restarted over the same directories recovers
+// without losing an acknowledged operation, even from kill -9 of every
+// node at once. See StorageConfig.
+//
+// # Multi-process deployments
+//
+// GenerateConfig (or the saebft-keygen command) emits a shared deployment
+// descriptor; NewNode + Node.Start runs one identity per process, and Dial
+// connects a pipelined client handle. The cmd/saebft-* tools are thin
+// wrappers over these. The full multi-machine walkthrough — certificates,
+// systemd units, firewalls, crash recovery — lives in docs/DEPLOYMENT.md,
+// and docs/ARCHITECTURE.md maps the codebase to the paper's sections.
+//
+// Everything under internal/ is unsupported implementation detail; this
+// package is the compatibility surface.
+package saebft

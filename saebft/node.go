@@ -24,6 +24,10 @@ type Node struct {
 	logf          func(string, ...interface{})
 	dataDir       string
 	volatileVotes bool
+	tlsCA         string
+	tlsCert       string
+	tlsKey        string
+	noTLS         bool
 
 	mu        sync.Mutex
 	running   *deploy.RunningNode
@@ -51,6 +55,44 @@ func NodeDataDir(path string) NodeOption {
 // NodeDataDir.
 func NodeVolatileVotes() NodeOption {
 	return func(n *Node) { n.volatileVotes = true }
+}
+
+// NodeTLS overrides where this node reads its mutual-TLS material from:
+// the cluster CA certificate plus this identity's certificate and key, all
+// PEM. Without this option a config carrying a TLS section (saebft-keygen
+// -tls / Config.GenerateTLS) is used automatically; with it, TLS is enabled
+// even if the config has no TLS section.
+func NodeTLS(caFile, certFile, keyFile string) NodeOption {
+	return func(n *Node) { n.tlsCA, n.tlsCert, n.tlsKey = caFile, certFile, keyFile }
+}
+
+// NodeInsecure forces plaintext links even when the config prescribes TLS.
+// Loopback debugging only: a plaintext node cannot talk to TLS peers.
+func NodeInsecure() NodeOption {
+	return func(n *Node) { n.noTLS = true }
+}
+
+// LinkStats snapshots the node's cumulative transport link counters
+// (zero value before Start). docs/DEPLOYMENT.md's troubleshooting section
+// is keyed to these.
+func (n *Node) LinkStats() LinkStats {
+	n.mu.Lock()
+	rn := n.running
+	n.mu.Unlock()
+	var s LinkStats
+	if rn != nil {
+		s.add(rn.Net.Stats())
+	}
+	return s
+}
+
+// Secure reports whether the node's links run over mutual TLS (false before
+// Start).
+func (n *Node) Secure() bool {
+	n.mu.Lock()
+	rn := n.running
+	n.mu.Unlock()
+	return rn != nil && rn.Net.Secure()
 }
 
 // NewNode validates that id names a non-client identity in the config's
@@ -96,7 +138,14 @@ func (n *Node) Start(ctx context.Context) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	rn, err := deploy.StartNodeOpts(n.cfg.d, n.id, deploy.NodeOptions{DataDir: n.dataDir, VolatileVotes: n.volatileVotes})
+	rn, err := deploy.StartNodeOpts(n.cfg.d, n.id, deploy.NodeOptions{
+		DataDir:       n.dataDir,
+		VolatileVotes: n.volatileVotes,
+		TLSCA:         n.tlsCA,
+		TLSCert:       n.tlsCert,
+		TLSKey:        n.tlsKey,
+		DisableTLS:    n.noTLS,
+	})
 	if err != nil {
 		return err
 	}
@@ -180,6 +229,10 @@ type dialConfig struct {
 	timeout time.Duration
 	logf    func(string, ...interface{})
 	batch   clientBatching
+	tlsCA   string
+	tlsCert string
+	tlsKey  string
+	noTLS   bool
 }
 
 // DialClients restricts the handle to specific client identities from the
@@ -219,6 +272,22 @@ func DialAdaptivePipeline(on bool) DialOption {
 	}
 }
 
+// DialTLS overrides where the handle reads its mutual-TLS material from:
+// the cluster CA certificate plus one client identity's certificate and
+// key, all PEM. Valid only together with DialClients naming that single
+// identity; multi-identity handles read per-identity pairs from the
+// config's certDir automatically, which is the default whenever the config
+// carries a TLS section.
+func DialTLS(caFile, certFile, keyFile string) DialOption {
+	return func(d *dialConfig) { d.tlsCA, d.tlsCert, d.tlsKey = caFile, certFile, keyFile }
+}
+
+// DialInsecure forces plaintext links even when the config prescribes TLS.
+// Loopback debugging only: a plaintext client cannot talk to TLS nodes.
+func DialInsecure() DialOption {
+	return func(d *dialConfig) { d.noTLS = true }
+}
+
 // Dial connects a client handle to a running multi-process deployment. The
 // handle pipelines one in-flight request per client identity it owns; use
 // DialClients to pick identities when several handles share a config.
@@ -248,6 +317,19 @@ func Dial(cfg *Config, optfns ...DialOption) (*Client, error) {
 			ids = append(ids, int(cid))
 		}
 	}
+	if dc.tlsCert != "" && len(ids) != 1 {
+		return nil, fmt.Errorf("saebft: DialTLS names one identity's certificate; use DialClients to pick that identity (handle owns %d)", len(ids))
+	}
+	security := func(id types.NodeID) (*transport.Security, error) {
+		switch {
+		case dc.noTLS:
+			return nil, nil
+		case dc.tlsCert != "":
+			return transport.LoadSecurity(id, dc.tlsCA, dc.tlsCert, dc.tlsKey)
+		default:
+			return cfg.d.Security(id)
+		}
+	}
 	rt := &tcpRuntime{quit: make(chan struct{})}
 	for _, id := range ids {
 		role, _, ok := b.Top.RoleOf(types.NodeID(id))
@@ -255,7 +337,12 @@ func Dial(cfg *Config, optfns ...DialOption) (*Client, error) {
 			rt.close()
 			return nil, fmt.Errorf("saebft: %d is not a client identity in this topology", id)
 		}
-		ep, err := newTCPEndpoint(b, addrs, types.NodeID(id), dc.logf)
+		sec, err := security(types.NodeID(id))
+		if err != nil {
+			rt.close()
+			return nil, fmt.Errorf("saebft: TLS material for client %d: %w", id, err)
+		}
+		ep, err := newTCPEndpoint(b, addrs, types.NodeID(id), dc.logf, transport.TCPOptions{Security: sec})
 		if err != nil {
 			rt.close()
 			return nil, fmt.Errorf("saebft: connecting client %d: %w", id, err)

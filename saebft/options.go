@@ -33,6 +33,7 @@ type options struct {
 	netSeed       int64
 	invokeTimeout time.Duration
 	transport     Transport
+	tls           TLSConfig
 }
 
 // Option configures NewCluster.

@@ -1,33 +1,3 @@
-// Package saebft is the public embedding API for the separated-BFT system
-// reproduced from "Separating Agreement from Execution for Byzantine Fault
-// Tolerant Services" (SOSP 2003).
-//
-// It exposes the three architectures the paper compares — the coupled BASE
-// baseline, the separated 3f+1 agreement / 2g+1 execution architecture, and
-// the privacy-firewall variant — behind one constructor with functional
-// options, a context-aware lifecycle, and a pipelined client handle:
-//
-//	cluster, err := saebft.NewCluster(
-//		saebft.WithMode(saebft.ModeSeparate),
-//		saebft.WithApp("kv"),
-//		saebft.WithClients(8),
-//	)
-//	if err != nil { ... }
-//	if err := cluster.Start(ctx); err != nil { ... }
-//	defer cluster.Close()
-//
-//	client := cluster.Client()
-//	reply, err := client.Invoke(ctx, op)          // synchronous
-//	resc := client.InvokeAsync(ctx, op)           // pipelined
-//
-// The same constructor drives either transport: the deterministic simulated
-// network (default; virtual time, fault injection) or a real TCP mesh on
-// loopback (WithTransport(saebft.TCPTransport())). Multi-process
-// deployments use Config + StartNode + Dial; the cmd/saebft-* tools are
-// thin wrappers over those.
-//
-// Everything under internal/ is unsupported implementation detail; this
-// package is the compatibility surface.
 package saebft
 
 import (
@@ -186,4 +156,10 @@ type Stats struct {
 
 	MessagesDelivered uint64 // sim only
 	MessagesDropped   uint64 // sim only
+
+	// Link aggregates TCP link-state counters — dials, authenticated
+	// handshakes, rejects, frame/byte flow, bounded-queue drops — across
+	// every endpoint this process runs (TCP transports only; all zero on
+	// the simulated transport).
+	Link LinkStats
 }

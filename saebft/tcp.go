@@ -26,9 +26,28 @@ func (t *tcpTransport) start(b *core.Builder, o *options) (clusterRuntime, error
 	if err != nil {
 		return nil, err
 	}
+	secFor, err := o.tls.provider()
+	if err != nil {
+		return nil, err
+	}
+	topts := func(id types.NodeID) (transport.TCPOptions, error) {
+		if secFor == nil {
+			return transport.TCPOptions{}, nil
+		}
+		sec, err := secFor(id)
+		if err != nil {
+			return transport.TCPOptions{}, fmt.Errorf("saebft: TLS material for node %v: %w", id, err)
+		}
+		return transport.TCPOptions{Security: sec}, nil
+	}
 	r := &tcpRuntime{quit: make(chan struct{})}
 	for _, id := range serverIDs(b) {
-		n, err := deploy.StartBuilderNode(b, addrs, id)
+		to, err := topts(id)
+		if err != nil {
+			r.close()
+			return nil, err
+		}
+		n, err := deploy.StartBuilderNodeOpts(b, addrs, id, to)
 		if err != nil {
 			r.close()
 			return nil, fmt.Errorf("saebft: starting node %v: %w", id, err)
@@ -37,7 +56,12 @@ func (t *tcpTransport) start(b *core.Builder, o *options) (clusterRuntime, error
 		r.nodes = append(r.nodes, n)
 	}
 	for _, cid := range b.Top.Clients {
-		ep, err := newTCPEndpoint(b, addrs, cid, t.cfg.Logf)
+		to, err := topts(cid)
+		if err != nil {
+			r.close()
+			return nil, err
+		}
+		ep, err := newTCPEndpoint(b, addrs, cid, t.cfg.Logf, to)
 		if err != nil {
 			r.close()
 			return nil, fmt.Errorf("saebft: starting client endpoint %v: %w", cid, err)
@@ -100,16 +124,16 @@ type tcpEndpoint struct {
 	results chan []byte
 }
 
-func newTCPEndpoint(b *core.Builder, addrs map[types.NodeID]string, id types.NodeID, logf func(string, ...interface{})) (*tcpEndpoint, error) {
+func newTCPEndpoint(b *core.Builder, addrs map[types.NodeID]string, id types.NodeID, logf func(string, ...interface{}), topts transport.TCPOptions) (*tcpEndpoint, error) {
 	// The runtime's handler is installed after construction; the atomic
 	// indirection keeps early inbound messages (dropped, retransmitted by
 	// peers) from racing the installation.
 	var handler atomic.Pointer[func(from types.NodeID, data []byte)]
-	tcp, err := transport.NewTCPNet(id, addrs, func(from types.NodeID, data []byte) {
+	tcp, err := transport.NewTCPNetOpts(id, addrs, func(from types.NodeID, data []byte) {
 		if h := handler.Load(); h != nil {
 			(*h)(from, data)
 		}
-	})
+	}, topts)
 	if err != nil {
 		return nil, err
 	}
@@ -221,6 +245,10 @@ func (r *tcpRuntime) stats() (Stats, error) {
 				s.StorageFailures++
 			}
 		})
+		s.Link.add(n.Net.Stats())
+	}
+	for _, ep := range r.eps {
+		s.Link.add(ep.net.Stats())
 	}
 	return s, nil
 }

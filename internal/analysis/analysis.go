@@ -1,0 +1,260 @@
+// Package analysis is a pure-stdlib static-analysis driver that
+// machine-checks the BFT safety invariants this codebase otherwise enforces
+// by convention: votes and prepared certificates must be durable before the
+// message they cover externalizes, the deterministic consensus packages must
+// actually be deterministic (2f+1/g+1 digest quorums depend on it), crypto
+// verification results must gate the untrusted receive paths, and blocking
+// I/O must not run under a replica mutex. SplitBFT makes the structural
+// point these checks encode: BFT safety hinges on a small trusted core that
+// can be audited — here, audited mechanically on every CI run.
+//
+// The driver deliberately uses only go/parser, go/types, and go/importer
+// over `go list -json -export` output — no golang.org/x/tools — because CI
+// allows no network dependencies. Findings are suppressible only with an
+// explicit, reasoned annotation:
+//
+//	//lint:allow <check> <reason>
+//
+// placed on the offending line or the line directly above it. Annotations
+// without a reason, naming an unknown check, or suppressing nothing are
+// themselves findings, so the annotation inventory cannot rot.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one invariant checker. Run inspects a single type-checked
+// package and reports findings through the Pass.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Analyzers is the full suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		SyncBeforeSend,
+		SimDeterminism,
+		VerifyGate,
+		LockDiscipline,
+		Boundary,
+	}
+}
+
+// A Finding is one diagnostic at an exact source position.
+type Finding struct {
+	Check   string
+	Pos     token.Position
+	Message string
+	// Reason carries the //lint:allow justification on suppressed findings.
+	Reason string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Check, f.Message)
+}
+
+// A Pass couples one analyzer run to one package.
+type Pass struct {
+	*Package
+	check    string
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Check:   p.check,
+		Pos:     p.Fset.Position(pos),
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// A Result splits the findings of a run into the ones that fail the build
+// and the ones an annotation explicitly allows.
+type Result struct {
+	Findings   []Finding
+	Suppressed []Finding
+}
+
+// Run loads the packages matching patterns (resolved relative to dir, ""
+// meaning the current directory) and applies every analyzer, returning
+// findings with //lint:allow suppression already applied. A load or
+// type-check failure is an error, not a finding: the suite only vouches for
+// code it fully resolved.
+func Run(dir string, patterns []string, analyzers []*Analyzer) (*Result, error) {
+	pkgs, err := Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	return RunPackages(pkgs, analyzers)
+}
+
+// RunPackages applies analyzers to already-loaded packages.
+func RunPackages(pkgs []*Package, analyzers []*Analyzer) (*Result, error) {
+	var all []Finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{Package: pkg, check: a.Name, findings: &all}
+			a.Run(pass)
+		}
+	}
+	res := applyAllows(pkgs, analyzers, all)
+	sortFindings(res.Findings)
+	sortFindings(res.Suppressed)
+	return res, nil
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+}
+
+// --- //lint:allow annotations -------------------------------------------------
+
+const allowPrefix = "lint:allow "
+
+type allowDirective struct {
+	check  string
+	reason string
+	pos    token.Position
+	used   bool
+}
+
+// applyAllows partitions findings by the allow annotations in pkgs and
+// appends hygiene findings (check "lint") for malformed or unused ones.
+func applyAllows(pkgs []*Package, analyzers []*Analyzer, all []Finding) *Result {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	// file -> line -> directives on that line.
+	directives := map[string]map[int][]*allowDirective{}
+	res := &Result{}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					text, ok := strings.CutPrefix(c.Text, "//"+allowPrefix)
+					if !ok {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					check, reason, _ := strings.Cut(strings.TrimSpace(text), " ")
+					reason = strings.TrimSpace(reason)
+					switch {
+					case !known[check]:
+						res.Findings = append(res.Findings, Finding{
+							Check: "lint", Pos: pos,
+							Message: fmt.Sprintf("//lint:allow names unknown check %q", check),
+						})
+						continue
+					case reason == "":
+						res.Findings = append(res.Findings, Finding{
+							Check: "lint", Pos: pos,
+							Message: fmt.Sprintf("//lint:allow %s has no reason; a justification is required", check),
+						})
+						continue
+					}
+					byLine := directives[pos.Filename]
+					if byLine == nil {
+						byLine = map[int][]*allowDirective{}
+						directives[pos.Filename] = byLine
+					}
+					byLine[pos.Line] = append(byLine[pos.Line], &allowDirective{check: check, reason: reason, pos: pos})
+				}
+			}
+		}
+	}
+	for _, f := range all {
+		if d := matchAllow(directives, f); d != nil {
+			d.used = true
+			f.Reason = d.reason
+			res.Suppressed = append(res.Suppressed, f)
+			continue
+		}
+		res.Findings = append(res.Findings, f)
+	}
+	// Unused annotations are stale claims about the code; surface them.
+	for _, byLine := range directives {
+		for _, ds := range byLine {
+			for _, d := range ds {
+				if !d.used {
+					res.Findings = append(res.Findings, Finding{
+						Check: "lint", Pos: d.pos,
+						Message: fmt.Sprintf("//lint:allow %s suppresses nothing; remove it", d.check),
+					})
+				}
+			}
+		}
+	}
+	return res
+}
+
+// matchAllow finds a directive covering f: same file and check, on the
+// finding's line or the line directly above it.
+func matchAllow(directives map[string]map[int][]*allowDirective, f Finding) *allowDirective {
+	byLine := directives[f.Pos.Filename]
+	if byLine == nil {
+		return nil
+	}
+	for _, line := range []int{f.Pos.Line, f.Pos.Line - 1} {
+		for _, d := range byLine[line] {
+			if d.check == f.Check {
+				return d
+			}
+		}
+	}
+	return nil
+}
+
+// --- shared AST/type helpers ---------------------------------------------------
+
+// pkgBase is the final import-path segment; scoped analyzers match on it so
+// the fixture packages under testdata exercise the same code paths as the
+// real tree.
+func pkgBase(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+func baseIn(path string, names ...string) bool {
+	b := pkgBase(path)
+	for _, n := range names {
+		if b == n {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeName is the bare name of a call's function: the selector name for
+// method calls and qualified calls, the identifier for direct calls.
+func calleeName(call *ast.CallExpr) string {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	}
+	return ""
+}

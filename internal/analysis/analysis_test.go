@@ -1,0 +1,236 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io/fs"
+	"path/filepath"
+	"slices"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The fixture packages under testdata/src are loaded once for the whole
+// test binary: Load shells out to `go list -export`, which is the
+// expensive part.
+var (
+	fixOnce sync.Once
+	fixPkgs []*Package
+	fixErr  error
+)
+
+func loadFixtures(t *testing.T) []*Package {
+	t.Helper()
+	fixOnce.Do(func() {
+		dirSet := map[string]bool{}
+		fixErr = filepath.WalkDir("testdata/src", func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && strings.HasSuffix(path, ".go") {
+				dirSet["./"+filepath.ToSlash(filepath.Dir(path))] = true
+			}
+			return nil
+		})
+		if fixErr != nil {
+			return
+		}
+		dirs := make([]string, 0, len(dirSet))
+		for d := range dirSet {
+			dirs = append(dirs, d)
+		}
+		sort.Strings(dirs)
+		fixPkgs, fixErr = Load("", dirs...)
+	})
+	if fixErr != nil {
+		t.Fatalf("loading fixtures: %v", fixErr)
+	}
+	return fixPkgs
+}
+
+// fixturesFor selects the loaded packages under testdata/src/<subtree>/.
+func fixturesFor(t *testing.T, subtree string) []*Package {
+	t.Helper()
+	var out []*Package
+	for _, p := range loadFixtures(t) {
+		if strings.Contains(p.Path, "/testdata/src/"+subtree+"/") {
+			out = append(out, p)
+		}
+	}
+	if len(out) == 0 {
+		t.Fatalf("no fixture packages under testdata/src/%s", subtree)
+	}
+	return out
+}
+
+// wantedFindings collects the `// want <check> [<check> ...]` markers from
+// fixture sources, keyed file:line:check with a count per key.
+func wantedFindings(pkgs []*Package) map[string]int {
+	want := map[string]int{}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					text, ok := strings.CutPrefix(c.Text, "// want ")
+					if !ok {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					for _, check := range strings.Fields(text) {
+						want[fmt.Sprintf("%s:%d:%s", pos.Filename, pos.Line, check)]++
+					}
+				}
+			}
+		}
+	}
+	return want
+}
+
+// runFixtureTest proves one analyzer against its violating and clean
+// fixtures: findings must match the want markers exactly, position by
+// position, so removing the analyzer (or breaking its detection) fails
+// the test.
+func runFixtureTest(t *testing.T, a *Analyzer) {
+	pkgs := fixturesFor(t, a.Name)
+	res, err := RunPackages(pkgs, []*Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Suppressed) != 0 {
+		t.Errorf("unexpected suppressions in %s fixtures: %v", a.Name, res.Suppressed)
+	}
+	want := wantedFindings(pkgs)
+	if len(want) == 0 {
+		t.Fatalf("%s fixtures declare no expected findings; the test proves nothing", a.Name)
+	}
+	got := map[string]int{}
+	for _, f := range res.Findings {
+		got[fmt.Sprintf("%s:%d:%s", f.Pos.Filename, f.Pos.Line, f.Check)]++
+	}
+	for k, n := range want {
+		if got[k] != n {
+			t.Errorf("want %d finding(s) at %s, got %d", n, k, got[k])
+		}
+	}
+	for k, n := range got {
+		if want[k] == 0 {
+			t.Errorf("unexpected finding(s) at %s (x%d)", k, n)
+		}
+	}
+}
+
+func TestSyncBeforeSendFixtures(t *testing.T) { runFixtureTest(t, SyncBeforeSend) }
+func TestSimDeterminismFixtures(t *testing.T) { runFixtureTest(t, SimDeterminism) }
+func TestVerifyGateFixtures(t *testing.T)     { runFixtureTest(t, VerifyGate) }
+func TestLockDisciplineFixtures(t *testing.T) { runFixtureTest(t, LockDiscipline) }
+func TestBoundaryFixtures(t *testing.T)       { runFixtureTest(t, Boundary) }
+
+// TestSuiteRegistration pins the driver's analyzer set: dropping one from
+// Analyzers() is a test failure, not a silent coverage loss.
+func TestSuiteRegistration(t *testing.T) {
+	want := []string{"syncbeforesend", "simdeterminism", "verifygate", "lockdiscipline", "boundary"}
+	var got []string
+	for _, a := range Analyzers() {
+		got = append(got, a.Name)
+	}
+	if !slices.Equal(got, want) {
+		t.Fatalf("Analyzers() = %v, want %v", got, want)
+	}
+}
+
+func TestAllowDirectives(t *testing.T) {
+	res, err := RunPackages(fixturesFor(t, "allow"), Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Suppressed) != 1 {
+		t.Fatalf("suppressed = %v, want exactly one", res.Suppressed)
+	}
+	sup := res.Suppressed[0]
+	if sup.Check != "simdeterminism" || !strings.Contains(sup.Reason, "wall-clock telemetry") {
+		t.Errorf("suppressed finding = %+v, want a simdeterminism finding carrying the annotation's reason", sup)
+	}
+	// The three hygiene failures surface as check "lint".
+	for _, wantMsg := range []string{
+		`unknown check "nosuchcheck"`,
+		"has no reason",
+		"suppresses nothing",
+	} {
+		found := false
+		for _, f := range res.Findings {
+			if f.Check == "lint" && strings.Contains(f.Message, wantMsg) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no lint hygiene finding containing %q in %v", wantMsg, res.Findings)
+		}
+	}
+	// The reasonless directive must not suppress: the wall-clock read it
+	// sat above still surfaces.
+	simd := 0
+	for _, f := range res.Findings {
+		if f.Check == "simdeterminism" {
+			simd++
+		}
+	}
+	if simd != 1 {
+		t.Errorf("want 1 unsuppressed simdeterminism finding, got %d", simd)
+	}
+	if len(res.Findings) != 4 {
+		t.Errorf("findings = %v, want exactly 4", res.Findings)
+	}
+}
+
+func TestJSONReport(t *testing.T) {
+	res, err := RunPackages(fixturesFor(t, "allow"), Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := EncodeJSON(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Version  int `json:"version"`
+		Findings []struct {
+			Check   string `json:"check"`
+			File    string `json:"file"`
+			Line    int    `json:"line"`
+			Col     int    `json:"col"`
+			Message string `json:"message"`
+		} `json:"findings"`
+		Suppressed []struct {
+			Check  string `json:"check"`
+			Reason string `json:"reason"`
+		} `json:"suppressed"`
+	}
+	if err := json.Unmarshal(out, &rep); err != nil {
+		t.Fatalf("report does not parse: %v\n%s", err, out)
+	}
+	if rep.Version != JSONVersion {
+		t.Errorf("version = %d, want %d", rep.Version, JSONVersion)
+	}
+	if len(rep.Findings) == 0 {
+		t.Fatal("report has no findings; the allow fixture should produce some")
+	}
+	for _, f := range rep.Findings {
+		if f.Check == "" || f.File == "" || f.Line <= 0 || f.Col <= 0 || f.Message == "" {
+			t.Errorf("finding with missing fields: %+v", f)
+		}
+	}
+	if len(rep.Suppressed) != 1 || rep.Suppressed[0].Reason == "" {
+		t.Errorf("suppressed = %+v, want one entry with its reason", rep.Suppressed)
+	}
+	// An empty result must encode as arrays, never null, so consumers can
+	// index unconditionally.
+	empty, err := EncodeJSON(&Result{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(empty), "null") {
+		t.Errorf("empty report contains null arrays:\n%s", empty)
+	}
+}

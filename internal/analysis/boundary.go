@@ -1,0 +1,47 @@
+package analysis
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Boundary is the typed replacement for the CI shell boundary lint: cmd/
+// and examples/ packages are consumers of the public repro/saebft embedding
+// API, and reaching into internal/ (internal/core especially) bypasses the
+// supported surface. Unlike the retired grep, it resolves real import
+// declarations — string matches in comments or test fixtures cannot trip
+// it — and exemptions are explicit //lint:allow annotations with written
+// reasons instead of silent pattern gaps.
+var Boundary = &Analyzer{
+	Name: "boundary",
+	Doc:  "cmd/ and examples/ must import only the public saebft package, never internal/",
+	Run:  runBoundary,
+}
+
+func runBoundary(p *Pass) {
+	if p.Module == "" || !hasPathSegment(p.Path, "cmd") && !hasPathSegment(p.Path, "examples") {
+		return
+	}
+	forbidden := p.Module + "/internal"
+	for _, file := range p.Files {
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == forbidden || strings.HasPrefix(path, forbidden+"/") {
+				p.Reportf(imp.Pos(), "%s imports %s; cmd/ and examples/ must stay on the public %s/saebft surface",
+					p.Path, path, p.Module)
+			}
+		}
+	}
+}
+
+func hasPathSegment(path, seg string) bool {
+	for _, s := range strings.Split(path, "/") {
+		if s == seg {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,52 @@
+package analysis
+
+import "encoding/json"
+
+// The machine-readable report schema, versioned so CI consumers of the
+// findings artifact can detect incompatible changes.
+type jsonReport struct {
+	Version    int           `json:"version"`
+	Findings   []jsonFinding `json:"findings"`
+	Suppressed []jsonFinding `json:"suppressed"`
+}
+
+type jsonFinding struct {
+	Check   string `json:"check"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Message string `json:"message"`
+	Reason  string `json:"reason,omitempty"`
+}
+
+// JSONVersion identifies the current report schema.
+const JSONVersion = 1
+
+// EncodeJSON renders a result as the versioned findings report. Findings
+// and suppressed entries encode as empty arrays, never null, so consumers
+// can index unconditionally.
+func EncodeJSON(res *Result) ([]byte, error) {
+	rep := jsonReport{
+		Version:    JSONVersion,
+		Findings:   make([]jsonFinding, 0, len(res.Findings)),
+		Suppressed: make([]jsonFinding, 0, len(res.Suppressed)),
+	}
+	for _, f := range res.Findings {
+		rep.Findings = append(rep.Findings, toJSON(f))
+	}
+	for _, f := range res.Suppressed {
+		rep.Suppressed = append(rep.Suppressed, toJSON(f))
+	}
+	return json.MarshalIndent(rep, "", "  ")
+}
+
+func toJSON(f Finding) jsonFinding {
+	return jsonFinding{
+		Check:   f.Check,
+		File:    f.Pos.Filename,
+		Line:    f.Pos.Line,
+		Col:     f.Pos.Column,
+		Message: f.Message,
+		Reason:  f.Reason,
+	}
+}

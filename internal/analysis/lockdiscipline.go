@@ -1,0 +1,311 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// LockDiscipline keeps slow, blocking work out of mutex critical sections.
+// The replica cores are single-threaded by construction, but the concurrent
+// shells around them — cluster and node lifecycles, the client batcher, the
+// TCP endpoint — serialize shared state with mutexes, and an fsync, a
+// transport send, or a sleep inside such a section stalls every goroutine
+// behind the lock (the delivery loop included, which turns a disk hiccup
+// into protocol timeouts and spurious view changes).
+//
+// The analyzer tracks Lock/RLock .. Unlock/RUnlock regions lexically within
+// each function, models early-exit unlock branches, treats a deferred
+// unlock as holding to function end, and flags these calls while any lock
+// is held: file or WAL fsyncs (os.File.Sync, the storage.Store write/sync
+// surface, lowercase sync helpers), transport sends (transport.Sender
+// values, transport Send methods, net.Conn reads/writes), time.Sleep, and
+// WaitGroup/Cond waits. Function literals are analyzed as independent
+// functions: a goroutine body does not inherit its parent's critical
+// section.
+var LockDiscipline = &Analyzer{
+	Name: "lockdiscipline",
+	Doc:  "no fsync, transport send, sleep, or wait while holding a mutex",
+	Run:  runLockDiscipline,
+}
+
+func runLockDiscipline(p *Pass) {
+	for _, file := range p.Files {
+		funcBodies(file, func(name string, body *ast.BlockStmt) {
+			walkLockStmts(p, body.List, lockSet{})
+			// Every function literal is its own execution context.
+			ast.Inspect(body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					walkLockStmts(p, lit.Body.List, lockSet{})
+				}
+				return true
+			})
+		})
+	}
+}
+
+// lockSet maps a lock expression ("n.mu") to the position where it was
+// taken.
+type lockSet map[string]token.Pos
+
+func (ls lockSet) clone() lockSet {
+	c := make(lockSet, len(ls))
+	for k, v := range ls {
+		c[k] = v
+	}
+	return c
+}
+
+func (ls lockSet) adopt(src lockSet) {
+	for k := range ls {
+		delete(ls, k)
+	}
+	for k, v := range src {
+		ls[k] = v
+	}
+}
+
+func (ls lockSet) union(src lockSet) {
+	for k, v := range src {
+		if _, ok := ls[k]; !ok {
+			ls[k] = v
+		}
+	}
+}
+
+// heldNames renders the held set for diagnostics, deterministically.
+func (ls lockSet) heldNames() string {
+	names := make([]string, 0, len(ls))
+	for k := range ls {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// walkLockStmts interprets a statement list, updating held across mutex
+// operations and reporting blocking calls made inside a critical section.
+// Branches are handled conservatively: an early-exit unlock (unlock, then
+// return) does not release the fallthrough path, and a lock taken in only
+// one branch is assumed held afterwards.
+func walkLockStmts(p *Pass, stmts []ast.Stmt, held lockSet) {
+	for _, st := range stmts {
+		switch s := st.(type) {
+		case *ast.IfStmt:
+			if s.Init != nil {
+				scanLockExprs(p, s.Init, held)
+			}
+			scanLockExprs(p, &ast.ExprStmt{X: s.Cond}, held)
+			body := held.clone()
+			walkLockStmts(p, s.Body.List, body)
+			if !terminates(s.Body.List) {
+				held.union(body)
+			}
+			if s.Else != nil {
+				els := held.clone()
+				switch e := s.Else.(type) {
+				case *ast.BlockStmt:
+					walkLockStmts(p, e.List, els)
+					if !terminates(e.List) {
+						held.union(els)
+					}
+				case *ast.IfStmt:
+					walkLockStmts(p, []ast.Stmt{e}, els)
+					held.union(els)
+				}
+			}
+		case *ast.ForStmt:
+			if s.Init != nil {
+				scanLockExprs(p, s.Init, held)
+			}
+			body := held.clone()
+			walkLockStmts(p, s.Body.List, body)
+			held.union(body)
+		case *ast.RangeStmt:
+			scanLockExprs(p, &ast.ExprStmt{X: s.X}, held)
+			body := held.clone()
+			walkLockStmts(p, s.Body.List, body)
+			held.union(body)
+		case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			for _, cl := range stmtClauses(s) {
+				body := held.clone()
+				walkLockStmts(p, cl, body)
+				if !terminates(cl) {
+					held.union(body)
+				}
+			}
+		case *ast.BlockStmt:
+			walkLockStmts(p, s.List, held)
+		case *ast.DeferStmt:
+			// A deferred unlock holds the lock to function end: leave held
+			// untouched. Other deferred work runs outside this walk; only
+			// its argument expressions evaluate here.
+			if kind, _ := mutexOp(p, s.Call); kind == lockOpUnlock {
+				continue
+			}
+			for _, a := range s.Call.Args {
+				scanLockExprs(p, &ast.ExprStmt{X: a}, held)
+			}
+		case *ast.GoStmt:
+			// The spawned goroutine does not hold this goroutine's locks;
+			// only the call's arguments evaluate in this critical section.
+			for _, a := range s.Call.Args {
+				scanLockExprs(p, &ast.ExprStmt{X: a}, held)
+			}
+		default:
+			scanLockExprs(p, st, held)
+		}
+	}
+}
+
+// stmtClauses extracts the per-case statement lists of a switch or select.
+func stmtClauses(s ast.Stmt) [][]ast.Stmt {
+	var body *ast.BlockStmt
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		body = s.Body
+	case *ast.SelectStmt:
+		body = s.Body
+	}
+	var out [][]ast.Stmt
+	for _, c := range body.List {
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			out = append(out, c.Body)
+		case *ast.CommClause:
+			out = append(out, c.Body)
+		}
+	}
+	return out
+}
+
+// terminates reports whether a statement list always leaves the enclosing
+// scope (return, branch, or panic as its last statement).
+func terminates(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	switch last := stmts[len(stmts)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+type lockOp int
+
+const (
+	lockOpNone lockOp = iota
+	lockOpLock
+	lockOpUnlock
+)
+
+// mutexOp classifies a call as taking or releasing a sync.Mutex /
+// sync.RWMutex, returning the lock's expression key.
+func mutexOp(p *Pass, call *ast.CallExpr) (lockOp, string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockOpNone, ""
+	}
+	var op lockOp
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		op = lockOpLock
+	case "Unlock", "RUnlock":
+		op = lockOpUnlock
+	default:
+		return lockOpNone, ""
+	}
+	rt := p.Info.TypeOf(sel.X)
+	if !namedType(rt, "sync", "Mutex") && !namedType(rt, "sync", "RWMutex") {
+		return lockOpNone, ""
+	}
+	key := exprKey(sel.X)
+	if key == "" {
+		key = "mutex"
+	}
+	return op, key
+}
+
+// scanLockExprs processes the calls inside one simple statement in source
+// order, skipping nested function literals (they are walked independently).
+func scanLockExprs(p *Pass, stmt ast.Stmt, held lockSet) {
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch op, key := mutexOp(p, call); op {
+		case lockOpLock:
+			held[key] = call.Pos()
+			return true
+		case lockOpUnlock:
+			delete(held, key)
+			return true
+		}
+		if len(held) == 0 {
+			return true
+		}
+		if what, ok := blockingCall(p, call); ok {
+			p.Reportf(call.Pos(), "%s while holding %s; move blocking work outside the critical section", what, held.heldNames())
+		}
+		return true
+	})
+}
+
+// blockingCall classifies calls that can stall the calling goroutine for
+// I/O- or scheduler-scale time.
+func blockingCall(p *Pass, call *ast.CallExpr) (string, bool) {
+	if isPkgFunc(p.Info, call, "time", "Sleep") {
+		return "time.Sleep", true
+	}
+	if isSenderCall(p.Info, call) {
+		return "transport send", true
+	}
+	f := funcObj(p.Info, call)
+	if f == nil {
+		return "", false
+	}
+	rt := recvOf(p.Info, call)
+	switch f.Name() {
+	case "Sync":
+		if namedType(rt, "os", "File") {
+			return "file fsync", true
+		}
+		if namedType(rt, "repro/internal/storage", "Store") {
+			return "WAL fsync", true
+		}
+	case "sync", "fsync":
+		// Lowercase storage-internal sync helpers (wal.sync and friends).
+		if f.Signature().Recv() != nil {
+			return "fsync helper", true
+		}
+	case "SaveCheckpoint", "Prune", "Replay":
+		if namedType(rt, "repro/internal/storage", "Store") {
+			return "storage " + f.Name(), true
+		}
+	case "Write", "Read":
+		if namedType(rt, "net", "Conn") {
+			return "net.Conn " + f.Name(), true
+		}
+	case "Wait":
+		// sync.Cond.Wait is exempt: its contract requires holding L, and it
+		// releases the lock while blocked.
+		if namedType(rt, "sync", "WaitGroup") {
+			return "WaitGroup wait", true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// SyncBeforeSend enforces the durability ordering the recovery design
+// depends on (PR 3/PR 4): inside the agreement and execution replicas, any
+// handler path that logs externalization-gating WAL state — a vote, a
+// prepared certificate, a view transition, or a raw Store.Append — must
+// reach a storage sync (syncVotes or Store.Sync) before anything is handed
+// to the transport. A send that slips in between externalizes a promise the
+// replica may not remember after a crash: the exact equivocation window the
+// durable-voting work closed.
+//
+// The check is intraprocedural and follows statement order, which matches
+// how the replicas are written: log, sync, then send, all in the same
+// handler. A log whose sync happens in a later handler (e.g. the group
+// commit in executeReady) is fine as long as no send appears in between in
+// the same function.
+var SyncBeforeSend = &Analyzer{
+	Name: "syncbeforesend",
+	Doc:  "WAL-logged voting state must be synced before any transport send in the same handler",
+	Run:  runSyncBeforeSend,
+}
+
+func runSyncBeforeSend(p *Pass) {
+	if !baseIn(p.Path, "pbft", "execnode") {
+		return
+	}
+	for _, file := range p.Files {
+		funcBodies(file, func(name string, body *ast.BlockStmt) {
+			var pending token.Pos // first unsynced log event, NoPos if none
+			var what string
+			ast.Inspect(body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				switch {
+				case isLogEvent(p, call):
+					if pending == token.NoPos {
+						pending = call.Pos()
+						what = calleeName(call)
+					}
+				case isSyncEvent(p, call):
+					pending = token.NoPos
+				case isSendEvent(p, call):
+					if pending != token.NoPos {
+						p.Reportf(call.Pos(), "send reachable before the %s at %s is synced; call syncVotes/Store.Sync first",
+							what, p.Fset.Position(pending))
+					}
+				}
+				return true
+			})
+		})
+	}
+}
+
+// isLogEvent: an append of externalization-gating durable state.
+func isLogEvent(p *Pass, call *ast.CallExpr) bool {
+	switch calleeName(call) {
+	case "logVote", "logPrepared", "logView":
+		return true
+	}
+	return isStoreCall(p.Info, call, "Append")
+}
+
+// isSyncEvent: the fsync that makes pending appends durable.
+func isSyncEvent(p *Pass, call *ast.CallExpr) bool {
+	if calleeName(call) == "syncVotes" {
+		return true
+	}
+	return isStoreCall(p.Info, call, "Sync")
+}
+
+// isSendEvent: a message leaving the node — the replicas' broadcast helpers
+// or a direct transport.Sender invocation.
+func isSendEvent(p *Pass, call *ast.CallExpr) bool {
+	switch calleeName(call) {
+	case "broadcast", "broadcastExec":
+		return true
+	}
+	return isSenderCall(p.Info, call)
+}

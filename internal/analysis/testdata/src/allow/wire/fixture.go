@@ -1,0 +1,28 @@
+// Package wire exercises the //lint:allow annotation machinery: one valid
+// suppression plus the three hygiene failures (unknown check name, missing
+// reason, and a directive that suppresses nothing).
+package wire
+
+import "time"
+
+// Uptime is operator telemetry; the annotation documents why the
+// determinism check does not apply to this wall-clock read.
+func Uptime(start time.Time) time.Duration {
+	//lint:allow simdeterminism wall-clock telemetry for operators; the result never reaches protocol state or message bytes
+	return time.Now().Sub(start)
+}
+
+func bogusDirective() {
+	//lint:allow nosuchcheck this check name does not exist
+}
+
+// The reasonless directive is itself a finding, and it suppresses
+// nothing: the wall-clock read below must still surface.
+func missingReason(start time.Time) time.Duration {
+	//lint:allow simdeterminism
+	return time.Now().Sub(start)
+}
+
+func unusedDirective() {
+	//lint:allow verifygate nothing on this line needs suppressing
+}

@@ -1,0 +1,12 @@
+// Command badtool violates the public-API boundary: a cmd/ package
+// reaching into internal/.
+package main
+
+import (
+	"repro/internal/storage" // want boundary
+)
+
+func main() {
+	var s storage.Store
+	_ = s
+}

@@ -1,0 +1,8 @@
+// Command goodtool stays on the public surface; nothing to flag.
+package main
+
+import "fmt"
+
+func main() {
+	fmt.Println("stays on the public surface")
+}

@@ -1,0 +1,7 @@
+// Package helper sits outside cmd/ and examples/, so the boundary check
+// does not apply to its internal imports.
+package helper
+
+import "repro/internal/storage"
+
+func Kind() storage.RecordKind { return storage.RecCommit }

@@ -1,0 +1,70 @@
+// Package locks is the violating fixture for the lockdiscipline check:
+// blocking calls inside mutex critical sections, including the branch
+// cases the lexical interpreter must model.
+package locks
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/transport"
+)
+
+type guarded struct {
+	mu  sync.Mutex
+	rw  sync.RWMutex
+	wg  sync.WaitGroup
+	snd transport.Sender
+}
+
+func (g *guarded) sleepUnderLock() {
+	g.mu.Lock()
+	time.Sleep(time.Millisecond) // want lockdiscipline
+	g.mu.Unlock()
+}
+
+func (g *guarded) sleepUnderDeferredUnlock() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	time.Sleep(time.Millisecond) // want lockdiscipline
+}
+
+// The early-exit unlock releases only its own branch; the fallthrough
+// path still holds the lock.
+func (g *guarded) earlyExitStillHeld(cond bool) {
+	g.mu.Lock()
+	if cond {
+		g.mu.Unlock()
+		return
+	}
+	time.Sleep(time.Millisecond) // want lockdiscipline
+	g.mu.Unlock()
+}
+
+// A lock taken in one branch is conservatively held afterwards.
+func (g *guarded) branchLock(cond bool) {
+	if cond {
+		g.mu.Lock()
+	}
+	time.Sleep(time.Millisecond) // want lockdiscipline
+	g.mu.Unlock()
+}
+
+func (g *guarded) sendUnderLock(msg []byte) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.snd(1, msg) // want lockdiscipline
+}
+
+func (g *guarded) waitUnderLock() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.wg.Wait() // want lockdiscipline
+}
+
+func (g *guarded) readUnderRLock(c net.Conn, buf []byte) {
+	g.rw.RLock()
+	defer g.rw.RUnlock()
+	c.Read(buf) // want lockdiscipline
+}

@@ -1,0 +1,55 @@
+// Package locks is the clean fixture for the lockdiscipline check:
+// blocking work kept outside critical sections, goroutines as independent
+// contexts, and the legal sync.Cond.Wait-under-lock pattern.
+package locks
+
+import (
+	"sync"
+	"time"
+)
+
+type guarded struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	ready bool
+	n     int
+}
+
+func (g *guarded) unlockBeforeSleep(d time.Duration) int {
+	g.mu.Lock()
+	n := g.n
+	g.mu.Unlock()
+	time.Sleep(d)
+	return n
+}
+
+// A goroutine body does not inherit the spawner's critical section.
+func (g *guarded) spawnUnderLock() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	go func() {
+		time.Sleep(time.Millisecond)
+	}()
+}
+
+// Cond.Wait requires holding L and releases it while blocked; this is the
+// one wait that belongs inside a critical section.
+func (g *guarded) condWait() {
+	g.mu.Lock()
+	for !g.ready {
+		g.cond.Wait()
+	}
+	g.mu.Unlock()
+}
+
+// Sleeping after the branch's own unlock is fine on that path.
+func (g *guarded) earlyExitReleased(cond bool) {
+	g.mu.Lock()
+	if cond {
+		g.mu.Unlock()
+		time.Sleep(time.Millisecond)
+		return
+	}
+	g.mu.Unlock()
+	time.Sleep(time.Millisecond)
+}

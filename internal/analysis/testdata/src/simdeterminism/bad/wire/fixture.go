@@ -1,0 +1,74 @@
+// Package wire is the violating fixture for the simdeterminism check: its
+// import-path base puts it in the deterministic scope, and each function
+// leaks a wall clock, shared randomness, or map iteration order.
+package wire
+
+import (
+	"crypto/sha256"
+	"math/rand"
+	"time"
+
+	"repro/internal/storage"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+type conn struct {
+	out   transport.Sender
+	store storage.Store
+}
+
+// Marshal stands in for the canonical encoders: it lives in a repro/
+// package, which makes it an order sink.
+func Marshal(parts [][]byte) []byte {
+	var out []byte
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want simdeterminism
+}
+
+func sharedRand() int {
+	return rand.Intn(4) // want simdeterminism
+}
+
+func unsortedCollect(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want simdeterminism
+	}
+	return keys
+}
+
+func sendInOrder(c *conn, peers map[types.NodeID][]byte) {
+	for id, payload := range peers {
+		c.out(id, payload) // want simdeterminism
+	}
+}
+
+func encodeInOrder(m map[string][]byte) [][]byte {
+	var parts [][]byte
+	for _, v := range m {
+		enc := Marshal([][]byte{v}) // want simdeterminism
+		parts = append(parts, enc)  // want simdeterminism
+	}
+	return parts
+}
+
+func digestInOrder(m map[string][]byte) []byte {
+	h := sha256.New()
+	for k := range m {
+		h.Write([]byte(k)) // want simdeterminism
+	}
+	return h.Sum(nil)
+}
+
+func appendWAL(c *conn, m map[types.SeqNum][]byte) {
+	for seq, payload := range m {
+		_ = c.store.Append(storage.RecCommit, seq, payload) // want simdeterminism
+	}
+}

@@ -1,0 +1,64 @@
+// Package wire is the clean fixture for the simdeterminism check: map
+// iteration feeding only order-insensitive work, the collect-then-sort
+// idiom, and explicitly seeded local randomness.
+package wire
+
+import (
+	"math/rand"
+	"slices"
+	"sort"
+
+	"repro/internal/types"
+)
+
+func sortedCollect(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortedIDs(m map[types.NodeID]struct{}) []types.NodeID {
+	ids := make([]types.NodeID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func slicesSorted(m map[int]bool) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	slices.Sort(out)
+	return out
+}
+
+func countMatching(m map[string]int, want int) int {
+	n := 0
+	for _, v := range m {
+		if v == want {
+			n++
+		}
+	}
+	return n
+}
+
+func highestSeq(m map[types.SeqNum]bool) types.SeqNum {
+	var top types.SeqNum
+	for s := range m {
+		if s > top {
+			top = s
+		}
+	}
+	return top
+}
+
+func seededDraw() int {
+	r := rand.New(rand.NewSource(42))
+	return r.Intn(6)
+}

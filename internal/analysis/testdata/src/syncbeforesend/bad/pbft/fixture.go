@@ -1,0 +1,35 @@
+// Package pbft is the violating fixture for the syncbeforesend check: its
+// import-path base puts it in the analyzer's scope, and each function
+// externalizes a message while logged voting state is still unsynced.
+package pbft
+
+import (
+	"repro/internal/storage"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+type replica struct {
+	out   transport.Sender
+	store storage.Store
+}
+
+func (r *replica) logVote() bool    { return true }
+func (r *replica) syncVotes() bool  { return true }
+func (r *replica) broadcast([]byte) {}
+
+func (r *replica) voteThenBroadcast(msg []byte) {
+	r.logVote()
+	r.broadcast(msg) // want syncbeforesend
+}
+
+func (r *replica) appendThenSend(seq types.SeqNum, rec, msg []byte) {
+	_ = r.store.Append(storage.RecCommit, seq, rec)
+	r.out(1, msg) // want syncbeforesend
+}
+
+func (r *replica) syncTooLate(msg []byte) {
+	r.logVote()
+	r.broadcast(msg) // want syncbeforesend
+	r.syncVotes()
+}

@@ -1,0 +1,47 @@
+// Package pbft is the clean fixture for the syncbeforesend check: every
+// path that logs voting state reaches a sync before anything is sent.
+package pbft
+
+import (
+	"repro/internal/storage"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+type replica struct {
+	out   transport.Sender
+	store storage.Store
+}
+
+func (r *replica) logVote() bool    { return true }
+func (r *replica) syncVotes() bool  { return true }
+func (r *replica) broadcast([]byte) {}
+
+// The codebase's canonical pattern: log, sync, then externalize.
+func (r *replica) voteSyncBroadcast(msg []byte) {
+	if !r.logVote() || !r.syncVotes() {
+		return
+	}
+	r.broadcast(msg)
+}
+
+func (r *replica) appendSyncSend(seq types.SeqNum, rec, msg []byte) {
+	if err := r.store.Append(storage.RecCommit, seq, rec); err != nil {
+		return
+	}
+	if err := r.store.Sync(); err != nil {
+		return
+	}
+	r.out(1, msg)
+}
+
+// A send with no pending log event is fine.
+func (r *replica) plainSend(msg []byte) {
+	r.broadcast(msg)
+}
+
+// Group commit: the sync happens in a later handler, and nothing is sent
+// in this one, so no promise externalizes early.
+func (r *replica) deferredSync(seq types.SeqNum, rec []byte) {
+	_ = r.store.Append(storage.RecCommit, seq, rec)
+}

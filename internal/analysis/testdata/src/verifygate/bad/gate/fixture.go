@@ -1,0 +1,35 @@
+// Package gate is the violating fixture for the verifygate check: each
+// function drops a verification verdict in one of the flagged ways.
+package gate
+
+func VerifyAtt(sig []byte) bool { return len(sig) > 0 }
+
+func VerifyPair(a, b []byte) (bool, error) { return len(a) == len(b), nil }
+
+func discarded(sig []byte) {
+	VerifyAtt(sig) // want verifygate
+}
+
+func blankAssigned(sig []byte) {
+	_ = VerifyAtt(sig) // want verifygate
+}
+
+func blankTuple(a, b []byte) {
+	_, _ = VerifyPair(a, b) // want verifygate
+}
+
+func goDiscard(sig []byte) {
+	go VerifyAtt(sig) // want verifygate
+}
+
+func deferDiscard(sig []byte) {
+	defer VerifyAtt(sig) // want verifygate
+}
+
+// The classic shadowing bug: the first verdict is overwritten before
+// anything reads it, so only the second check ever gates the path.
+func clobbered(a, b []byte) bool {
+	ok := VerifyAtt(a) // want verifygate
+	ok = VerifyAtt(b)
+	return ok
+}

@@ -1,0 +1,49 @@
+// Package gate is the clean fixture for the verifygate check: every
+// verdict is branched on, returned, or handed to another function.
+package gate
+
+import "errors"
+
+var errInvalid = errors.New("invalid")
+
+func VerifyAtt(sig []byte) bool { return len(sig) > 0 }
+
+func VerifyPair(a, b []byte) (bool, error) { return len(a) == len(b), nil }
+
+func record(bool) {}
+
+func gated(sig []byte) bool {
+	if !VerifyAtt(sig) {
+		return false
+	}
+	return true
+}
+
+func branched(a, b []byte) error {
+	ok, err := VerifyPair(a, b)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return errInvalid
+	}
+	return nil
+}
+
+func returned(sig []byte) bool {
+	return VerifyAtt(sig)
+}
+
+func passedAlong(sig []byte) {
+	record(VerifyAtt(sig))
+}
+
+// Reassignment after a read is fine; the first verdict did its job.
+func reassignedAfterRead(a, b []byte) bool {
+	ok := VerifyAtt(a)
+	if !ok {
+		return false
+	}
+	ok = VerifyAtt(b)
+	return ok
+}

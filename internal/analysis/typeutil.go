@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// namedType reports whether t (after unwrapping pointers and aliases) is
+// the named type path.name.
+func namedType(t types.Type, path, name string) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Name() != name {
+		return false
+	}
+	if obj.Pkg() == nil {
+		return path == "" // universe scope (e.g. error)
+	}
+	return obj.Pkg().Path() == path
+}
+
+// funcObj resolves a call's callee to its *types.Func, nil for calls of
+// function values, builtins, and conversions.
+func funcObj(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fn
+	case *ast.SelectorExpr:
+		id = fn.Sel
+	default:
+		return nil
+	}
+	f, _ := info.Uses[id].(*types.Func)
+	return f
+}
+
+// isPkgFunc reports whether call invokes the package-level function
+// path.name (e.g. time.Now).
+func isPkgFunc(info *types.Info, call *ast.CallExpr, path, name string) bool {
+	f := funcObj(info, call)
+	if f == nil || f.Name() != name || f.Pkg() == nil || f.Pkg().Path() != path {
+		return false
+	}
+	return f.Signature().Recv() == nil
+}
+
+// recvOf returns the declared type of a method call's receiver expression,
+// nil for non-selector calls.
+func recvOf(info *types.Info, call *ast.CallExpr) types.Type {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	return info.TypeOf(sel.X)
+}
+
+// methodPkg returns the defining package path of a call's method, "" when
+// the callee is not a method or is unresolved.
+func methodPkg(info *types.Info, call *ast.CallExpr) string {
+	f := funcObj(info, call)
+	if f == nil || f.Signature().Recv() == nil || f.Pkg() == nil {
+		return ""
+	}
+	return f.Pkg().Path()
+}
+
+// isSenderCall reports whether call invokes a transport.Sender value (the
+// replicas' injected send function) or a Send method defined by the
+// transport package — the two primitives through which anything leaves a
+// node.
+func isSenderCall(info *types.Info, call *ast.CallExpr) bool {
+	if namedType(info.TypeOf(call.Fun), "repro/internal/transport", "Sender") {
+		return true
+	}
+	f := funcObj(info, call)
+	return f != nil && f.Name() == "Send" && methodPkg(info, call) == "repro/internal/transport"
+}
+
+// isStoreCall reports whether call invokes the named method on the
+// storage.Store interface (the durable WAL + checkpoint store).
+func isStoreCall(info *types.Info, call *ast.CallExpr, names ...string) bool {
+	f := funcObj(info, call)
+	if f == nil {
+		return false
+	}
+	for _, n := range names {
+		if f.Name() == n {
+			return namedType(recvOf(info, call), "repro/internal/storage", "Store")
+		}
+	}
+	return false
+}
+
+// exprKey renders a chain of identifiers and selectors ("n.mu") for use as
+// a map key; non-trivial expressions collapse to "".
+func exprKey(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		if base := exprKey(e.X); base != "" {
+			return base + "." + e.Sel.Name
+		}
+	}
+	return ""
+}
+
+// funcBodies yields every function body in the file along with its name:
+// declared functions and methods, with nested function literals visited as
+// part of the enclosing body.
+func funcBodies(file *ast.File, fn func(name string, body *ast.BlockStmt)) {
+	for _, decl := range file.Decls {
+		d, ok := decl.(*ast.FuncDecl)
+		if !ok || d.Body == nil {
+			continue
+		}
+		fn(d.Name.Name, d.Body)
+	}
+}

@@ -1,0 +1,177 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// VerifyGate ensures cryptographic verification actually gates the
+// untrusted receive paths: the result of any Verify*/verify* call (auth
+// attestation checks, threshold share and certificate checks, prepared-
+// evidence checks) must flow into a branch or a caller. Three ways of
+// dropping a verdict are flagged:
+//
+//   - the call as a bare statement (result discarded outright),
+//   - the result assigned to the blank identifier,
+//   - the result assigned to a variable that is overwritten before any
+//     read — the classic shadowing bug where a second check clobbers the
+//     first and only the last one is ever branched on.
+//
+// Passing the result to another function or returning it counts as use;
+// where the verdict goes from there is that function's problem, and this
+// analyzer will meet it there too.
+var VerifyGate = &Analyzer{
+	Name: "verifygate",
+	Doc:  "results of Verify* calls must be branched on, never discarded or overwritten unread",
+	Run:  runVerifyGate,
+}
+
+func runVerifyGate(p *Pass) {
+	for _, file := range p.Files {
+		funcBodies(file, func(name string, body *ast.BlockStmt) {
+			ast.Inspect(body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.BlockStmt:
+					scanVerifyList(p, n.List)
+				case *ast.CaseClause:
+					scanVerifyList(p, n.Body)
+				case *ast.CommClause:
+					scanVerifyList(p, n.Body)
+				}
+				return true
+			})
+		})
+	}
+}
+
+// isVerifyCall reports calls to Verify-shaped functions that produce a
+// verdict (at least one result).
+func isVerifyCall(p *Pass, call *ast.CallExpr) bool {
+	f := funcObj(p.Info, call)
+	if f == nil {
+		return false
+	}
+	name := f.Name()
+	if !strings.HasPrefix(name, "Verify") && !strings.HasPrefix(name, "verify") {
+		return false
+	}
+	return f.Signature().Results().Len() > 0
+}
+
+// scanVerifyList checks one statement list (one lexical scope) for
+// discarded or clobbered verification verdicts.
+func scanVerifyList(p *Pass, stmts []ast.Stmt) {
+	for i, st := range stmts {
+		switch s := st.(type) {
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok && isVerifyCall(p, call) {
+				p.Reportf(call.Pos(), "%s result discarded; the verdict must gate this path", calleeName(call))
+			}
+		case *ast.GoStmt:
+			if isVerifyCall(p, s.Call) {
+				p.Reportf(s.Call.Pos(), "%s result discarded by go statement", calleeName(s.Call))
+			}
+		case *ast.DeferStmt:
+			if isVerifyCall(p, s.Call) {
+				p.Reportf(s.Call.Pos(), "%s result discarded by defer statement", calleeName(s.Call))
+			}
+		case *ast.AssignStmt:
+			checkVerifyAssign(p, s, stmts[i+1:])
+		}
+	}
+}
+
+// checkVerifyAssign flags verify results assigned to blanks, and results
+// assigned to a variable whose next touch in the same scope is another
+// write — the verdict is clobbered before anyone reads it.
+func checkVerifyAssign(p *Pass, s *ast.AssignStmt, rest []ast.Stmt) {
+	for ri, rhs := range s.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || !isVerifyCall(p, call) {
+			continue
+		}
+		// The LHS identifiers this call's results land in: 1:1 for
+		// parallel assignment, all of them for a tuple assignment.
+		lhs := s.Lhs
+		if len(s.Rhs) == len(s.Lhs) {
+			lhs = s.Lhs[ri : ri+1]
+		}
+		allBlank := true
+		for _, l := range lhs {
+			id, ok := ast.Unparen(l).(*ast.Ident)
+			if !ok || id.Name != "_" {
+				allBlank = false
+			}
+		}
+		if allBlank {
+			p.Reportf(call.Pos(), "%s result assigned to _; the verdict must gate this path", calleeName(call))
+			continue
+		}
+		for _, l := range lhs {
+			id, ok := ast.Unparen(l).(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := p.Info.Defs[id]
+			if obj == nil {
+				obj = p.Info.Uses[id]
+			}
+			if obj == nil {
+				continue
+			}
+			if clobberedBeforeRead(p, obj, rest) {
+				p.Reportf(call.Pos(), "%s result in %q is overwritten before it is read; the verdict is never checked",
+					calleeName(call), id.Name)
+			}
+		}
+	}
+}
+
+// clobberedBeforeRead scans the statements following an assignment: true
+// when the first statement touching obj writes it without reading it.
+func clobberedBeforeRead(p *Pass, obj types.Object, rest []ast.Stmt) bool {
+	for _, st := range rest {
+		reads, writes := objTouches(p, obj, st)
+		if reads {
+			return false
+		}
+		if writes {
+			return true
+		}
+	}
+	return false
+}
+
+// objTouches reports whether stmt reads and/or writes obj. An assignment
+// like v = v+1 both writes and reads, which counts as a read of the
+// verdict.
+func objTouches(p *Pass, obj types.Object, stmt ast.Stmt) (reads, writes bool) {
+	lhsIdents := map[*ast.Ident]bool{}
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok {
+			for _, l := range as.Lhs {
+				if id, ok := ast.Unparen(l).(*ast.Ident); ok {
+					lhsIdents[id] = true
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if p.Info.Uses[id] != obj && p.Info.Defs[id] != obj {
+			return true
+		}
+		if lhsIdents[id] {
+			writes = true
+		} else {
+			reads = true
+		}
+		return true
+	})
+	return reads, writes
+}

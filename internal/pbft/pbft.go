@@ -163,6 +163,24 @@ type instance struct {
 	executed  bool
 }
 
+// commitAtts collects the attestations that vouch for this instance's
+// ordered digest in replica-ID order, so a commit certificate serializes
+// to the same bytes on every replica that holds the same votes.
+func (in *instance) commitAtts() []auth.Attestation {
+	ids := make([]types.NodeID, 0, len(in.commits))
+	for id, v := range in.commits {
+		if v.od == in.od {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	atts := make([]auth.Attestation, 0, len(ids))
+	for _, id := range ids {
+		atts = append(atts, in.commits[id].att)
+	}
+	return atts
+}
+
 // savedCheckpoint is a locally-produced checkpoint kept for serving peers.
 type savedCheckpoint struct {
 	digest  types.Digest
@@ -854,13 +872,7 @@ func (r *Replica) checkCommitted(in *instance, now types.Time) {
 	// replay after a restart re-verifies 2f+1 signatures rather than
 	// trusting the disk.
 	if r.cfg.Store != nil && !r.recovering && r.storeErr == nil {
-		atts := make([]auth.Attestation, 0, len(in.commits))
-		for _, v := range in.commits {
-			if v.od == in.od {
-				atts = append(atts, v.att)
-			}
-		}
-		rec := wire.Marshal(&wire.CommitProof{PP: *in.pp, Commits: atts})
+		rec := wire.Marshal(&wire.CommitProof{PP: *in.pp, Commits: in.commitAtts()})
 		if err := r.cfg.Store.Append(storage.RecCommit, in.seq, rec); err != nil {
 			r.storeErr = err
 		}
@@ -1017,6 +1029,9 @@ func (r *Replica) makeStable(n types.SeqNum, digest types.Digest, votes map[type
 			proof = append(proof, v)
 		}
 	}
+	// Canonical proof order: the set is persisted and served to lagging
+	// peers, so its bytes must not depend on map iteration order.
+	sort.Slice(proof, func(i, j int) bool { return proof[i].Replica < proof[j].Replica })
 	r.lastStable = n
 	r.stableProof = proof
 	// Durability: persist the stable checkpoint with its vote set, then
@@ -1210,13 +1225,7 @@ func (r *Replica) onStatus(m *wire.Status, now types.Time) {
 			if in == nil || !in.committed || in.pp == nil {
 				continue
 			}
-			atts := make([]auth.Attestation, 0, len(in.commits))
-			for _, v := range in.commits {
-				if v.od == in.od {
-					atts = append(atts, v.att)
-				}
-			}
-			r.send(m.Replica, wire.Marshal(&wire.CommitProof{PP: *in.pp, Commits: atts}))
+			r.send(m.Replica, wire.Marshal(&wire.CommitProof{PP: *in.pp, Commits: in.commitAtts()}))
 			sent++
 		}
 	}

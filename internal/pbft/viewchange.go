@@ -440,7 +440,16 @@ func (r *Replica) installNewView(m *wire.NewView, minS, maxS types.SeqNum, now t
 			}
 		}
 	}
-	for id, cs := range r.clients {
+	// Resubmit in client-ID order: the relay/enqueue order reaches the
+	// wire (and the new primary's proposal order), so it must not vary
+	// with map iteration across otherwise-identical replicas.
+	cids := make([]types.NodeID, 0, len(r.clients))
+	for id := range r.clients {
+		cids = append(cids, id)
+	}
+	sort.Slice(cids, func(i, j int) bool { return cids[i] < cids[j] })
+	for _, id := range cids {
+		cs := r.clients[id]
 		if cs.pending == nil {
 			continue
 		}

@@ -195,6 +195,7 @@ func (a *Assembler) Add(m *wire.ExecReply) (*wire.ReplyCert, error) {
 		}
 		shares := make([]*threshold.SigShare, 0, len(pb.shares))
 		for _, sh := range pb.shares {
+			//lint:allow simdeterminism Combine selects and orders shares by ascending player index internally, so input order cannot reach the signature bytes (TestCombineSubsetIndependence)
 			shares = append(shares, sh)
 		}
 		sig, err := a.v.Threshold.Combine(digest, shares)

@@ -69,6 +69,7 @@ func (s *DiskStore) Sync() error {
 	if s.closed {
 		return errClosed
 	}
+	//lint:allow lockdiscipline s.mu is the store's designated durability serialization point: append/sync ordering under concurrent close is exactly what this mutex exists to provide
 	return s.wal.sync()
 }
 

@@ -238,11 +238,26 @@ func TestRecoveryRandomKillAgreementOrdering(t *testing.T) {
 					}
 				}(i)
 			}
+			// waitAcks deadlines on progress, not total elapsed time. The
+			// cluster paces itself in virtual time, so on a loaded 1-CPU
+			// -race machine the wall clock needed for n acks grows without
+			// bound while the run stays perfectly healthy; a fixed total
+			// deadline here conflated that slowness with a stall and made
+			// the test flake under parallel package load. A genuine
+			// liveness failure still fails: a full minute with no new ack.
 			waitAcks := func(n int32) {
-				deadline := time.Now().Add(time.Minute)
-				for totalAcks.Load() < n {
-					if time.Now().After(deadline) {
-						t.Fatalf("timed out at %d/%d acks", totalAcks.Load(), n)
+				last := totalAcks.Load()
+				stall := time.Now()
+				for {
+					cur := totalAcks.Load()
+					if cur >= n {
+						return
+					}
+					if cur != last {
+						last, stall = cur, time.Now()
+					}
+					if time.Since(stall) > time.Minute {
+						t.Fatalf("acks stalled at %d/%d for a minute", cur, n)
 					}
 					time.Sleep(time.Millisecond)
 				}

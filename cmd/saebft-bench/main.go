@@ -14,10 +14,17 @@
 //	saebft-bench -batching -short -out BENCH_batching.json \
 //	    -baseline .github/bench-baseline.json -max-regress 0.30
 //
+//	saebft-bench -reads -short -out BENCH_reads.json
+//
 // The -batching mode sweeps client-side batch size × pipeline width over
 // the sim and TCP transports and writes a machine-readable report. With
 // -baseline it exits non-zero when any simulated-transport point regresses
 // more than -max-regress below the baseline — the bench-smoke CI gate.
+//
+// The -reads mode serves the same read-only workload once through the
+// certified fast read path and once through full agreement, reporting paired
+// read=certified / read=invoke points; -out, -baseline, and -max-regress
+// work exactly as for -batching.
 package main
 
 import (
@@ -33,16 +40,21 @@ func main() {
 		figure     = flag.String("figure", "all", "which figure to regenerate: 3, 4, 5, 6, 7, or all")
 		scale      = flag.String("scale", "quick", "run scale: quick or full")
 		batching   = flag.Bool("batching", false, "run the client-batching throughput sweep instead of the paper figures")
-		short      = flag.Bool("short", false, "batching sweep: CI smoke grid (seconds of wall time)")
-		out        = flag.String("out", "", "batching sweep: write the JSON report here")
-		baseline   = flag.String("baseline", "", "batching sweep: compare against this baseline report")
-		maxRegress = flag.Float64("max-regress", 0.30, "batching sweep: tolerated fractional throughput regression vs the baseline")
+		reads      = flag.Bool("reads", false, "run the certified-read vs full-agreement read sweep instead of the paper figures")
+		short      = flag.Bool("short", false, "sweeps: CI smoke grid (seconds of wall time)")
+		out        = flag.String("out", "", "sweeps: write the JSON report here")
+		baseline   = flag.String("baseline", "", "sweeps: compare against this baseline report")
+		maxRegress = flag.Float64("max-regress", 0.30, "sweeps: tolerated fractional throughput regression vs the baseline")
 		useTLS     = flag.Bool("tls", false, "batching sweep: run the TCP points over ephemeral mutual TLS, measuring the link-security cost")
 	)
 	flag.Parse()
 
 	if *batching {
 		runBatching(*short, *useTLS, *out, *baseline, *maxRegress)
+		return
+	}
+	if *reads {
+		runReads(*short, *out, *baseline, *maxRegress)
 		return
 	}
 
@@ -101,6 +113,29 @@ func runBatching(short, useTLS bool, out, baseline string, maxRegress float64) {
 		fmt.Printf("%-4s pipeline=%d batch=%-3s store=%s ops=%-4d %s  %9.0f ops/s  mean-lat %6.1fms  batches=%-3d width=%d\n",
 			link, p.Pipeline, batch, store, p.Ops, clock, p.Throughput, p.MeanLatMs, p.Batches, p.FinalWidth)
 	}
+	writeAndGate(rep, out, baseline, maxRegress)
+}
+
+func runReads(short bool, out, baseline string, maxRegress float64) {
+	rep, err := saebft.RunReadBench(saebft.ReadBenchConfig{Short: short})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "saebft-bench: read sweep: %v\n", err)
+		os.Exit(1)
+	}
+	for _, p := range rep.Points {
+		clock := fmt.Sprintf("wall %8.1fms", p.WallMs)
+		if p.Transport == "sim" {
+			clock = fmt.Sprintf("virt %8.1fms", p.VirtualMs)
+		}
+		fmt.Printf("%-4s pipeline=%d read=%-9s ops=%-4d %s  %9.0f ops/s  mean-lat %6.1fms\n",
+			p.Transport, p.Pipeline, p.Read, p.Ops, clock, p.Throughput, p.MeanLatMs)
+	}
+	writeAndGate(rep, out, baseline, maxRegress)
+}
+
+// writeAndGate applies the shared -out / -baseline / -max-regress handling
+// to a finished sweep report.
+func writeAndGate(rep *saebft.BenchReport, out, baseline string, maxRegress float64) {
 	if out != "" {
 		if err := rep.WriteFile(out); err != nil {
 			fmt.Fprintf(os.Stderr, "saebft-bench: writing %s: %v\n", out, err)

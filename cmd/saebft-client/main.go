@@ -34,6 +34,7 @@ func main() {
 		cfgPath  = flag.String("config", "cluster.json", "cluster config file")
 		id       = flag.Int("id", 1000, "client identity")
 		timeout  = flag.Duration("timeout", 15*time.Second, "per-request timeout")
+		read     = flag.Bool("read", false, "serve the operation through the certified fast read path (falls back to full agreement when it cannot certify)")
 		useTLS   = flag.Bool("tls", false, "require mutual-TLS links; -tls=false forces plaintext. Default: follow the config (TLS exactly when it has a tls section)")
 		caFile   = flag.String("ca", "", "cluster CA certificate (PEM); default: the config's tls.ca")
 		certFile = flag.String("cert", "", "this client identity's certificate (PEM); default: <tls.certDir>/node-<id>.pem from the config")
@@ -65,14 +66,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "saebft-client:", err)
 		os.Exit(1)
 	}
-	client, err := saebft.Dial(cfg, append(dialOpts, tlsOpts...)...)
+	client, err := saebft.DialConfig(cfg, append(dialOpts, tlsOpts...)...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "saebft-client:", err)
 		os.Exit(1)
 	}
 	defer client.Close()
 
-	reply, err := client.Invoke(context.Background(), op)
+	invoke := client.Invoke
+	if *read {
+		invoke = client.ReadCertified
+	}
+	reply, err := invoke(context.Background(), op)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "saebft-client:", err)
 		os.Exit(1)

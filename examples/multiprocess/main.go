@@ -27,6 +27,7 @@ import (
 	"log"
 	"net"
 	"os"
+	"path/filepath"
 
 	"repro/saebft"
 )
@@ -155,17 +156,32 @@ func main() {
 	}
 	running := startAll()
 
-	dialed, err := saebft.Dial(cfg)
+	// Write the descriptor out and dial it by path — byte-for-byte what
+	// `saebft-client -config cluster.json` does from another process.
+	cfgPath := filepath.Join(dataDir, "cluster.json")
+	if err := cfg.Save(cfgPath); err != nil {
+		log.Fatal(err)
+	}
+	dialed, err := saebft.Dial(cfgPath)
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, op := range []string{"inc", "add 41", "get"} {
+	for _, op := range []string{"inc", "add 41"} {
 		reply, err := dialed.Invoke(ctx, []byte(op))
 		if err != nil {
 			log.Fatalf("%s: %v", op, err)
 		}
 		fmt.Printf("%-8s → %s\n", op, reply)
 	}
+	// Read-only operations can skip the agreement round entirely: the
+	// execution replicas answer directly, and g+1 matching signed answers
+	// at the session watermark certify the result (read-your-writes with
+	// respect to the invokes above).
+	reply, err := dialed.ReadCertified(ctx, []byte("get"))
+	if err != nil {
+		log.Fatalf("get: %v", err)
+	}
+	fmt.Printf("%-8s → %s (certified fast read)\n", "get", reply)
 	dialed.Close()
 
 	// --- Full-cluster restart: stop every node, bring them all back ----
@@ -182,7 +198,8 @@ func main() {
 			n.Close()
 		}
 	}()
-	dialed, err = saebft.Dial(cfg)
+	// DialConfig is the same surface for a descriptor already in memory.
+	dialed, err = saebft.DialConfig(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

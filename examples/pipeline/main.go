@@ -36,7 +36,7 @@ func main() {
 	defer cluster.Close()
 
 	client := cluster.Client()
-	fmt.Printf("handle pipelines up to %d concurrent requests\n", client.Pipeline())
+	fmt.Printf("handle pipelines up to %d concurrent requests\n", client.ClientStats().Pipeline)
 
 	// Fire a burst: twice as many operations as the pipeline is wide, so
 	// half queue for a free logical client.
@@ -49,14 +49,14 @@ func main() {
 		}
 		results[i] = client.InvokeAsync(ctx, op)
 	}
-	fmt.Printf("burst of %d writes admitted; %d in flight right now\n", burst, client.InFlight())
+	fmt.Printf("burst of %d writes admitted; %d in flight right now\n", burst, client.ClientStats().InFlight)
 
 	for i, ch := range results {
 		if res := <-ch; res.Err != nil {
 			log.Fatalf("write %d: %v", i, res.Err)
 		}
 	}
-	fmt.Printf("all %d writes certified; peak concurrency %d\n", burst, client.MaxInFlight())
+	fmt.Printf("all %d writes certified; peak concurrency %d\n", burst, client.ClientStats().MaxInFlight)
 
 	// A crashed executor mid-burst costs nothing but a retransmission:
 	// g+1 correct executors still certify every reply.

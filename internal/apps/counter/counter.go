@@ -51,6 +51,15 @@ func (c *Counter) Execute(op []byte, nd types.NonDet) []byte {
 	return []byte(fmt.Sprintf("%d", c.value))
 }
 
+// Query implements sm.Querier: "get" is the counter's only read-only
+// operation.
+func (c *Counter) Query(op []byte) ([]byte, bool) {
+	if string(op) != "get" {
+		return nil, false
+	}
+	return []byte(fmt.Sprintf("%d", c.value)), true
+}
+
 // Checkpoint implements sm.StateMachine.
 func (c *Counter) Checkpoint() []byte {
 	var b [8]byte

@@ -138,6 +138,35 @@ func (s *Store) Execute(op []byte, nd types.NonDet) []byte {
 	}
 }
 
+// Query implements sm.Querier: GET and LIST are answered read-only (the
+// applied-operation counter is untouched), every mutating or malformed
+// operation reports ok=false so it goes through full agreement.
+func (s *Store) Query(op []byte) ([]byte, bool) {
+	code, key, _, _, err := decode(op)
+	if err != nil {
+		return nil, false
+	}
+	switch code {
+	case OpGet:
+		v, ok := s.data[key]
+		if !ok {
+			return []byte("ERR: no such key"), true
+		}
+		return append([]byte(nil), v...), true
+	case OpList:
+		keys := make([]string, 0, len(s.data))
+		for k := range s.data {
+			if strings.HasPrefix(k, key) {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		return []byte(strings.Join(keys, "\n")), true
+	default:
+		return nil, false
+	}
+}
+
 // Checkpoint implements sm.StateMachine with a canonical (sorted) encoding.
 func (s *Store) Checkpoint() []byte {
 	keys := make([]string, 0, len(s.data))

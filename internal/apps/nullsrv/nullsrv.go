@@ -53,6 +53,24 @@ func (s *Server) Execute(op []byte, nd types.NonDet) []byte {
 	return reply
 }
 
+// Query implements sm.Querier: every null-server request is read-only by
+// construction (the reply is a pure function of the request and the current
+// state), so the certified read path can benchmark against the same
+// operation mix Execute serves. The request counter is state, not a side
+// effect of reading, and is left untouched.
+func (s *Server) Query(op []byte) ([]byte, bool) {
+	for i := 0; i < s.Spin; i++ {
+		_ = i // same synthetic cost as Execute, without mutating the sink
+	}
+	reply := make([]byte, s.ReplySize)
+	d := types.DigestBytes(op)
+	copy(reply, d[:])
+	if s.ReplySize >= 40 {
+		binary.BigEndian.PutUint64(reply[32:40], s.Executed)
+	}
+	return reply, true
+}
+
 // Checkpoint implements sm.StateMachine.
 func (s *Server) Checkpoint() []byte {
 	var b [8]byte

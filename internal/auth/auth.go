@@ -44,6 +44,8 @@ const (
 	KindOrder // agreement replica's commit-certificate piece sent to executors
 	KindReply
 	KindExecCheckpoint
+	KindReadRequest // client's certified-read probe to the execution replicas
+	KindReadReply   // one executor's signed answer + applied watermark
 )
 
 // Bind mixes the domain label into a digest. All attestations are computed

@@ -198,6 +198,7 @@ func (b *Builder) ExecNode(id types.NodeID, send transport.Sender) (*execnode.Re
 		OrderAuth:            b.orderAuth(id),
 		ReplyAuth:            b.replyAuth(id),
 		ExecAuth:             b.Mat.SigScheme(id),
+		ClientAuth:           b.clientAuth(id),
 		ReplyMode:            b.Opts.ReplyMode,
 		ThresholdShare:       b.Mat.ThresholdShare(id),
 		ShareRand:            threshold.NewSeededReader(fmt.Sprintf("%s-share-%d", b.Opts.Seed, id)),
@@ -269,6 +270,14 @@ func (b *Builder) ClientNode(id types.NodeID, send transport.Sender) (*Client, e
 			return nil, err
 		}
 	}
+	// The certified read path needs execution replicas to probe and
+	// plaintext bodies to match on: BASE mode has neither replicas nor a
+	// separate execution cluster, and firewall mode seals bodies and severs
+	// the client↔exec channel. Both fall back to full agreement for reads.
+	var rv *replycert.ReadVerifier
+	if b.Opts.Mode != ModeBASE && b.Opts.Mode != ModeFirewall {
+		rv = replycert.NewReadVerifier(b.Top, b.Mat.SigScheme(id))
+	}
 	return NewClient(ClientConfig{
 		ID:              id,
 		Topology:        b.Top,
@@ -276,5 +285,6 @@ func (b *Builder) ClientNode(id types.NodeID, send transport.Sender) (*Client, e
 		Verifier:        b.verifier(id),
 		Sealer:          sl,
 		RetransmitAfter: b.Opts.ClientRetransmit,
+		ReadVerifier:    rv,
 	}, send), nil
 }

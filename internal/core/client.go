@@ -34,8 +34,19 @@ type Client struct {
 	initialWait types.Time
 	assembler   *replycert.Assembler
 	result      []byte
+	resultSeq   types.SeqNum
 	haveResult  bool
-	onResult    func(body []byte)
+	onResult    func(body []byte, seq types.SeqNum)
+
+	// Certified fast reads (nil readVerifier disables the path).
+	readVerifier *replycert.ReadVerifier
+	readSend     transport.Sender // probe/retransmit sender; nil uses send
+	read         *wire.ReadRequest
+	readAsm      *replycert.ReadAssembler
+	readDeadline types.Time
+	readInterval types.Time
+	readOutcome  *ReadOutcome
+	onReadDone   func(ReadOutcome)
 
 	// Metrics counts externally observable client activity.
 	Metrics ClientMetrics
@@ -47,6 +58,12 @@ type ClientMetrics struct {
 	Retransmits uint64
 	Replies     uint64
 	BadReplies  uint64
+
+	Reads           uint64 // certified-read probes issued
+	ReadRetransmits uint64
+	ReadsCertified  uint64 // probes that reached a g+1 quorum
+	ReadMismatches  uint64 // probes where all executors answered without a quorum
+	BadReadReplies  uint64 // read replies rejected (signature, membership, wrong probe)
 }
 
 // ClientConfig parameterizes a Client.
@@ -57,6 +74,12 @@ type ClientConfig struct {
 	Verifier        *replycert.Verifier
 	Sealer          *seal.Sealer // optional
 	RetransmitAfter types.Time
+
+	// ReadVerifier enables the certified fast read path (SubmitRead). Nil
+	// disables it — the natural state for privacy-firewall deployments,
+	// whose wiring severs the client↔exec channel, and for BASE mode,
+	// which has no execution replicas to probe.
+	ReadVerifier *replycert.ReadVerifier
 }
 
 // NewClient constructs a client bound to a Sender.
@@ -66,15 +89,16 @@ func NewClient(cfg ClientConfig, send transport.Sender) *Client {
 		wait = types.Millisecond(100)
 	}
 	return &Client{
-		id:          cfg.ID,
-		top:         cfg.Topology,
-		scheme:      cfg.Scheme,
-		verifier:    cfg.Verifier,
-		sealer:      cfg.Sealer,
-		send:        send,
-		firstTo:     cfg.Topology.Agreement[0],
-		initialWait: wait,
-		assembler:   replycert.NewAssembler(cfg.Verifier),
+		id:           cfg.ID,
+		top:          cfg.Topology,
+		scheme:       cfg.Scheme,
+		verifier:     cfg.Verifier,
+		sealer:       cfg.Sealer,
+		send:         send,
+		firstTo:      cfg.Topology.Agreement[0],
+		initialWait:  wait,
+		assembler:    replycert.NewAssembler(cfg.Verifier),
+		readVerifier: cfg.ReadVerifier,
 	}
 }
 
@@ -140,24 +164,34 @@ func (c *Client) Cancel() {
 }
 
 // SetOnResult installs a completion callback: when set, each certified
-// reply body is handed to fn (from within Deliver, i.e. on whatever
-// goroutine drives the client) instead of being parked for the
-// HasResult/Result polling pair. Event-driven callers — the public saebft
-// client over TCP — use this to wake a waiter without polling.
-func (c *Client) SetOnResult(fn func(body []byte)) { c.onResult = fn }
+// reply body (and the sequence number that certified it — the session
+// watermark a read-your-writes read can demand) is handed to fn (from
+// within Deliver, i.e. on whatever goroutine drives the client) instead of
+// being parked for the HasResult/Result polling pair. Event-driven callers
+// — the public saebft client over TCP — use this to wake a waiter without
+// polling.
+func (c *Client) SetOnResult(fn func(body []byte, seq types.SeqNum)) { c.onResult = fn }
 
 // HasResult reports whether the outstanding request completed.
 func (c *Client) HasResult() bool { return c.haveResult }
 
 // Result returns the reply body once HasResult is true, consuming it.
 func (c *Client) Result() ([]byte, bool) {
+	body, _, ok := c.ResultSeq()
+	return body, ok
+}
+
+// ResultSeq is Result plus the sequence number the reply certified at (the
+// watermark a session adopts for read-your-writes reads).
+func (c *Client) ResultSeq() ([]byte, types.SeqNum, bool) {
 	if !c.haveResult {
-		return nil, false
+		return nil, 0, false
 	}
-	r := c.result
+	r, seq := c.result, c.resultSeq
 	c.result = nil
+	c.resultSeq = 0
 	c.haveResult = false
-	return r, true
+	return r, seq, true
 }
 
 // Deliver implements transport.Node.
@@ -182,6 +216,8 @@ func (c *Client) Deliver(from types.NodeID, data []byte, now types.Time) {
 			return
 		}
 		c.acceptCert(m)
+	case *wire.ReadReply:
+		c.onReadReply(m)
 	}
 }
 
@@ -210,10 +246,11 @@ func (c *Client) acceptCert(cert *wire.ReplyCert) {
 		c.outstanding = nil
 		c.Metrics.Replies++
 		if c.onResult != nil {
-			c.onResult(body)
+			c.onResult(body, e.Seq)
 			return
 		}
 		c.result = body
+		c.resultSeq = e.Seq
 		c.haveResult = true
 		return
 	}
@@ -222,6 +259,7 @@ func (c *Client) acceptCert(cert *wire.ReplyCert) {
 // Tick implements transport.Node: retransmit to all agreement replicas with
 // exponential backoff (§3.1.1: retransmissions designate ALL).
 func (c *Client) Tick(now types.Time) {
+	c.tickRead(now)
 	if c.outstanding == nil || now < c.deadline {
 		return
 	}

@@ -193,6 +193,11 @@ func BuildSimFrom(b *Builder) (*Cluster, error) {
 			if err != nil {
 				return nil, err
 			}
+			// Read replies ride the auxiliary randomness plane: serving a
+			// read must not consume primary-plane randomness draws, or the
+			// mere presence of read traffic would reshuffle the delivery
+			// schedule of agreement traffic between otherwise-identical runs.
+			ex.SetReadSender(net.BindAux(id))
 			c.Execs[id] = ex
 			c.ExecApps[id] = app
 			net.Register(id, ex)
@@ -215,6 +220,8 @@ func BuildSimFrom(b *Builder) (*Cluster, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Read probes, like read replies, stay on the auxiliary plane.
+		cl.SetReadSender(net.BindAux(cid))
 		c.Clients = append(c.Clients, cl)
 		net.Register(cid, cl)
 	}
@@ -270,6 +277,23 @@ func (c *Cluster) Invoke(client int, op []byte, timeout types.Time) ([]byte, err
 	}
 	r, _ := cl.Result()
 	return r, nil
+}
+
+// ReadCertified issues a certified-read probe from the given client and runs
+// the simulation until it completes or the timeout elapses. On a quorum
+// mismatch the returned error wraps replycert.ErrReadMismatch and the hint
+// reports the floor to retry at.
+func (c *Cluster) ReadCertified(client int, op []byte, floor types.SeqNum, timeout types.Time) (*replycert.ReadResult, types.SeqNum, error) {
+	cl := c.Clients[client]
+	if err := cl.SubmitRead(op, floor, c.Net.Now()); err != nil {
+		return nil, 0, err
+	}
+	if !c.Net.RunUntil(cl.ReadDone, c.Net.Now()+timeout) {
+		cl.CancelRead()
+		return nil, 0, fmt.Errorf("core: read timed out after %d ns", timeout)
+	}
+	out, _ := cl.TakeReadOutcome()
+	return out.Result, out.Hint, out.Err
 }
 
 // Shutdown flushes and closes every node's durable store (graceful-exit

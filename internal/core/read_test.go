@@ -1,0 +1,132 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/replycert"
+	"repro/internal/types"
+)
+
+// mustRead issues a certified read and fails the test on any non-certified
+// outcome.
+func mustRead(t *testing.T, c *Cluster, client int, op string, floor types.SeqNum) *replycert.ReadResult {
+	t.Helper()
+	res, hint, err := c.ReadCertified(client, []byte(op), floor, invokeTimeout)
+	if err != nil {
+		t.Fatalf("ReadCertified(%q, floor=%d): %v (hint %d)", op, floor, err, hint)
+	}
+	return res
+}
+
+func TestReadCertifiedReflectsAppliedWrites(t *testing.T) {
+	c := build(t, counterOpts(nil))
+	mustInvoke(t, c, 0, "inc")
+	mustInvoke(t, c, 0, "add 41")
+
+	res := mustRead(t, c, 0, "get", 0)
+	if string(res.Body) != "42" || res.Refused {
+		t.Fatalf("certified read = %q refused=%v, want 42", res.Body, res.Refused)
+	}
+	// Both writes are applied everywhere the matching quorum lives, so the
+	// certified watermark covers them.
+	if res.Seq < 2 {
+		t.Fatalf("certified watermark = %d, want >= 2", res.Seq)
+	}
+}
+
+func TestReadFloorAboveEveryWatermarkMismatches(t *testing.T) {
+	c := build(t, counterOpts(nil))
+	mustInvoke(t, c, 0, "inc")
+
+	// No replica has applied sequence 1000; every reply is ineligible, all
+	// 2g+1 answer, and the probe resolves to a definite mismatch whose hint
+	// offers no progress (it never drops below the probe's floor).
+	_, hint, err := c.ReadCertified(0, []byte("get"), 1000, invokeTimeout)
+	if !errors.Is(err, replycert.ErrReadMismatch) {
+		t.Fatalf("err = %v, want ErrReadMismatch", err)
+	}
+	if hint != 1000 {
+		t.Fatalf("hint = %d, want the unreachable floor back (no progress)", hint)
+	}
+}
+
+func TestReadRefusesNonReadOnlyOperation(t *testing.T) {
+	c := build(t, counterOpts(nil))
+	mustInvoke(t, c, 0, "inc")
+
+	// "inc" mutates, so every correct replica refuses deterministically and
+	// the refusals themselves certify: the caller learns, with proof, that
+	// this operation must go through full agreement.
+	res := mustRead(t, c, 0, "inc", 0)
+	if !res.Refused {
+		t.Fatalf("non-read-only op certified a result: %q", res.Body)
+	}
+	// The state machine is untouched by the refused probe.
+	if got := mustInvoke(t, c, 0, "get"); got != "1" {
+		t.Fatalf("get after refused read probe = %q, want 1", got)
+	}
+}
+
+func TestReadPathUnavailableInBASEAndFirewall(t *testing.T) {
+	base := build(t, counterOpts(func(o *Options) { o.Mode = ModeBASE }))
+	if err := base.Clients[0].SubmitRead([]byte("get"), 0, base.Net.Now()); !errors.Is(err, ErrNoReadPath) {
+		t.Fatalf("BASE SubmitRead err = %v, want ErrNoReadPath", err)
+	}
+
+	fw := build(t, counterOpts(func(o *Options) {
+		o.Mode = ModeFirewall
+		o.ThresholdBits = 512
+	}))
+	if err := fw.Clients[0].SubmitRead([]byte("get"), 0, fw.Net.Now()); !errors.Is(err, ErrNoReadPath) {
+		t.Fatalf("firewall SubmitRead err = %v, want ErrNoReadPath", err)
+	}
+}
+
+func TestReadsDoNotPerturbAgreementSchedule(t *testing.T) {
+	// Reads ride the auxiliary network plane with their own rng, so a
+	// workload that interleaves certified reads with writes must replay
+	// bit-identically from the same seed: every step completes with the
+	// same body, the same certified watermark, and at the same virtual
+	// instant across two independently built clusters. Any leak of read
+	// traffic into the primary plane's rng (or a stray map-iteration
+	// dependence in the read path) would skew the second run's schedule.
+	type step struct {
+		body string
+		seq  types.SeqNum
+		now  types.Time
+	}
+	run := func() []step {
+		c := build(t, counterOpts(nil))
+		var trace []step
+		for _, op := range []string{"inc", "add 9", "inc", "add 31"} {
+			body := mustInvoke(t, c, 0, op)
+			trace = append(trace, step{body: body, now: c.Net.Now()})
+			res := mustRead(t, c, 0, "get", 0)
+			trace = append(trace, step{body: string(res.Body), seq: res.Seq, now: c.Net.Now()})
+		}
+		return trace
+	}
+	first, second := run(), run()
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("step %d diverged across identically seeded runs: %+v vs %+v", i, first[i], second[i])
+		}
+	}
+	if got := first[len(first)-1].body; got != "42" {
+		t.Fatalf("final certified read = %q, want 42", got)
+	}
+}
+
+func TestReadWatermarkMonotonicAcrossProbes(t *testing.T) {
+	c := build(t, counterOpts(nil))
+	var floor types.SeqNum
+	for i := 1; i <= 5; i++ {
+		mustInvoke(t, c, 0, "inc")
+		res := mustRead(t, c, 0, "get", floor)
+		if res.Seq < floor {
+			t.Fatalf("probe %d certified below its floor: %d < %d", i, res.Seq, floor)
+		}
+		floor = res.Seq
+	}
+}

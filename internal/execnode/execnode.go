@@ -54,6 +54,11 @@ type Config struct {
 	// ShareRand supplies blinding randomness for share proofs.
 	ShareRand io.Reader
 
+	// ClientAuth verifies clients' certified-read probes (KindReadRequest):
+	// the same scheme construction the agreement cluster uses for request
+	// certificates. Nil disables the read path — ReadRequests are dropped.
+	ClientAuth auth.Scheme
+
 	// ReplyDests receives this replica's reply shares: the agreement
 	// cluster, or the top firewall row.
 	ReplyDests []types.NodeID
@@ -123,12 +128,13 @@ type replyState struct {
 
 // Replica is one execution-cluster member.
 type Replica struct {
-	cfg  Config
-	send transport.Sender
-	top  *types.Topology
-	app  sm.StateMachine
-	f    int
-	g    int
+	cfg      Config
+	send     transport.Sender
+	readSend transport.Sender // read replies only; nil falls back to send
+	top      *types.Topology
+	app      sm.StateMachine
+	f        int
+	g        int
 
 	maxN    types.SeqNum // highest executed sequence number
 	pending map[types.SeqNum]*orderAccum
@@ -163,6 +169,8 @@ type Metrics struct {
 	Checkpoints   uint64
 	StateTransfer uint64
 	Fetches       uint64
+	ReadsServed   uint64 // certified-read probes answered from applied state
+	ReadsRefused  uint64 // probes answered with a signed refusal
 }
 
 // New constructs an execution replica hosting the given state machine.
@@ -235,6 +243,8 @@ func (r *Replica) Receive(from types.NodeID, msg wire.Message, now types.Time) {
 		r.onCheckpointFetch(m, now)
 	case *wire.CheckpointData:
 		r.onCheckpointData(m, now)
+	case *wire.ReadRequest:
+		r.onReadRequest(m, now)
 	}
 }
 

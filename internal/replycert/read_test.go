@@ -1,0 +1,229 @@
+package replycert
+
+import (
+	"crypto/ed25519"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/auth"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// sigWorld builds Ed25519 identity schemes for every node over a shared
+// directory — the construction read replies are signed with.
+func sigWorld(t *testing.T) map[types.NodeID]*auth.SigScheme {
+	t.Helper()
+	all := testTop.AllNodes()
+	pubs := make(map[types.NodeID]ed25519.PublicKey, len(all))
+	privs := make(map[types.NodeID]ed25519.PrivateKey, len(all))
+	for _, id := range all {
+		seed := sha256.Sum256([]byte(fmt.Sprintf("read-test-%d", id)))
+		priv := ed25519.NewKeyFromSeed(seed[:])
+		privs[id] = priv
+		pubs[id] = priv.Public().(ed25519.PublicKey)
+	}
+	dir := auth.NewDirectory(pubs)
+	out := make(map[types.NodeID]*auth.SigScheme, len(all))
+	for _, id := range all {
+		out[id] = auth.NewSigScheme(id, privs[id], dir)
+	}
+	return out
+}
+
+const (
+	readClient = types.NodeID(1000)
+	readNonce  = types.Timestamp(7)
+)
+
+// readReply builds one executor's signed answer.
+func readReply(t *testing.T, schemes map[types.NodeID]*auth.SigScheme, exec types.NodeID, seq types.SeqNum, body string, refused bool) *wire.ReadReply {
+	t.Helper()
+	m := &wire.ReadReply{
+		Client:     readClient,
+		Nonce:      readNonce,
+		AppliedSeq: seq,
+		Refused:    refused,
+		Body:       []byte(body),
+		Executor:   exec,
+	}
+	att, err := schemes[exec].Attest(auth.KindReadReply, m.Digest(), []types.NodeID{readClient})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Att = att
+	return m
+}
+
+func newReadWorld(t *testing.T, floor types.SeqNum) (map[types.NodeID]*auth.SigScheme, *ReadAssembler) {
+	t.Helper()
+	schemes := sigWorld(t)
+	v := NewReadVerifier(testTop, schemes[readClient])
+	if v.Quorum != 2 {
+		t.Fatalf("quorum = %d, want 2 (g+1 for 2g+1=3 executors)", v.Quorum)
+	}
+	return schemes, NewReadAssembler(v, readClient, readNonce, floor)
+}
+
+func TestReadQuorumCertifiesAtMinWatermark(t *testing.T) {
+	schemes, a := newReadWorld(t, 0)
+
+	res, err := a.Add(readReply(t, schemes, 100, 5, "v", false))
+	if res != nil || err != nil {
+		t.Fatalf("first reply: res=%v err=%v", res, err)
+	}
+	res, err = a.Add(readReply(t, schemes, 101, 3, "v", false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil {
+		t.Fatal("two matching replies did not certify")
+	}
+	if string(res.Body) != "v" || res.Refused {
+		t.Fatalf("result = %q refused=%v", res.Body, res.Refused)
+	}
+	// The certified watermark is the smallest matching one: the matching
+	// set holds at least one correct replica, so this floor is always
+	// reachable again.
+	if res.Seq != 3 {
+		t.Fatalf("certified watermark = %d, want 3", res.Seq)
+	}
+	// Completion happens exactly once.
+	res, err = a.Add(readReply(t, schemes, 102, 6, "v", false))
+	if res != nil || err != nil {
+		t.Error("third reply re-certified the read")
+	}
+	if !a.Done() {
+		t.Error("assembler not done after certifying")
+	}
+}
+
+func TestReadFloorExcludesStaleReplies(t *testing.T) {
+	schemes, a := newReadWorld(t, 5)
+
+	// A matching answer below the floor must not count toward the quorum,
+	// no matter how many replicas send it.
+	if res, err := a.Add(readReply(t, schemes, 100, 4, "stale", false)); res != nil || err != nil {
+		t.Fatalf("stale reply: res=%v err=%v", res, err)
+	}
+	if res, err := a.Add(readReply(t, schemes, 101, 6, "stale", false)); res != nil || err != nil {
+		t.Fatalf("one eligible reply certified alone: res=%v err=%v", res, err)
+	}
+	res, err := a.Add(readReply(t, schemes, 102, 7, "stale", false))
+	if err != nil || res == nil {
+		t.Fatalf("two eligible matching replies did not certify: res=%v err=%v", res, err)
+	}
+	if res.Seq != 6 {
+		t.Fatalf("certified watermark = %d, want 6 (min of the eligible matches)", res.Seq)
+	}
+}
+
+func TestReadMismatchIsDefiniteOnlyWhenAllAnswered(t *testing.T) {
+	schemes, a := newReadWorld(t, 0)
+
+	if _, err := a.Add(readReply(t, schemes, 100, 5, "a", false)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Add(readReply(t, schemes, 101, 5, "b", false)); err != nil {
+		t.Fatalf("two divergent replies are not yet definite: %v", err)
+	}
+	_, err := a.Add(readReply(t, schemes, 102, 4, "c", false))
+	if !errors.Is(err, ErrReadMismatch) {
+		t.Fatalf("all executors answered without quorum: err=%v, want ErrReadMismatch", err)
+	}
+	// Hint is the (g+1)'th-highest watermark seen: 5.
+	if hint := a.Hint(); hint != 5 {
+		t.Fatalf("hint = %d, want 5", hint)
+	}
+}
+
+func TestReadHintResistsByzantineInflation(t *testing.T) {
+	schemes, a := newReadWorld(t, 0)
+
+	// One Byzantine executor claims an absurd watermark; the hint must
+	// still be anchored at a value some correct replica actually reached.
+	a.Add(readReply(t, schemes, 100, 1_000_000, "forged", false))
+	a.Add(readReply(t, schemes, 101, 5, "x", false))
+	if _, err := a.Add(readReply(t, schemes, 102, 4, "y", false)); !errors.Is(err, ErrReadMismatch) {
+		t.Fatalf("expected mismatch, got %v", err)
+	}
+	if hint := a.Hint(); hint != 5 {
+		t.Fatalf("hint = %d, want 5 (the (g+1)'th-highest, not the Byzantine claim)", hint)
+	}
+}
+
+func TestReadHintBelowQuorumFallsBackToFloor(t *testing.T) {
+	schemes, a := newReadWorld(t, 9)
+	a.Add(readReply(t, schemes, 100, 12, "v", false))
+	if hint := a.Hint(); hint != 9 {
+		t.Fatalf("hint with <g+1 replies = %d, want the probe floor 9", hint)
+	}
+}
+
+func TestReadRejectsForgedAndForeignReplies(t *testing.T) {
+	schemes, a := newReadWorld(t, 0)
+
+	// Tampered body after signing.
+	m := readReply(t, schemes, 100, 5, "v", false)
+	m.Body = []byte("tampered")
+	if _, err := a.Add(m); err == nil {
+		t.Error("tampered reply accepted")
+	}
+	// Tampered watermark after signing (the signed digest covers it).
+	m = readReply(t, schemes, 100, 5, "v", false)
+	m.AppliedSeq = 50
+	if _, err := a.Add(m); err == nil {
+		t.Error("watermark-tampered reply accepted")
+	}
+	// Executor identity outside the execution cluster.
+	m = readReply(t, schemes, 0, 5, "v", false)
+	if _, err := a.Add(m); err == nil {
+		t.Error("reply from a non-executor accepted")
+	}
+	// Reply answering someone else's probe.
+	m = readReply(t, schemes, 100, 5, "v", false)
+	m.Nonce = readNonce + 1
+	att, err := schemes[100].Attest(auth.KindReadReply, m.Digest(), []types.NodeID{readClient})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Att = att
+	if _, err := a.Add(m); err == nil {
+		t.Error("reply for a different nonce accepted")
+	}
+	// None of the rejects may have registered a reply.
+	if n := a.Replies(); n != 0 {
+		t.Fatalf("rejected replies were recorded: %d", n)
+	}
+}
+
+func TestReadDuplicateExecutorDoesNotCertify(t *testing.T) {
+	schemes, a := newReadWorld(t, 0)
+	if _, err := a.Add(readReply(t, schemes, 100, 5, "v", false)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.Add(readReply(t, schemes, 100, 5, "v", false))
+	if res != nil || err != nil {
+		t.Fatalf("duplicate from one executor: res=%v err=%v", res, err)
+	}
+	if a.Replies() != 1 {
+		t.Fatalf("replies = %d, want 1", a.Replies())
+	}
+}
+
+func TestReadRefusalsCertify(t *testing.T) {
+	schemes, a := newReadWorld(t, 0)
+
+	// Deterministic refusals are byte-identical across replicas, so g+1 of
+	// them certify that the operation must fall back to full agreement.
+	a.Add(readReply(t, schemes, 100, 5, "read refused: operation is not read-only", true))
+	res, err := a.Add(readReply(t, schemes, 101, 6, "read refused: operation is not read-only", true))
+	if err != nil || res == nil {
+		t.Fatalf("matching refusals did not certify: res=%v err=%v", res, err)
+	}
+	if !res.Refused {
+		t.Fatal("certified refusal not marked Refused")
+	}
+}

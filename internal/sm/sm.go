@@ -24,6 +24,22 @@ type StateMachine interface {
 	Restore(data []byte) error
 }
 
+// Querier is optionally implemented by state machines that can answer
+// read-only operations without mutating state. Query evaluates op against
+// the current state and returns the reply body, or ok=false when op is not
+// read-only (or the machine cannot tell) — such operations must go through
+// full agreement and Execute.
+//
+// Query must be deterministic and side-effect free: two replicas whose
+// states have applied the same operation prefix must return identical
+// bodies, and interleaving Query calls between Execute calls must not
+// change any subsequent reply or checkpoint. The certified read path
+// (execution replicas answering clients directly, bypassing agreement)
+// depends on both properties.
+type Querier interface {
+	Query(op []byte) ([]byte, bool)
+}
+
 // Func adapts a stateless function to the StateMachine interface. Useful for
 // echo-style benchmark servers with no state to checkpoint.
 type Func func(op []byte, nd types.NonDet) []byte

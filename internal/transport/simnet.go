@@ -76,6 +76,7 @@ type linkKey struct{ from, to types.NodeID }
 type SimNet struct {
 	cfg     SimNetConfig
 	rng     *rand.Rand
+	auxRng  *rand.Rand // lazily created; see BindAux
 	now     types.Time
 	seq     uint64
 	events  eventHeap
@@ -134,7 +135,24 @@ func (n *SimNet) Register(id types.NodeID, node Node) {
 
 // Bind returns the Sender a node with the given identity should use.
 func (n *SimNet) Bind(from types.NodeID) Sender {
-	return func(to types.NodeID, data []byte) { n.send(from, to, data) }
+	return func(to types.NodeID, data []byte) { n.sendVia(n.rng, from, to, data) }
+}
+
+// BindAux returns a Sender on the auxiliary randomness plane: its loss,
+// duplication, and delay draws come from a dedicated generator, so traffic
+// sent through it (the certified read path) consumes no draws from the
+// primary generator and therefore cannot perturb the bit-for-bit
+// deterministic delivery schedule of agreement traffic. Aux messages share
+// the event queue and virtual clock — they still take simulated time to
+// arrive — but a run with reads interleaved delivers every primary-plane
+// message at exactly the times it would without them.
+func (n *SimNet) BindAux(from types.NodeID) Sender {
+	if n.auxRng == nil {
+		// Derived deterministically from the configured seed so read-path
+		// schedules are themselves reproducible run to run.
+		n.auxRng = rand.New(rand.NewSource(n.cfg.Seed ^ 0x5aeb_f7a0_0dd5))
+	}
+	return func(to types.NodeID, data []byte) { n.sendVia(n.auxRng, from, to, data) }
 }
 
 // Swap replaces the handler behind an existing node identity. Tests use it
@@ -230,7 +248,7 @@ func (n *SimNet) machineOf(id types.NodeID) types.NodeID {
 // assert that secret bytes never appear on particular links.
 func (n *SimNet) Tap(f func(from, to types.NodeID, data []byte)) { n.tap = f }
 
-func (n *SimNet) send(from, to types.NodeID, data []byte) {
+func (n *SimNet) sendVia(rng *rand.Rand, from, to types.NodeID, data []byte) {
 	if n.tap != nil {
 		n.tap(from, to, data)
 	}
@@ -245,20 +263,20 @@ func (n *SimNet) send(from, to types.NodeID, data []byte) {
 		return
 	}
 	opts := n.linkOpts(from, to)
-	if opts.Drop > 0 && n.rng.Float64() < opts.Drop {
+	if opts.Drop > 0 && rng.Float64() < opts.Drop {
 		n.Stats.Dropped++
 		return
 	}
-	n.deliverAfter(from, to, data, opts)
-	if opts.Dup > 0 && n.rng.Float64() < opts.Dup {
-		n.deliverAfter(from, to, data, opts)
+	n.deliverAfter(rng, from, to, data, opts)
+	if opts.Dup > 0 && rng.Float64() < opts.Dup {
+		n.deliverAfter(rng, from, to, data, opts)
 	}
 }
 
-func (n *SimNet) deliverAfter(from, to types.NodeID, data []byte, opts LinkOpts) {
+func (n *SimNet) deliverAfter(rng *rand.Rand, from, to types.NodeID, data []byte, opts LinkOpts) {
 	delay := opts.MinDelay
 	if opts.MaxDelay > opts.MinDelay {
-		delay += types.Time(n.rng.Int63n(int64(opts.MaxDelay - opts.MinDelay + 1)))
+		delay += types.Time(rng.Int63n(int64(opts.MaxDelay - opts.MinDelay + 1)))
 	}
 	n.push(&simEvent{at: n.now + delay, from: from, to: to, data: data})
 }

@@ -68,6 +68,10 @@ func (t MsgType) String() string {
 		return "STATUS"
 	case TCommitProof:
 		return "COMMIT-PROOF"
+	case TReadRequest:
+		return "READ-REQUEST"
+	case TReadReply:
+		return "READ-REPLY"
 	default:
 		return fmt.Sprintf("MSG(%d)", uint8(t))
 	}
@@ -131,6 +135,10 @@ func Unmarshal(data []byte) (Message, error) {
 		m = &Status{}
 	case TCommitProof:
 		m = &CommitProof{}
+	case TReadRequest:
+		m = &ReadRequest{}
+	case TReadReply:
+		m = &ReadReply{}
 	default:
 		return nil, fmt.Errorf("wire: unknown message type %d", data[0])
 	}

@@ -1,0 +1,85 @@
+package wire
+
+import (
+	"testing"
+
+	"repro/internal/types"
+)
+
+func sampleReadRequest() ReadRequest {
+	return ReadRequest{
+		Client: 100,
+		Nonce:  42,
+		Op:     []byte("get k"),
+		Floor:  17,
+		Att:    att(100, "req-sig"),
+	}
+}
+
+func sampleReadReply() ReadReply {
+	return ReadReply{
+		Client:     100,
+		Nonce:      42,
+		AppliedSeq: 19,
+		Body:       []byte("v"),
+		Executor:   10,
+		Att:        att(10, "reply-sig"),
+	}
+}
+
+func TestReadMessagesRoundTrip(t *testing.T) {
+	req := sampleReadRequest()
+	rep := sampleReadReply()
+	refused := sampleReadReply()
+	refused.Refused = true
+	refused.Body = []byte("not read-only")
+	empty := ReadReply{Client: 1, Executor: 10, Att: att(10, "")}
+	for _, m := range []Message{&req, &rep, &refused, &empty, &ReadRequest{Att: att(0, "")}} {
+		roundTrip(t, m)
+	}
+}
+
+func TestReadRequestDigestSemantics(t *testing.T) {
+	base := sampleReadRequest()
+	variants := []ReadRequest{base, base, base, base}
+	variants[1].Op = []byte("get other")
+	variants[2].Floor = 18
+	variants[3].Nonce = 43
+	seen := map[types.Digest]bool{}
+	for _, v := range variants[:1] {
+		seen[v.Digest()] = true
+	}
+	for i, v := range variants[1:] {
+		if seen[v.Digest()] {
+			t.Fatalf("variant %d digest collides with base", i+1)
+		}
+	}
+	// The attestation must not reach the digest: it is computed over it.
+	signed := base
+	signed.Att = att(100, "different-proof")
+	if signed.Digest() != base.Digest() {
+		t.Fatal("attestation reached the request digest")
+	}
+}
+
+func TestReadReplyDigestSemantics(t *testing.T) {
+	base := sampleReadReply()
+	moved := base
+	moved.AppliedSeq = 99
+	if moved.Digest() == base.Digest() {
+		t.Fatal("applied watermark not covered by the signed digest")
+	}
+	if moved.AnswerDigest() != base.AnswerDigest() {
+		t.Fatal("answer digest must not depend on the watermark")
+	}
+	refused := base
+	refused.Refused = true
+	if refused.AnswerDigest() == base.AnswerDigest() {
+		t.Fatal("refusal flag not covered by the answer digest")
+	}
+	other := base
+	other.Body = []byte("forged")
+	if other.AnswerDigest() == base.AnswerDigest() {
+		t.Fatal("body not covered by the answer digest")
+	}
+}

@@ -321,7 +321,7 @@ func (b *batcher) dispatch(batch []*pendingOp) {
 	}
 
 	start := time.Now()
-	reply, err := rt.invoke(context.Background(), idx, payload, timeout)
+	res, err := rt.invoke(context.Background(), idx, payload, timeout)
 	lat := time.Since(start)
 	close(batchDone)
 
@@ -334,18 +334,21 @@ func (b *batcher) dispatch(batch []*pendingOp) {
 	b.ctrl.releaseObserved(lat)
 	h.batches.Add(1)
 	h.batchedOps.Add(uint64(len(batch)))
+	h.noteWrite(Result{Seq: res.seq})
 
+	// Every operation in the batch certified at the batch's sequence
+	// number; the per-op Results carry it so sessions can adopt it.
 	if !wrapped {
-		batch[0].deliver(Result{Reply: reply})
+		batch[0].deliver(Result{Reply: res.body, Seq: res.seq})
 		return
 	}
-	bodies, err := replycert.SplitOpReplies(reply, len(batch))
+	bodies, err := replycert.SplitOpReplies(res.body, len(batch))
 	if err != nil {
 		fail(err)
 		return
 	}
 	for i, p := range batch {
-		p.deliver(Result{Reply: bodies[i]})
+		p.deliver(Result{Reply: bodies[i], Seq: res.seq})
 	}
 }
 

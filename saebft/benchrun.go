@@ -73,6 +73,7 @@ type BenchPoint struct {
 	BatchOps   int     `json:"batch_ops"`         // 0 = client batching off
 	Storage    bool    `json:"storage,omitempty"` // fsync-batched WAL + checkpoint store enabled
 	TLS        bool    `json:"tls,omitempty"`     // links over mutual TLS (TCP only)
+	Read       string  `json:"read,omitempty"`    // read sweep: "certified" or "invoke"
 	Ops        int     `json:"ops"`
 	OpSize     int     `json:"op_size"`
 	WallMs     float64 `json:"wall_ms"`
@@ -91,6 +92,9 @@ func (p *BenchPoint) key() string {
 	}
 	if p.TLS {
 		k += "/tls"
+	}
+	if p.Read != "" {
+		k += "/read=" + p.Read
 	}
 	return k
 }

@@ -97,3 +97,43 @@ func TestBenchReportRoundTripAndGate(t *testing.T) {
 		t.Fatalf("missing file err = %v", err)
 	}
 }
+
+// TestCertifiedReadThroughputGain is the read-path acceptance benchmark: at
+// 64 concurrent read-only ops on the simulated transport, the certified fast
+// read path must deliver at least 2x the virtual-time throughput of serving
+// the same reads through full agreement. (A certified read is one round trip
+// to the execution replicas; an agreement read pays the whole three-phase
+// protocol first.)
+func TestCertifiedReadThroughputGain(t *testing.T) {
+	rep, err := RunReadBench(ReadBenchConfig{
+		Transports: []string{"sim"},
+		Pipelines:  []int{8},
+		Ops:        64,
+		OpSize:     128,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var certified, invoked *BenchPoint
+	for i := range rep.Points {
+		p := &rep.Points[i]
+		switch p.Read {
+		case "certified":
+			certified = p
+		case "invoke":
+			invoked = p
+		}
+	}
+	if certified == nil || invoked == nil {
+		t.Fatalf("sweep missing points: %+v", rep.Points)
+	}
+	if certified.Throughput <= 0 || invoked.Throughput <= 0 {
+		t.Fatalf("non-positive throughput: certified=%v invoke=%v", certified.Throughput, invoked.Throughput)
+	}
+	speedup := certified.Throughput / invoked.Throughput
+	t.Logf("invoke %.0f reads/s, certified %.0f reads/s, speedup %.1fx",
+		invoked.Throughput, certified.Throughput, speedup)
+	if speedup < 2 {
+		t.Fatalf("certified read speedup = %.2fx, want >= 2x", speedup)
+	}
+}

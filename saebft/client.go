@@ -30,42 +30,51 @@ type Client struct {
 	cluster *Cluster       // non-nil when owned by an in-process Cluster
 	rt      clusterRuntime // non-nil when dialed against a deployment
 
-	free    chan int
-	width   int
-	timeout time.Duration
-	quit    chan struct{} // closed on terminal shutdown
-	bat     *batcher      // non-nil when client-side batching is enabled
+	free        chan int
+	width       int
+	timeout     time.Duration
+	readTimeout time.Duration // per read attempt; zero falls back to timeout
+	quit        chan struct{} // closed on terminal shutdown
+	bat         *batcher      // non-nil when client-side batching is enabled
+	session     *Session      // the handle's implicit session
 
 	inFlight    atomic.Int64
 	maxInFlight atomic.Int64
 	batches     atomic.Uint64
 	batchedOps  atomic.Uint64
 
+	reads          atomic.Uint64
+	readsCertified atomic.Uint64
+	readRetries    atomic.Uint64
+	readFallbacks  atomic.Uint64
+
 	closeOnce sync.Once
 	closed    atomic.Bool
 }
 
-func newHandle(width int, timeout time.Duration) *Client {
+func newHandle(width int, timeout, readTimeout time.Duration) *Client {
 	h := &Client{
-		free:    make(chan int, width),
-		width:   width,
-		timeout: timeout,
-		quit:    make(chan struct{}),
+		free:        make(chan int, width),
+		width:       width,
+		timeout:     timeout,
+		readTimeout: readTimeout,
+		quit:        make(chan struct{}),
 	}
+	h.session = &Session{h: h}
 	for i := 0; i < width; i++ {
 		h.free <- i
 	}
 	return h
 }
 
-func newClusterClient(c *Cluster, width int, timeout time.Duration) *Client {
-	h := newHandle(width, timeout)
+func newClusterClient(c *Cluster, width int, timeout, readTimeout time.Duration) *Client {
+	h := newHandle(width, timeout, readTimeout)
 	h.cluster = c
 	return h
 }
 
-func newDialedClient(rt clusterRuntime, width int, timeout time.Duration) *Client {
-	h := newHandle(width, timeout)
+func newDialedClient(rt clusterRuntime, width int, timeout, readTimeout time.Duration) *Client {
+	h := newHandle(width, timeout, readTimeout)
 	h.rt = rt
 	return h
 }
@@ -100,32 +109,94 @@ func (h *Client) Stats() (Stats, error) {
 	return rt.stats()
 }
 
-// Pipeline reports how many invocations the handle can keep in flight
-// concurrently (the number of logical clients backing it).
-func (h *Client) Pipeline() int { return h.width }
+// ClientStats snapshots the handle's local counters: pipelining, batching,
+// and the certified read path. It complements Stats, which aggregates
+// cluster-side protocol counters; both are filled from the same underlying
+// counters on every call, so the two surfaces cannot drift.
+type ClientStats struct {
+	// Pipeline is how many invocations the handle can keep in flight
+	// concurrently (the number of logical clients backing it).
+	Pipeline int
+	// PipelineWidth is how many batch dispatches the adaptive controller
+	// currently allows in flight; equals Pipeline without batching.
+	PipelineWidth int
+	// InFlight is how many invocations are currently admitted.
+	InFlight int
+	// MaxInFlight is the lifetime high-water mark of InFlight.
+	MaxInFlight int
+	// Batches counts (multi-op or pass-through) requests the batching path
+	// completed; BatchedOps/Batches is the achieved amortization factor.
+	Batches    uint64
+	BatchedOps uint64
 
-// PipelineWidth reports how many batch dispatches the adaptive controller
-// currently allows in flight. Without batching it equals Pipeline().
-func (h *Client) PipelineWidth() int {
+	// Reads counts certified-read calls admitted (ReadCertified on the
+	// handle or any of its sessions).
+	Reads uint64
+	// ReadsCertified counts reads answered entirely on the fast path.
+	ReadsCertified uint64
+	// ReadRetries counts re-probes at a raised floor after a quorum
+	// mismatch.
+	ReadRetries uint64
+	// ReadFallbacks counts reads that went through full agreement instead
+	// (mismatch persisted, executors refused, timeout, or no read path).
+	ReadFallbacks uint64
+	// Watermark is the handle's implicit-session floor: the highest
+	// sequence number any Invoke through this handle certified at.
+	Watermark uint64
+}
+
+// ClientStats snapshots the handle's local counters.
+func (h *Client) ClientStats() ClientStats {
+	return ClientStats{
+		Pipeline:       h.width,
+		PipelineWidth:  h.pipelineWidth(),
+		InFlight:       int(h.inFlight.Load()),
+		MaxInFlight:    int(h.maxInFlight.Load()),
+		Batches:        h.batches.Load(),
+		BatchedOps:     h.batchedOps.Load(),
+		Reads:          h.reads.Load(),
+		ReadsCertified: h.readsCertified.Load(),
+		ReadRetries:    h.readRetries.Load(),
+		ReadFallbacks:  h.readFallbacks.Load(),
+		Watermark:      h.session.Watermark(),
+	}
+}
+
+func (h *Client) pipelineWidth() int {
 	if h.bat == nil {
 		return h.width
 	}
 	return h.bat.ctrl.width()
 }
 
-// Batches reports how many (multi-op or pass-through) requests the
-// batching path has completed successfully.
+// Pipeline reports the handle's maximum pipelining depth.
+//
+// Deprecated: use ClientStats().Pipeline.
+func (h *Client) Pipeline() int { return h.width }
+
+// PipelineWidth reports the adaptive controller's current dispatch width.
+//
+// Deprecated: use ClientStats().PipelineWidth.
+func (h *Client) PipelineWidth() int { return h.pipelineWidth() }
+
+// Batches reports how many batched requests completed successfully.
+//
+// Deprecated: use ClientStats().Batches.
 func (h *Client) Batches() uint64 { return h.batches.Load() }
 
-// BatchedOps reports how many operations completed through the batching
-// path; BatchedOps()/Batches() is the achieved amortization factor.
+// BatchedOps reports how many operations completed through batching.
+//
+// Deprecated: use ClientStats().BatchedOps.
 func (h *Client) BatchedOps() uint64 { return h.batchedOps.Load() }
 
 // InFlight reports how many invocations are currently admitted.
+//
+// Deprecated: use ClientStats().InFlight.
 func (h *Client) InFlight() int { return int(h.inFlight.Load()) }
 
-// MaxInFlight reports the high-water mark of concurrently admitted
-// invocations over the handle's lifetime.
+// MaxInFlight reports the high-water mark of admitted invocations.
+//
+// Deprecated: use ClientStats().MaxInFlight.
 func (h *Client) MaxInFlight() int { return int(h.maxInFlight.Load()) }
 
 func (h *Client) lease(ctx context.Context) (int, error) {
@@ -179,48 +250,95 @@ func (h *Client) effectiveTimeout(ctx context.Context) time.Duration {
 // vouched for by the deployment's reply-certificate scheme (g+1 matching
 // replies or a valid threshold signature) before it is returned.
 func (h *Client) Invoke(ctx context.Context, op []byte) ([]byte, error) {
+	res := h.invokeFull(ctx, op)
+	return res.Reply, res.Err
+}
+
+// invokeFull is Invoke returning the whole Result (body plus certified
+// sequence number); every successful completion advances the handle's
+// implicit session watermark.
+func (h *Client) invokeFull(ctx context.Context, op []byte) Result {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	if h.bat != nil {
 		select {
 		case res := <-h.bat.enqueue(ctx, op):
-			return res.Reply, res.Err
+			h.noteWrite(res)
+			return res
 		case <-ctx.Done():
 			// The batch resolves on its own; the buffered result channel
 			// absorbs the late delivery.
-			return nil, ctx.Err()
+			return Result{Err: ctx.Err()}
 		}
 	}
 	rt, err := h.runtime()
 	if err != nil {
-		return nil, err
+		return Result{Err: err}
 	}
 	idx, err := h.lease(ctx)
 	if err != nil {
-		return nil, err
+		return Result{Err: err}
 	}
 	h.admit()
 	defer h.release(idx)
-	return h.invokeSingle(ctx, rt, idx, op)
+	body, seq, err := h.invokeSingle(ctx, rt, idx, op)
+	res := Result{Reply: body, Seq: seq, Err: err}
+	h.noteWrite(res)
+	return res
+}
+
+// noteWrite advances the implicit session past a completed invocation, so a
+// subsequent ReadCertified on the handle observes the write.
+func (h *Client) noteWrite(res Result) {
+	if res.Err == nil {
+		h.session.AdvanceTo(res.Seq)
+	}
 }
 
 // invokeSingle runs one unbatched operation, escaping bodies that would be
-// mistaken for multi-op envelopes by the execution cluster.
-func (h *Client) invokeSingle(ctx context.Context, rt clusterRuntime, idx int, op []byte) ([]byte, error) {
+// mistaken for multi-op envelopes by the execution cluster. It returns the
+// reply body plus the sequence number it certified at.
+func (h *Client) invokeSingle(ctx context.Context, rt clusterRuntime, idx int, op []byte) ([]byte, uint64, error) {
 	wrapped := wire.IsMultiOp(op)
 	if wrapped {
 		op = wire.PackOps([][]byte{op})
 	}
-	reply, err := rt.invoke(ctx, idx, op, h.effectiveTimeout(ctx))
+	res, err := rt.invoke(ctx, idx, op, h.effectiveTimeout(ctx))
 	if err != nil || !wrapped {
-		return reply, err
+		return res.body, res.seq, err
 	}
-	bodies, err := replycert.SplitOpReplies(reply, 1)
+	bodies, err := replycert.SplitOpReplies(res.body, 1)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	return bodies[0], nil
+	return bodies[0], res.seq, nil
+}
+
+// ReadCertified serves one read-only operation through the certified fast
+// read path: the execution replicas answer directly from applied state — no
+// agreement round — and the reply is accepted once g+1 of them sign
+// byte-identical answers computed at or above the handle's watermark, so
+// every Invoke previously completed through this handle is observed
+// (read-your-writes). When the fast path cannot certify — the replicas'
+// answers diverge beyond the retry budget, the operation is not read-only,
+// the application cannot answer queries, or the deployment has no read path
+// (ModeBase, ModeFirewall) — the operation transparently falls back to full
+// agreement, so ReadCertified is safe for any operation and never weaker
+// than Invoke.
+func (h *Client) ReadCertified(ctx context.Context, op []byte) ([]byte, error) {
+	return h.session.ReadCertified(ctx, op)
+}
+
+// Session derives an independent read-your-writes session seeded at the
+// handle's current watermark. Writes and certified reads issued through the
+// session order only against each other (and against writes the handle
+// completed before the session began), so concurrent sessions do not
+// needlessly raise each other's read floors.
+func (h *Client) Session() *Session {
+	s := &Session{h: h}
+	s.AdvanceTo(h.session.Watermark())
+	return s
 }
 
 // InvokeAsync submits one operation without blocking and returns a channel
@@ -265,9 +383,11 @@ func (h *Client) InvokeAsync(ctx context.Context, op []byte) <-chan Result {
 }
 
 func (h *Client) finish(ctx context.Context, rt clusterRuntime, idx int, op []byte, ch chan Result) {
-	reply, err := h.invokeSingle(ctx, rt, idx, op)
+	reply, seq, err := h.invokeSingle(ctx, rt, idx, op)
 	h.release(idx)
-	ch <- Result{Reply: reply, Err: err}
+	res := Result{Reply: reply, Seq: seq, Err: err}
+	h.noteWrite(res)
+	ch <- res
 }
 
 // shutdown terminally closes the handle: queued batched operations are

@@ -53,7 +53,7 @@ func NewCluster(optfns ...Option) (*Cluster, error) {
 		return nil, err
 	}
 	c := &Cluster{o: o, builder: b}
-	c.handle = newClusterClient(c, o.clients, o.invokeTimeout)
+	c.handle = newClusterClient(c, o.clients, o.invokeTimeout, o.readTimeout)
 	if o.clientBatch.enabled {
 		c.handle.startBatching(o.clientBatch)
 	}

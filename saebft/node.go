@@ -225,14 +225,15 @@ func (n *Node) StorageErr() error {
 type DialOption func(*dialConfig)
 
 type dialConfig struct {
-	ids     []int
-	timeout time.Duration
-	logf    func(string, ...interface{})
-	batch   clientBatching
-	tlsCA   string
-	tlsCert string
-	tlsKey  string
-	noTLS   bool
+	ids         []int
+	timeout     time.Duration
+	readTimeout time.Duration
+	logf        func(string, ...interface{})
+	batch       clientBatching
+	tlsCA       string
+	tlsCert     string
+	tlsKey      string
+	noTLS       bool
 }
 
 // DialClients restricts the handle to specific client identities from the
@@ -244,6 +245,13 @@ func DialClients(ids ...int) DialOption {
 // DialTimeout sets the default per-request timeout (default 30s).
 func DialTimeout(t time.Duration) DialOption {
 	return func(d *dialConfig) { d.timeout = t }
+}
+
+// DialReadTimeout bounds each certified-read probe made by ReadCertified
+// before it falls back to full agreement, mirroring WithReadTimeout (zero
+// defaults to a quarter of the request timeout).
+func DialReadTimeout(t time.Duration) DialOption {
+	return func(d *dialConfig) { d.readTimeout = t }
 }
 
 // DialLogf installs a transport-level log function (default: silent).
@@ -288,10 +296,22 @@ func DialInsecure() DialOption {
 	return func(d *dialConfig) { d.noTLS = true }
 }
 
-// Dial connects a client handle to a running multi-process deployment. The
-// handle pipelines one in-flight request per client identity it owns; use
-// DialClients to pick identities when several handles share a config.
-func Dial(cfg *Config, optfns ...DialOption) (*Client, error) {
+// Dial connects a client handle to a running multi-process deployment
+// described by the config file at target — the one surface every tool and
+// embedder dials through. The handle pipelines one in-flight request per
+// client identity it owns; use DialClients to pick identities when several
+// handles share a config. Use DialConfig when the deployment descriptor is
+// already loaded (or built in memory).
+func Dial(target string, optfns ...DialOption) (*Client, error) {
+	cfg, err := LoadConfig(target)
+	if err != nil {
+		return nil, err
+	}
+	return DialConfig(cfg, optfns...)
+}
+
+// DialConfig is Dial for an already-loaded deployment config.
+func DialConfig(cfg *Config, optfns ...DialOption) (*Client, error) {
 	var dc dialConfig
 	for _, fn := range optfns {
 		fn(&dc)
@@ -349,7 +369,7 @@ func Dial(cfg *Config, optfns ...DialOption) (*Client, error) {
 		}
 		rt.eps = append(rt.eps, ep)
 	}
-	h := newDialedClient(rt, len(rt.eps), dc.timeout)
+	h := newDialedClient(rt, len(rt.eps), dc.timeout, dc.readTimeout)
 	if dc.batch.enabled {
 		h.startBatching(dc.batch)
 	}

@@ -32,6 +32,7 @@ type options struct {
 	seed          string
 	netSeed       int64
 	invokeTimeout time.Duration
+	readTimeout   time.Duration
 	transport     Transport
 	tls           TLSConfig
 }
@@ -216,6 +217,17 @@ func WithNetSeed(seed int64) Option { return func(o *options) { o.netSeed = seed
 // duration is interpreted in virtual time. Default: 30s.
 func WithInvokeTimeout(d time.Duration) Option {
 	return func(o *options) { o.invokeTimeout = d }
+}
+
+// WithReadTimeout bounds each certified-read probe (one ReadCertified call
+// makes up to three before falling back to full agreement). On the
+// simulated transport the duration is interpreted in virtual time. Zero
+// defaults to a quarter of the invoke timeout: a probe is a single round
+// trip to the execution replicas, so it should give up — and let the
+// fallback preserve availability — much sooner than an agreement round
+// would.
+func WithReadTimeout(d time.Duration) Option {
+	return func(o *options) { o.readTimeout = d }
 }
 
 // WithTransport selects how the cluster's nodes communicate. Default:

@@ -1,0 +1,202 @@
+package saebft
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+// ReadBenchConfig parameterizes RunReadBench, the certified-read throughput
+// sweep: the same read-only operation mix served once through the fast read
+// path (ReadCertified) and once through full agreement (Invoke), so the two
+// points quantify what skipping the agreement round buys. Zero-value fields
+// take defaults; Short selects a CI-smoke grid.
+type ReadBenchConfig struct {
+	Transports []string // subset of {"sim", "tcp"}; default both
+	Pipelines  []int    // WithClients widths to sweep
+	Ops        int      // reads per point (all issued concurrently)
+	OpSize     int      // request payload bytes
+	Repeat     int      // samples per point; the best is reported
+	Short      bool     // CI smoke sizing (overrides the grid fields)
+}
+
+func (c *ReadBenchConfig) fillDefaults() {
+	if c.Repeat == 0 {
+		c.Repeat = 1
+		if c.Short {
+			c.Repeat = 3
+		}
+	}
+	if c.Short {
+		c.Transports = []string{"sim", "tcp"}
+		c.Pipelines = []int{8}
+		c.Ops = 64
+		c.OpSize = 128
+		return
+	}
+	if len(c.Transports) == 0 {
+		c.Transports = []string{"sim", "tcp"}
+	}
+	if len(c.Pipelines) == 0 {
+		c.Pipelines = []int{1, 8}
+	}
+	if c.Ops == 0 {
+		c.Ops = 256
+	}
+	if c.OpSize == 0 {
+		c.OpSize = 128
+	}
+}
+
+// RunReadBench measures certified-read throughput against the same workload
+// served through full agreement. Every point issues cfg.Ops concurrent
+// read-only null-server operations against a fresh cluster; points are keyed
+// read=certified vs read=invoke, so a baseline comparison gates the fast
+// path's advantage the same way the batching sweep gates its points.
+func RunReadBench(cfg ReadBenchConfig) (*BenchReport, error) {
+	cfg.fillDefaults()
+	rep := &BenchReport{
+		Name:          "certified-reads",
+		SchemaVersion: 1,
+		GoVersion:     runtime.Version(),
+		Short:         cfg.Short,
+		CreatedUnix:   time.Now().Unix(),
+	}
+	for _, tr := range cfg.Transports {
+		for _, pipe := range cfg.Pipelines {
+			for _, mode := range []string{"certified", "invoke"} {
+				var best BenchPoint
+				for try := 0; try < cfg.Repeat; try++ {
+					pt, err := runReadPoint(tr, pipe, cfg.Ops, cfg.OpSize, mode)
+					if err != nil {
+						return nil, fmt.Errorf("saebft: read bench point %s/p%d/read=%s: %w", tr, pipe, mode, err)
+					}
+					if try == 0 || pt.Throughput > best.Throughput {
+						best = pt
+					}
+				}
+				rep.Points = append(rep.Points, best)
+			}
+		}
+	}
+	return rep, nil
+}
+
+// startBenchCluster builds and starts a cluster, retrying a couple of times
+// on listener port collisions: free ports are reserved by listen-and-close
+// before the nodes bind them, so back-to-back TCP points can race another
+// socket onto a reserved port.
+func startBenchCluster(opts []Option) (*Cluster, error) {
+	var err error
+	for attempt := 0; attempt < 3; attempt++ {
+		var c *Cluster
+		c, err = NewCluster(opts...)
+		if err != nil {
+			return nil, err
+		}
+		err = c.Start(context.Background())
+		if err == nil {
+			return c, nil
+		}
+		c.Close()
+		if !errors.Is(err, syscall.EADDRINUSE) {
+			return nil, err
+		}
+	}
+	return nil, err
+}
+
+func runReadPoint(transport string, pipeline, ops, opSize int, mode string) (BenchPoint, error) {
+	pt := BenchPoint{
+		Transport: transport, Pipeline: pipeline,
+		Ops: ops, OpSize: opSize, Read: mode,
+	}
+	opts := []Option{
+		WithApp("null"),
+		WithClients(pipeline),
+		WithSeed("bench-reads"),
+		WithInvokeTimeout(2 * time.Minute),
+	}
+	switch transport {
+	case "sim":
+		opts = append(opts, WithTransport(SimTransport()))
+	case "tcp":
+		opts = append(opts, WithTransport(TCPTransport()))
+	default:
+		return pt, fmt.Errorf("unknown transport %q", transport)
+	}
+	c, err := startBenchCluster(opts)
+	if err != nil {
+		return pt, err
+	}
+	defer c.Close()
+	cl := c.Client()
+	ctx := context.Background()
+	op := make([]byte, opSize)
+	for i := range op {
+		op[i] = byte(i)
+	}
+	// One warm-up write settles connections and the view, and gives the
+	// handle's session a non-zero watermark — so the certified points also
+	// pay the read-your-writes floor check, not a degenerate floor of zero.
+	if _, err := cl.Invoke(ctx, op); err != nil {
+		return pt, err
+	}
+	serve := cl.Invoke
+	if mode == "certified" {
+		serve = cl.ReadCertified
+	}
+	virtStart, _ := c.VirtualTime()
+	wallStart := time.Now()
+	var latSum atomic.Int64
+	var wg sync.WaitGroup
+	errc := make(chan error, ops)
+	for i := 0; i < ops; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := serve(ctx, op); err != nil {
+				errc <- fmt.Errorf("read %d: %w", i, err)
+				return
+			}
+			latSum.Add(int64(time.Since(wallStart)))
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(wallStart)
+	select {
+	case err := <-errc:
+		return pt, err
+	default:
+	}
+	if mode == "certified" {
+		// The point claims fast-path throughput; if any read quietly fell
+		// back to agreement the number would be a lie, so fail loudly.
+		if cs := cl.ClientStats(); cs.ReadFallbacks > 0 || cs.ReadsCertified != uint64(ops) {
+			return pt, fmt.Errorf("certified point degraded: %d/%d reads certified, %d fell back",
+				cs.ReadsCertified, ops, cs.ReadFallbacks)
+		}
+	}
+	pt.WallMs = float64(wall) / 1e6
+	pt.MeanLatMs = float64(latSum.Load()) / float64(ops) / 1e6
+	elapsed := wall
+	if transport == "sim" {
+		virtEnd, err := c.VirtualTime()
+		if err != nil {
+			return pt, err
+		}
+		virt := virtEnd - virtStart
+		pt.VirtualMs = float64(virt) / 1e6
+		elapsed = virt
+	}
+	if elapsed <= 0 {
+		elapsed = time.Nanosecond
+	}
+	pt.Throughput = float64(ops) / elapsed.Seconds()
+	return pt, nil
+}

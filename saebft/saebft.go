@@ -107,7 +107,11 @@ func (r ReplyMode) coreMode() replycert.Mode {
 // Result is one completed asynchronous invocation.
 type Result struct {
 	Reply []byte
-	Err   error
+	// Seq is the agreement sequence number the reply certified at — the
+	// watermark a Session adopts so later certified reads observe this
+	// write (zero when Err is non-nil).
+	Seq uint64
+	Err error
 }
 
 // Errors returned by the lifecycle and client surfaces.
@@ -142,6 +146,15 @@ type Stats struct {
 	Retransmits uint64 // client retransmissions
 	Replies     uint64 // certified replies accepted
 	BadReplies  uint64 // reply shares/certificates clients rejected
+
+	// Certified fast read path (always zero in ModeBase and ModeFirewall,
+	// which have no read path and serve every read through agreement).
+	Reads          uint64 // certified-read probes issued by this process's clients
+	ReadsCertified uint64 // probes that assembled a g+1 matching quorum
+	ReadMismatches uint64 // probes every executor answered without such a quorum
+	BadReadReplies uint64 // read replies clients rejected (signature, membership)
+	ReadsServed    uint64 // reads answered by execution replicas in this process
+	ReadsRefused   uint64 // reads those replicas refused (not read-only, lagging, sealed)
 
 	// SharesRejected counts forged shares/certificates rejected by
 	// firewall filters hosted in this process (always zero outside

@@ -63,14 +63,31 @@ func (t *simTransport) start(b *core.Builder, o *options) (clusterRuntime, error
 	return r, nil
 }
 
-// simCall is one in-flight invocation inside the driver.
+// simCall is one in-flight invocation or certified-read probe inside the
+// driver.
 type simCall struct {
 	ctx      context.Context
 	idx      int
 	op       []byte
+	read     bool         // certified-read probe instead of an invocation
+	floor    types.SeqNum // read-only: session floor the answer must meet
 	timeout  types.Time
 	deadline types.Time // virtual; set at admission
-	done     chan Result
+	done     chan simDone
+}
+
+// simDone is the driver's completion record for one simCall.
+type simDone struct {
+	res  invokeResult // writes
+	read readAttempt  // reads
+	err  error
+}
+
+// simKey identifies one in-flight call: a logical client holds at most one
+// request and one read concurrently, so (idx, read) is unique.
+type simKey struct {
+	idx  int
+	read bool
 }
 
 // simRuntime drives the simulated cluster from a single goroutine that owns
@@ -94,15 +111,29 @@ type simRuntime struct {
 
 func (r *simRuntime) loop() {
 	defer close(r.done)
-	pending := make(map[int]*simCall)
+	pending := make(map[simKey]*simCall)
 	admit := func(call *simCall) {
 		cl := r.c.Clients[call.idx]
-		if err := cl.Submit(call.op, r.c.Net.Now()); err != nil {
-			call.done <- Result{Err: err}
+		var err error
+		if call.read {
+			err = cl.SubmitRead(call.op, call.floor, r.c.Net.Now())
+		} else {
+			err = cl.Submit(call.op, r.c.Net.Now())
+		}
+		if err != nil {
+			call.done <- simDone{err: err}
 			return
 		}
 		call.deadline = r.c.Net.Now() + call.timeout
-		pending[call.idx] = call
+		pending[simKey{call.idx, call.read}] = call
+	}
+	cancel := func(call *simCall) {
+		cl := r.c.Clients[call.idx]
+		if call.read {
+			cl.CancelRead()
+		} else {
+			cl.Cancel()
+		}
 	}
 	for {
 		if len(pending) == 0 {
@@ -124,7 +155,7 @@ func (r *simRuntime) loop() {
 			select {
 			case <-r.quit:
 				for _, call := range pending {
-					call.done <- Result{Err: ErrClosed}
+					call.done <- simDone{err: ErrClosed}
 				}
 				return
 			case fn := <-r.calls:
@@ -141,56 +172,80 @@ func (r *simRuntime) loop() {
 		}
 		stepped := r.c.Net.Step()
 		now := r.c.Net.Now()
-		for idx, call := range pending {
-			cl := r.c.Clients[idx]
+		for key, call := range pending {
+			cl := r.c.Clients[key.idx]
 			switch {
 			case call.ctx.Err() != nil:
-				cl.Cancel()
-				call.done <- Result{Err: call.ctx.Err()}
-				delete(pending, idx)
-			case cl.HasResult():
-				body, _ := cl.Result()
-				call.done <- Result{Reply: body}
-				delete(pending, idx)
+				cancel(call)
+				call.done <- simDone{err: call.ctx.Err()}
+				delete(pending, key)
+			case call.read && cl.ReadDone():
+				out, _ := cl.TakeReadOutcome()
+				call.done <- simDone{read: readAttemptFrom(out)}
+				delete(pending, key)
+			case !call.read && cl.HasResult():
+				body, seq, _ := cl.ResultSeq()
+				call.done <- simDone{res: invokeResult{body: body, seq: uint64(seq)}}
+				delete(pending, key)
 			case now > call.deadline || !stepped:
 				// !stepped means the event queue ran dry, which can
 				// only happen with no live nodes: time would stand
 				// still forever, so fail fast rather than spin.
-				cl.Cancel()
-				call.done <- Result{Err: fmt.Errorf("%w after %v (virtual)", ErrTimeout, time.Duration(call.timeout))}
-				delete(pending, idx)
+				cancel(call)
+				call.done <- simDone{err: fmt.Errorf("%w after %v (virtual)", ErrTimeout, time.Duration(call.timeout))}
+				delete(pending, key)
 			}
 		}
 	}
 }
 
-func (r *simRuntime) invoke(ctx context.Context, idx int, op []byte, timeout time.Duration) ([]byte, error) {
-	if idx < 0 || idx >= len(r.c.Clients) {
-		return nil, fmt.Errorf("saebft: logical client %d out of range", idx)
-	}
-	call := &simCall{
-		ctx:     ctx,
-		idx:     idx,
-		op:      op,
-		timeout: types.Time(timeout.Nanoseconds()),
-		done:    make(chan Result, 1),
-	}
+func (r *simRuntime) submit(call *simCall) (simDone, error) {
 	select {
 	case r.submits <- call:
-	case <-ctx.Done():
-		return nil, ctx.Err()
+	case <-call.ctx.Done():
+		return simDone{}, call.ctx.Err()
 	case <-r.quit:
-		return nil, ErrClosed
+		return simDone{}, ErrClosed
 	}
 	// The driver checks ctx on every iteration, so it — not this select —
 	// resolves cancellation; that keeps the logical client leased until
 	// its protocol state is actually quiesced.
 	select {
 	case res := <-call.done:
-		return res.Reply, res.Err
+		return res, res.err
 	case <-r.done:
-		return nil, ErrClosed
+		return simDone{}, ErrClosed
 	}
+}
+
+func (r *simRuntime) invoke(ctx context.Context, idx int, op []byte, timeout time.Duration) (invokeResult, error) {
+	if idx < 0 || idx >= len(r.c.Clients) {
+		return invokeResult{}, fmt.Errorf("saebft: logical client %d out of range", idx)
+	}
+	res, err := r.submit(&simCall{
+		ctx:     ctx,
+		idx:     idx,
+		op:      op,
+		timeout: types.Time(timeout.Nanoseconds()),
+		done:    make(chan simDone, 1),
+	})
+	return res.res, err
+}
+
+func (r *simRuntime) readCertified(ctx context.Context, idx int, op []byte, floor uint64, timeout time.Duration) (readAttempt, error) {
+	if idx < 0 || idx >= len(r.c.Clients) {
+		return readAttempt{}, fmt.Errorf("saebft: logical client %d out of range", idx)
+	}
+	res, err := r.submit(&simCall{
+		ctx:     ctx,
+		idx:     idx,
+		op:      op,
+		read:    true,
+		floor:   types.SeqNum(floor),
+		timeout: types.Time(timeout.Nanoseconds()),
+		done:    make(chan simDone, 1),
+	})
+	return res.read, err
 }
 
 // do runs fn on the driver goroutine, serialized against all protocol
@@ -219,6 +274,14 @@ func (r *simRuntime) stats() (Stats, error) {
 			s.Retransmits += cl.Metrics.Retransmits
 			s.Replies += cl.Metrics.Replies
 			s.BadReplies += cl.Metrics.BadReplies
+			s.Reads += cl.Metrics.Reads
+			s.ReadsCertified += cl.Metrics.ReadsCertified
+			s.ReadMismatches += cl.Metrics.ReadMismatches
+			s.BadReadReplies += cl.Metrics.BadReadReplies
+		}
+		for _, ex := range r.c.Execs {
+			s.ReadsServed += ex.Metrics.ReadsServed
+			s.ReadsRefused += ex.Metrics.ReadsRefused
 		}
 		for _, f := range r.c.Filters {
 			s.SharesRejected += f.Metrics.SharesRejected

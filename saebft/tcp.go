@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/deploy"
+	"repro/internal/execnode"
 	"repro/internal/firewall"
 	"repro/internal/transport"
 	"repro/internal/types"
@@ -121,7 +122,8 @@ type tcpEndpoint struct {
 	cl      *core.Client
 	net     *transport.TCPNet
 	rt      *transport.Runtime
-	results chan []byte
+	results chan invokeResult
+	reads   chan core.ReadOutcome
 }
 
 func newTCPEndpoint(b *core.Builder, addrs map[types.NodeID]string, id types.NodeID, logf func(string, ...interface{}), topts transport.TCPOptions) (*tcpEndpoint, error) {
@@ -147,12 +149,24 @@ func newTCPEndpoint(b *core.Builder, addrs map[types.NodeID]string, id types.Nod
 	// embedders); wall-clock timestamps keep this incarnation's requests
 	// above any predecessor's in the executors' exactly-once reply table.
 	cl.SetTimestamp(types.Timestamp(time.Now().UnixNano()))
-	ep := &tcpEndpoint{id: id, cl: cl, net: tcp, results: make(chan []byte, 1)}
-	// The hook fires on the runtime goroutine; capacity 1 suffices because
-	// each logical client has at most one request outstanding.
-	cl.SetOnResult(func(body []byte) {
+	ep := &tcpEndpoint{
+		id:      id,
+		cl:      cl,
+		net:     tcp,
+		results: make(chan invokeResult, 1),
+		reads:   make(chan core.ReadOutcome, 1),
+	}
+	// The hooks fire on the runtime goroutine; capacity 1 suffices because
+	// each logical client has at most one request and one read outstanding.
+	cl.SetOnResult(func(body []byte, seq types.SeqNum) {
 		select {
-		case ep.results <- body:
+		case ep.results <- invokeResult{body: body, seq: uint64(seq)}:
+		default:
+		}
+	})
+	cl.SetOnReadDone(func(out core.ReadOutcome) {
+		select {
+		case ep.reads <- out:
 		default:
 		}
 	})
@@ -177,9 +191,9 @@ type tcpRuntime struct {
 	once  sync.Once
 }
 
-func (r *tcpRuntime) invoke(ctx context.Context, idx int, op []byte, timeout time.Duration) ([]byte, error) {
+func (r *tcpRuntime) invoke(ctx context.Context, idx int, op []byte, timeout time.Duration) (invokeResult, error) {
 	if idx < 0 || idx >= len(r.eps) {
-		return nil, fmt.Errorf("saebft: logical client %d out of range", idx)
+		return invokeResult{}, fmt.Errorf("saebft: logical client %d out of range", idx)
 	}
 	ep := r.eps[idx]
 	select {
@@ -189,7 +203,7 @@ func (r *tcpRuntime) invoke(ctx context.Context, idx int, op []byte, timeout tim
 	var submitErr error
 	ep.rt.Do(func(now types.Time) { submitErr = ep.cl.Submit(op, now) })
 	if submitErr != nil {
-		return nil, submitErr
+		return invokeResult{}, submitErr
 	}
 	timer := time.NewTimer(timeout)
 	defer timer.Stop()
@@ -201,16 +215,53 @@ func (r *tcpRuntime) invoke(ctx context.Context, idx int, op []byte, timeout tim
 		}
 	}
 	select {
-	case body := <-ep.results:
-		return body, nil
+	case res := <-ep.results:
+		return res, nil
 	case <-ctx.Done():
 		abandon()
-		return nil, ctx.Err()
+		return invokeResult{}, ctx.Err()
 	case <-timer.C:
 		abandon()
-		return nil, fmt.Errorf("%w after %v", ErrTimeout, timeout)
+		return invokeResult{}, fmt.Errorf("%w after %v", ErrTimeout, timeout)
 	case <-r.quit:
-		return nil, ErrClosed
+		return invokeResult{}, ErrClosed
+	}
+}
+
+func (r *tcpRuntime) readCertified(ctx context.Context, idx int, op []byte, floor uint64, timeout time.Duration) (readAttempt, error) {
+	if idx < 0 || idx >= len(r.eps) {
+		return readAttempt{}, fmt.Errorf("saebft: logical client %d out of range", idx)
+	}
+	ep := r.eps[idx]
+	select {
+	case <-ep.reads: // clear any stale outcome from an abandoned read
+	default:
+	}
+	var submitErr error
+	ep.rt.Do(func(now types.Time) { submitErr = ep.cl.SubmitRead(op, types.SeqNum(floor), now) })
+	if submitErr != nil {
+		return readAttempt{}, submitErr
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	abandon := func() {
+		ep.rt.Do(func(types.Time) { ep.cl.CancelRead() })
+		select {
+		case <-ep.reads: // an outcome may have raced the cancellation
+		default:
+		}
+	}
+	select {
+	case out := <-ep.reads:
+		return readAttemptFrom(out), nil
+	case <-ctx.Done():
+		abandon()
+		return readAttempt{}, ctx.Err()
+	case <-timer.C:
+		abandon()
+		return readAttempt{}, fmt.Errorf("%w after %v", ErrTimeout, timeout)
+	case <-r.quit:
+		return readAttempt{}, ErrClosed
 	}
 }
 
@@ -227,10 +278,14 @@ func (r *tcpRuntime) stats() (Stats, error) {
 			s.Retransmits += ep.cl.Metrics.Retransmits
 			s.Replies += ep.cl.Metrics.Replies
 			s.BadReplies += ep.cl.Metrics.BadReplies
+			s.Reads += ep.cl.Metrics.Reads
+			s.ReadsCertified += ep.cl.Metrics.ReadsCertified
+			s.ReadMismatches += ep.cl.Metrics.ReadMismatches
+			s.BadReadReplies += ep.cl.Metrics.BadReadReplies
 		})
 	}
-	// Filter metrics live inside this process's nodes (in-process TCP
-	// cluster); a dialed handle has no nodes and reports zero.
+	// Node-hosted metrics live inside this process's nodes (in-process TCP
+	// cluster); a dialed handle has no nodes and reports zero for them.
 	for _, n := range r.nodes {
 		select {
 		case <-r.quit:
@@ -241,16 +296,33 @@ func (r *tcpRuntime) stats() (Stats, error) {
 			if f, ok := node.(*firewall.Filter); ok {
 				s.SharesRejected += f.Metrics.SharesRejected
 			}
+			if ex, ok := node.(*execnode.Replica); ok {
+				s.ReadsServed += ex.Metrics.ReadsServed
+				s.ReadsRefused += ex.Metrics.ReadsRefused
+			}
 			if se, ok := node.(interface{ StorageErr() error }); ok && se.StorageErr() != nil {
 				s.StorageFailures++
 			}
 		})
-		s.Link.add(n.Net.Stats())
+	}
+	s.Link = r.linkSnapshot()
+	return s, nil
+}
+
+// linkSnapshot folds every endpoint's and node's transport counters into
+// one LinkStats. Both public stats surfaces — Client.Stats on a dialed
+// handle and Cluster.Stats on an owned cluster — reach the link counters
+// only through here, so the two can never drift by accumulating different
+// snapshot sets per call site.
+func (r *tcpRuntime) linkSnapshot() LinkStats {
+	var link LinkStats
+	for _, n := range r.nodes {
+		link.add(n.Net.Stats())
 	}
 	for _, ep := range r.eps {
-		s.Link.add(ep.net.Stats())
+		link.add(ep.net.Stats())
 	}
-	return s, nil
+	return link
 }
 
 func (r *tcpRuntime) close() error {

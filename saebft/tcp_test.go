@@ -165,7 +165,7 @@ func roundTrip(t *testing.T, cfg *Config) {
 		running = append(running, n)
 	}
 
-	cl, err := Dial(cfg, DialTimeout(20*time.Second))
+	cl, err := DialConfig(cfg, DialTimeout(20*time.Second))
 	if err != nil {
 		t.Fatal(err)
 	}

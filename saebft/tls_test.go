@@ -159,7 +159,7 @@ func TestTLSConfigDeployment(t *testing.T) {
 		running[ni.ID] = n
 	}
 
-	cl, err := Dial(loaded, DialTimeout(20*time.Second))
+	cl, err := DialConfig(loaded, DialTimeout(20*time.Second))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,7 +206,7 @@ func TestTLSConfigDeployment(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Dial(loaded, DialClients(cids[0]), DialTLS(ca, cert0, key0)); err == nil {
+	if _, err := DialConfig(loaded, DialClients(cids[0]), DialTLS(ca, cert0, key0)); err == nil {
 		t.Fatal("dialing with node 0's certificate as a client identity did not error")
 	}
 
@@ -226,7 +226,7 @@ func TestTLSConfigDeployment(t *testing.T) {
 	_ = foreign
 	fca, fcert, fkey, _ := foreign.TLSPaths(cids[0])
 	_ = fca
-	imp, err := Dial(loaded,
+	imp, err := DialConfig(loaded,
 		DialClients(cids[0]),
 		DialTLS(ca, fcert, fkey), // trusts the real CA, presents a foreign cert
 		DialTimeout(2*time.Second))

@@ -15,6 +15,38 @@ type Transport interface {
 	start(b *core.Builder, opts *options) (clusterRuntime, error)
 }
 
+// invokeResult is the runtime-level completion of one invocation: the
+// certified reply body plus the agreement sequence number it certified at —
+// the watermark a session adopts for read-your-writes reads.
+type invokeResult struct {
+	body []byte
+	seq  uint64
+}
+
+// readAttempt is the runtime-level completion of one certified-read probe.
+// Exactly one of two shapes: a certified answer (mismatch false; body,
+// refused, and the certified watermark seq are valid) or a definite quorum
+// mismatch (mismatch true; hint suggests the floor to retry at).
+type readAttempt struct {
+	body     []byte
+	refused  bool
+	seq      uint64
+	mismatch bool
+	hint     uint64
+}
+
+// readAttemptFrom maps a protocol-core read outcome onto the runtime shape.
+func readAttemptFrom(out core.ReadOutcome) readAttempt {
+	if out.Err != nil {
+		return readAttempt{mismatch: true, hint: uint64(out.Hint)}
+	}
+	return readAttempt{
+		body:    out.Result.Body,
+		refused: out.Result.Refused,
+		seq:     uint64(out.Result.Seq),
+	}
+}
+
 // clusterRuntime is the running form of a cluster behind a transport: it
 // executes operations on behalf of logical clients and owns every node's
 // lifetime.
@@ -22,7 +54,17 @@ type clusterRuntime interface {
 	// invoke runs op through logical client idx and blocks until a
 	// certified reply, an error, ctx cancellation, or the timeout. The
 	// caller guarantees at most one invoke per idx at a time.
-	invoke(ctx context.Context, idx int, op []byte, timeout time.Duration) ([]byte, error)
+	invoke(ctx context.Context, idx int, op []byte, timeout time.Duration) (invokeResult, error)
+
+	// readCertified probes the execution replicas through logical client
+	// idx for a read certified at or above floor, and blocks until the
+	// attempt completes (certified or definite mismatch), an error, ctx
+	// cancellation, or the timeout. core.ErrNoReadPath reports a
+	// configuration without the read path (BASE, firewall); callers fall
+	// back to invoke. The caller guarantees at most one readCertified per
+	// idx at a time (invoke and readCertified on the same idx may overlap:
+	// a logical client holds one request and one read concurrently).
+	readCertified(ctx context.Context, idx int, op []byte, floor uint64, timeout time.Duration) (readAttempt, error)
 
 	// stats snapshots aggregate counters; it errors when the runtime has
 	// already shut down rather than returning misleading zeros.

@@ -46,8 +46,22 @@ func main() {
 		baseline   = flag.String("baseline", "", "sweeps: compare against this baseline report")
 		maxRegress = flag.Float64("max-regress", 0.30, "sweeps: tolerated fractional throughput regression vs the baseline")
 		useTLS     = flag.Bool("tls", false, "batching sweep: run the TCP points over ephemeral mutual TLS, measuring the link-security cost")
+		opsAddr    = flag.String("ops-addr", "", "serve an ops HTTP endpoint for the bench process itself (pprof under /debug/pprof/) while the run is in progress; CI captures its CPU profile from here")
 	)
 	flag.Parse()
+
+	if *opsAddr != "" {
+		// The bench's clusters each own a private registry, so the process
+		// endpoint carries no metrics — it exists for the pprof handlers,
+		// which profile the whole process regardless.
+		srv, err := saebft.ServeOps(*opsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "saebft-bench: ops endpoint: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("saebft-bench: ops endpoint on http://%s (/debug/pprof/)\n", srv.Addr())
+	}
 
 	if *batching {
 		runBatching(*short, *useTLS, *out, *baseline, *maxRegress)
@@ -110,8 +124,12 @@ func runBatching(short, useTLS bool, out, baseline string, maxRegress float64) {
 		if p.Transport == "sim" {
 			link = "sim"
 		}
-		fmt.Printf("%-4s pipeline=%d batch=%-3s store=%s ops=%-4d %s  %9.0f ops/s  mean-lat %6.1fms  batches=%-3d width=%d\n",
-			link, p.Pipeline, batch, store, p.Ops, clock, p.Throughput, p.MeanLatMs, p.Batches, p.FinalWidth)
+		tag := ""
+		if p.Obs != "" {
+			tag = "  obs=" + p.Obs
+		}
+		fmt.Printf("%-4s pipeline=%d batch=%-3s store=%s ops=%-4d %s  %9.0f ops/s  mean-lat %6.1fms  batches=%-3d width=%d%s\n",
+			link, p.Pipeline, batch, store, p.Ops, clock, p.Throughput, p.MeanLatMs, p.Batches, p.FinalWidth, tag)
 	}
 	writeAndGate(rep, out, baseline, maxRegress)
 }

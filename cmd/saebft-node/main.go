@@ -15,6 +15,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -32,7 +33,8 @@ func main() {
 		caFile        = flag.String("ca", "", "cluster CA certificate (PEM); default: the config's tls.ca")
 		certFile      = flag.String("cert", "", "this node's certificate (PEM); default: <tls.certDir>/node-<id>.pem from the config")
 		keyFile       = flag.String("key", "", "this node's private key (PEM); default: <tls.certDir>/node-<id>-key.pem from the config")
-		statsEvery    = flag.Duration("stats-every", 0, "log transport link counters at this interval (0 = off); see docs/DEPLOYMENT.md troubleshooting")
+		statsEvery    = flag.Duration("stats-every", 0, "log a metrics heartbeat (protocol, storage, and link series from the node's registry) at this interval (0 = off); see docs/DEPLOYMENT.md troubleshooting")
+		metricsAddr   = flag.String("metrics-addr", "", "serve the ops HTTP endpoint on this address: Prometheus text on /metrics, the trace ring on /debug/trace, pprof under /debug/pprof/ (empty = off); bind it operator-side, not publicly")
 	)
 	flag.Parse()
 	if *id < 0 {
@@ -57,6 +59,9 @@ func main() {
 		os.Exit(1)
 	}
 	nodeOpts = append(nodeOpts, tlsOpts...)
+	if *metricsAddr != "" {
+		nodeOpts = append(nodeOpts, saebft.NodeMetricsAddr(*metricsAddr))
+	}
 	node, err := saebft.NewNode(cfg, *id, nodeOpts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "saebft-node:", err)
@@ -87,6 +92,9 @@ func main() {
 	}
 	fmt.Printf("saebft-node: %s replica %d listening on %s (%s/%s, %s, %s)\n",
 		node.Role(), node.ID(), node.Addr(), cfg.Mode(), cfg.App(), durability, links)
+	if addr := node.OpsAddr(); addr != "" {
+		fmt.Printf("saebft-node: ops endpoint on http://%s (/metrics, /debug/trace, /debug/pprof/)\n", addr)
+	}
 
 	if *statsEvery > 0 {
 		go func() {
@@ -96,10 +104,7 @@ func main() {
 					return
 				case <-time.After(*statsEvery):
 				}
-				s := node.LinkStats()
-				log.Printf("saebft-node: links: dials=%d dialFail=%d handshakes=%d hsFail=%d authRej=%d reconnects=%d sent=%d recv=%d dropped=%d",
-					s.Dials, s.DialFailures, s.Handshakes, s.HandshakeFailures, s.AuthRejects,
-					s.Reconnects, s.FramesSent, s.FramesReceived, s.FramesDropped)
+				log.Printf("saebft-node: %s", statsLine(node))
 			}
 		}()
 	}
@@ -126,6 +131,43 @@ func main() {
 	stop() // restore default signal handling: a second signal force-kills
 	fmt.Println("saebft-node: shutting down (flushing WAL and checkpoints)")
 	node.Close()
+}
+
+// statsLine renders the operator heartbeat from the node's metrics
+// registry — the same series /metrics serves, so the log line and a scrape
+// can never disagree. Series absent for the node's role are skipped;
+// per-peer and per-phase labels are summed away.
+func statsLine(node *saebft.Node) string {
+	keys := []string{
+		"saebft_pbft_batches_total",
+		"saebft_pbft_requests_total",
+		"saebft_pbft_view",
+		"saebft_pbft_view_changes_total",
+		"saebft_exec_batches_total",
+		"saebft_exec_requests_total",
+		"saebft_exec_reads_served_total",
+		"saebft_wal_fsync_seconds_count",
+		"saebft_wal_segments",
+		"saebft_link_frames_sent_total",
+		"saebft_link_frames_received_total",
+		"saebft_link_frames_dropped_total",
+		"saebft_link_reconnects_total",
+		"saebft_link_auth_rejects_total",
+	}
+	totals := make(map[string]float64)
+	for _, m := range node.Metrics() {
+		totals[m.Name] += m.Value
+	}
+	var b strings.Builder
+	for _, name := range keys {
+		v, ok := totals[name]
+		if !ok {
+			continue
+		}
+		short := strings.TrimSuffix(strings.TrimPrefix(name, "saebft_"), "_total")
+		fmt.Fprintf(&b, " %s=%.0f", short, v)
+	}
+	return strings.TrimSpace(b.String())
 }
 
 // tlsFlagSet reports whether -tls was given explicitly (so -tls=false can

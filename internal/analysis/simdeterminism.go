@@ -22,6 +22,12 @@ import (
 //   - ranging over a map while feeding an order-sensitive sink — message
 //     construction or encoding, digests, hash writes, WAL appends, sends,
 //     or a slice append that no later sort canonicalizes.
+//   - reading the metrics/trace plane: inside the deterministic packages
+//     the repro/internal/obs surface is write-only (registration plus
+//     Inc/Add/Set/Observe/Record, and the obs.L / obs.Seconds helpers), so
+//     observability can never feed digests, encoders, or WAL appends. A
+//     replica whose behavior depends on its own counters diverges from one
+//     whose operator scraped at a different moment.
 //
 // Order-insensitive map loops (counting, max-tracking, set inserts,
 // deletes) are not flagged, and the codebase's standard collect-then-sort
@@ -49,6 +55,11 @@ func runSimDeterminism(p *Pass) {
 						p.Reportf(n.Pos(), "global %s.%s in a deterministic package; use the agreed PRF or a seeded local source",
 							f.Pkg().Path(), f.Name())
 					}
+					if f := funcObj(p.Info, n); f != nil && f.Pkg() != nil &&
+						f.Pkg().Path() == "repro/internal/obs" && !obsWriteOnly(f) {
+						p.Reportf(n.Pos(), "obs.%s in a deterministic package; the metrics/trace plane is write-only here (registration, Inc/Add/Set/Observe/Record, obs.L, obs.Seconds)",
+							f.Name())
+					}
 				case *ast.RangeStmt:
 					if t := p.Info.TypeOf(n.X); t != nil {
 						if _, isMap := t.Underlying().(*types.Map); isMap {
@@ -74,6 +85,42 @@ func isGlobalRand(f *types.Func) bool {
 		return false
 	}
 	return !strings.HasPrefix(f.Name(), "New")
+}
+
+// obsWriteOnly reports whether an obs-package callee is on the write-only
+// allowlist for deterministic packages: series registration on the
+// Registry, the instrument write methods, trace recording, and the label /
+// unit helpers. Everything else — Value, Sum, Snapshot, WritePrometheus,
+// Dump, Total, ServeOps, constructors — is a read of (or a door into) the
+// observability plane and has no business on a consensus path.
+func obsWriteOnly(f *types.Func) bool {
+	recv := f.Signature().Recv()
+	if recv == nil {
+		switch f.Name() {
+		case "L", "Seconds":
+			return true
+		}
+		return false
+	}
+	t := recv.Type()
+	switch {
+	case namedType(t, "repro/internal/obs", "Registry"):
+		switch f.Name() {
+		case "Counter", "Gauge", "Histogram", "CounterFunc", "GaugeFunc", "Unregister":
+			return true
+		}
+	case namedType(t, "repro/internal/obs", "Counter"),
+		namedType(t, "repro/internal/obs", "Gauge"):
+		switch f.Name() {
+		case "Inc", "Add", "Set":
+			return true
+		}
+	case namedType(t, "repro/internal/obs", "Histogram"):
+		return f.Name() == "Observe"
+	case namedType(t, "repro/internal/obs", "Tracer"):
+		return f.Name() == "Record"
+	}
+	return false
 }
 
 // checkMapRange flags order-sensitive sinks inside a map-range body.

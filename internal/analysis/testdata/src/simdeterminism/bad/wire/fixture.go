@@ -8,6 +8,7 @@ import (
 	"math/rand"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/storage"
 	"repro/internal/transport"
 	"repro/internal/types"
@@ -71,4 +72,35 @@ func appendWAL(c *conn, m map[types.SeqNum][]byte) {
 	for seq, payload := range m {
 		_ = c.store.Append(storage.RecCommit, seq, payload) // want simdeterminism
 	}
+}
+
+// The metrics/trace plane is write-only inside the deterministic scope:
+// reading an instrument back (or snapshotting, dumping, serving) would let
+// observability feed protocol decisions, digests, or encodings.
+
+func readCounterBack(c *obs.Counter) uint64 {
+	return c.Value() // want simdeterminism
+}
+
+func gateOnGauge(g *obs.Gauge, payload []byte) []byte {
+	if g.Value() > 0 { // want simdeterminism
+		return payload
+	}
+	return nil
+}
+
+func histogramIntoDigest(h *obs.Histogram) float64 {
+	return h.Sum() // want simdeterminism
+}
+
+func snapshotRegistry(r *obs.Registry) int {
+	return len(r.Snapshot()) // want simdeterminism
+}
+
+func replayTrace(tr *obs.Tracer) int {
+	return len(tr.Dump()) // want simdeterminism
+}
+
+func serveFromReplica(r *obs.Registry, tr *obs.Tracer) {
+	_, _ = obs.ServeOps("127.0.0.1:0", r, tr) // want simdeterminism
 }

@@ -8,6 +8,7 @@ import (
 	"slices"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/types"
 )
 
@@ -61,4 +62,26 @@ func highestSeq(m map[types.SeqNum]bool) types.SeqNum {
 func seededDraw() int {
 	r := rand.New(rand.NewSource(42))
 	return r.Intn(6)
+}
+
+// The write-only obs surface is legal in the deterministic scope: series
+// registration, the instrument write methods, trace recording, and the
+// label / unit helpers.
+
+func registerSeries(r *obs.Registry, node string) (*obs.Counter, *obs.Gauge, *obs.Histogram) {
+	l := obs.L("node", node)
+	c := r.Counter("saebft_fixture_events_total", "events", l)
+	g := r.Gauge("saebft_fixture_depth", "depth", l)
+	h := r.Histogram("saebft_fixture_seconds", "latency", obs.LatencyBuckets, l)
+	r.Unregister("saebft_fixture_depth", l)
+	return c, g, h
+}
+
+func recordOnly(c *obs.Counter, g *obs.Gauge, h *obs.Histogram, tr *obs.Tracer, elapsedNs int64) {
+	c.Inc()
+	c.Add(3)
+	g.Set(7)
+	g.Add(-1)
+	h.Observe(obs.Seconds(elapsedNs))
+	tr.Record(obs.Span{At: elapsedNs, Stage: obs.StageExecuted})
 }

@@ -80,7 +80,12 @@ func (b *Builder) nodeStore(id types.NodeID) (storage.Store, error) {
 		return nil, nil
 	}
 	dir := filepath.Join(b.Opts.DataDir, fmt.Sprintf("node-%d", id))
-	return storage.Open(dir, b.Opts.StorageOptions)
+	sopts := b.Opts.StorageOptions
+	if sopts.Obs == nil {
+		sopts.Obs = b.Opts.Obs
+		sopts.ObsNode = fmt.Sprintf("%d", id)
+	}
+	return storage.Open(dir, sopts)
 }
 
 func (b *Builder) verifier(id types.NodeID) *replycert.Verifier {
@@ -112,6 +117,8 @@ func (b *Builder) AgreementNode(id types.NodeID, send transport.Sender) (transpo
 		RequestTimeout:     b.Opts.RequestTimeout,
 		Store:              store,
 		VolatileVotes:      b.Opts.VolatileVotes,
+		Obs:                b.Opts.Obs,
+		Trace:              b.Opts.Trace,
 	}
 	closeStore := func() {
 		if store != nil {
@@ -208,6 +215,8 @@ func (b *Builder) ExecNode(id types.NodeID, send transport.Sender) (*execnode.Re
 		Pipeline:             b.Opts.Pipeline,
 		CheckpointInterval:   b.Opts.CheckpointInterval,
 		Store:                store,
+		Obs:                  b.Opts.Obs,
+		Trace:                b.Opts.Trace,
 	}, app, send)
 	if err != nil {
 		closeStore()

@@ -6,6 +6,7 @@ import (
 	"repro/internal/execnode"
 	"repro/internal/firewall"
 	"repro/internal/mqueue"
+	"repro/internal/obs"
 	"repro/internal/pbft"
 	"repro/internal/replycert"
 	"repro/internal/sm"
@@ -80,6 +81,15 @@ type Options struct {
 	// must again be counted against f until rejoined. Benchmark use. No
 	// effect without DataDir/Storage.
 	VolatileVotes bool
+
+	// Obs, when non-nil, receives metrics from every node this builder
+	// constructs (each series carries a node="<id>" label, so one shared
+	// registry serves a whole in-process cluster). Trace, when non-nil,
+	// receives per-operation lifecycle spans from the protocol cores.
+	// Both are write-only inside the deterministic packages; see
+	// internal/obs.
+	Obs   *obs.Registry
+	Trace *obs.Tracer
 
 	// App builds one state machine instance per hosting replica.
 	App func() sm.StateMachine

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/apps/registry"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/replycert"
 	"repro/internal/sm"
 	"repro/internal/transport"
@@ -320,6 +321,11 @@ type NodeOptions struct {
 	// DisableTLS forces plaintext links even when the config has a TLS
 	// section (loopback debugging only).
 	DisableTLS bool
+	// Obs, when non-nil, is the process-wide metrics registry every layer
+	// of this node records into (core.Options.Obs); Trace is the bounded
+	// per-operation lifecycle ring. Both are optional.
+	Obs   *obs.Registry
+	Trace *obs.Tracer
 }
 
 // security resolves the node's link security from the per-process overrides
@@ -355,6 +361,8 @@ func StartNodeOpts(cfg *Config, id types.NodeID, nopts NodeOptions) (*RunningNod
 	}
 	opts.DataDir = nopts.DataDir
 	opts.VolatileVotes = nopts.VolatileVotes
+	opts.Obs = nopts.Obs
+	opts.Trace = nopts.Trace
 	b, err := core.NewBuilder(opts)
 	if err != nil {
 		return nil, err
@@ -385,6 +393,15 @@ func StartBuilderNodeOpts(b *core.Builder, addrs map[types.NodeID]string, id typ
 	role, _, ok := b.Top.RoleOf(id)
 	if !ok {
 		return nil, fmt.Errorf("deploy: node %v is not part of the topology", id)
+	}
+
+	// Link metrics land in the same registry as the protocol layers unless
+	// the caller wired the transport explicitly.
+	if topts.Obs == nil {
+		topts.Obs = b.Opts.Obs
+	}
+	if topts.Obs != nil && topts.ObsNode == "" {
+		topts.ObsNode = strconv.Itoa(int(id))
 	}
 
 	// The TCP handler is installed after construction; an atomic

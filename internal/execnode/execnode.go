@@ -23,6 +23,7 @@ import (
 	"sort"
 
 	"repro/internal/auth"
+	"repro/internal/obs"
 	"repro/internal/replycert"
 	"repro/internal/seal"
 	"repro/internal/sm"
@@ -82,6 +83,12 @@ type Config struct {
 	// Nil keeps the seed's in-memory behavior.
 	Store storage.Store
 
+	// Obs, when non-nil, receives this replica's metrics (write-only from
+	// this package; see internal/obs). Trace, when non-nil, receives
+	// lifecycle spans stamped with the protocol clock.
+	Obs   *obs.Registry
+	Trace *obs.Tracer
+
 	// ReplyRetention bounds the exactly-once reply table: entries whose
 	// client has been idle for more than this many sequence numbers are
 	// pruned at the next checkpoint (a deterministic point, so all correct
@@ -110,7 +117,8 @@ func (c *Config) fillDefaults() {
 // orderAccum accumulates agreement-certificate pieces for one sequence
 // number until 2f+1 distinct replicas vouch for the same order digest.
 type orderAccum struct {
-	byDigest map[types.Digest]*orderCand
+	byDigest  map[types.Digest]*orderCand
+	firstSeen types.Time // when the first share arrived (apply-lag metric)
 }
 
 type orderCand struct {
@@ -155,6 +163,10 @@ type Replica struct {
 	// durability
 	recovering bool  // suppresses re-logging while replaying the WAL
 	storeErr   error // first storage failure; halts execution (fail-stop)
+
+	// observability (write-only from this package; see obs.go)
+	om    metrics
+	trace *obs.Tracer
 
 	// Metrics counts externally observable activity.
 	Metrics Metrics
@@ -203,6 +215,8 @@ func New(cfg Config, app sm.StateMachine, send transport.Sender) (*Replica, erro
 		lastOut:   make(map[types.NodeID]*wire.ExecReply),
 		ckptVotes: make(map[types.SeqNum]map[types.NodeID]wire.ExecCheckpoint),
 		ckptLocal: make(map[types.SeqNum][]byte),
+		om:        newExecMetrics(cfg.Obs, cfg.ID),
+		trace:     cfg.Trace,
 	}, nil
 }
 
@@ -273,8 +287,9 @@ func (r *Replica) onOrder(m *wire.Order, now types.Time) {
 	}
 	acc := r.pending[m.Seq]
 	if acc == nil {
-		acc = &orderAccum{byDigest: make(map[types.Digest]*orderCand)}
+		acc = &orderAccum{byDigest: make(map[types.Digest]*orderCand), firstSeen: now}
 		r.pending[m.Seq] = acc
+		r.om.queueDepth.Set(int64(len(r.pending)))
 	}
 	cand := acc.byDigest[od]
 	if cand == nil {
@@ -311,8 +326,9 @@ func (r *Replica) onOrderProof(m *wire.OrderProof, now types.Time) {
 	}
 	acc := r.pending[m.Seq]
 	if acc == nil {
-		acc = &orderAccum{byDigest: make(map[types.Digest]*orderCand)}
+		acc = &orderAccum{byDigest: make(map[types.Digest]*orderCand), firstSeen: now}
 		r.pending[m.Seq] = acc
+		r.om.queueDepth.Set(int64(len(r.pending)))
 	}
 	cand := acc.byDigest[od]
 	if cand == nil {
@@ -376,11 +392,17 @@ func (r *Replica) executeReady(now types.Time) {
 		if !ok {
 			return
 		}
+		if acc := r.pending[next]; acc != nil {
+			observeSince(r.om.applyLag, acc.firstSeen, now)
+		}
 		delete(r.pending, next)
 		r.maxN = next
+		r.om.queueDepth.Set(int64(len(r.pending)))
+		r.om.appliedSeq.Set(int64(next))
 		r.executeBatch(proof, now)
 		if next%r.cfg.CheckpointInterval == 0 {
 			r.makeCheckpoint(next)
+			r.span(now, obs.StageCheckpoint, next, "local")
 		}
 	}
 }
@@ -389,6 +411,8 @@ func (r *Replica) executeReady(now types.Time) {
 // emits one bundled reply share for the whole batch.
 func (r *Replica) executeBatch(proof *wire.OrderProof, now types.Time) {
 	r.Metrics.Executed++
+	r.om.batches.Inc()
+	r.span(now, obs.StageApply, proof.Seq, fmt.Sprintf("reqs=%d", len(proof.Requests)))
 	entries := make([]wire.Reply, 0, len(proof.Requests))
 	for i := range proof.Requests {
 		req := &proof.Requests[i]
@@ -406,15 +430,18 @@ func (r *Replica) executeBatch(proof *wire.OrderProof, now types.Time) {
 			rs.body = body
 			entry = wire.Reply{View: proof.View, Seq: proof.Seq, Client: req.Client, Timestamp: req.Timestamp, Body: body}
 			r.Metrics.Requests++
+			r.om.requests.Inc()
 		} else {
 			// Cases 2 and 3: a retransmission (t == t') or a stale
 			// request (t < t') — acknowledge the new sequence number
 			// with the cached timestamp and reply body.
 			entry = wire.Reply{View: proof.View, Seq: proof.Seq, Client: req.Client, Timestamp: rs.timestamp, Body: rs.body}
 			r.Metrics.Retransmits++
+			r.om.retransmits.Inc()
 		}
 		entries = append(entries, entry)
 	}
+	r.om.replyCache.Set(int64(len(r.replies)))
 	if len(entries) == 0 {
 		return // null batch (view-change filler)
 	}
@@ -490,6 +517,7 @@ func (r *Replica) emitBundle(entries []wire.Reply, now types.Time) {
 		// resends) will pull them from lastOut via resendCached.
 		return
 	}
+	r.span(now, obs.StageReply, entries[0].Seq, fmt.Sprintf("entries=%d", len(entries)))
 	data := wire.Marshal(out)
 	for _, d := range r.cfg.ReplyDests {
 		r.send(d, data)
@@ -546,6 +574,9 @@ func (r *Replica) makeCheckpoint(n types.SeqNum) {
 	digest := types.DigestBytes(payload)
 	r.ckptLocal[n] = payload
 	r.Metrics.Checkpoints++
+	r.om.checkpoints.Inc()
+	r.om.ckptBytes.Observe(float64(len(payload)))
+	r.om.replyCache.Set(int64(len(r.replies)))
 	att, err := r.cfg.ExecAuth.Attest(auth.KindExecCheckpoint, wire.CheckpointDigest(n, digest), r.top.Execution)
 	if err != nil {
 		return
@@ -612,6 +643,7 @@ func (r *Replica) makeStable(n types.SeqNum, digest types.Digest, votes map[type
 	r.stableSeq = n
 	r.stableDig = digest
 	r.stableAtts = atts
+	r.om.stableSeq.Set(int64(n))
 	// Garbage collection (§3.3.2): older certificates, checkpoints, votes.
 	for seq := range r.proofs {
 		if seq <= n {
@@ -623,6 +655,7 @@ func (r *Replica) makeStable(n types.SeqNum, digest types.Digest, votes map[type
 			delete(r.pending, seq)
 		}
 	}
+	r.om.queueDepth.Set(int64(len(r.pending)))
 	for seq := range r.ckptVotes {
 		if seq <= n {
 			delete(r.ckptVotes, seq)
@@ -649,6 +682,7 @@ func (r *Replica) makeStable(n types.SeqNum, digest types.Digest, votes map[type
 	if r.maxN < n {
 		if _, ok := r.ckptLocal[n]; !ok {
 			r.Metrics.StateTransfer++
+			r.om.stateTransfers.Inc()
 			r.broadcastExec(wire.Marshal(&wire.CheckpointFetch{Seq: n, Executor: r.cfg.ID}))
 		}
 	}

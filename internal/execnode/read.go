@@ -11,6 +11,7 @@ package execnode
 
 import (
 	"repro/internal/auth"
+	"repro/internal/obs"
 	"repro/internal/sm"
 	"repro/internal/transport"
 	"repro/internal/types"
@@ -86,8 +87,12 @@ func (r *Replica) onReadRequest(m *wire.ReadRequest, now types.Time) {
 	reply.Att = att
 	if reply.Refused {
 		r.Metrics.ReadsRefused++
+		r.om.readsRefused.Inc()
+		r.span(now, obs.StageReadServe, r.maxN, "refused")
 	} else {
 		r.Metrics.ReadsServed++
+		r.om.readsServed.Inc()
+		r.span(now, obs.StageReadServe, r.maxN, "ok")
 	}
 	send := r.readSend
 	if send == nil {

@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one exposed time series value. Histograms expand into their
+// cumulative <name>_bucket{le=...}, <name>_sum, and <name>_count samples,
+// so a Snapshot is exactly what the text exposition serializes.
+type Sample struct {
+	Name   string
+	Labels []Label
+	Value  float64
+}
+
+// snapshotSeries expands one series into samples. Histogram bucket counts
+// are read bucket-by-bucket without a lock; the slight skew between buckets
+// of a moving histogram is inherent to lock-free collection and harmless
+// for monitoring.
+func (f *family) snapshotSeries(s *series) []Sample {
+	switch {
+	case s.c != nil:
+		return []Sample{{Name: f.name, Labels: s.labels, Value: float64(s.c.Value())}}
+	case s.cFn != nil:
+		return []Sample{{Name: f.name, Labels: s.labels, Value: float64(s.cFn())}}
+	case s.g != nil:
+		return []Sample{{Name: f.name, Labels: s.labels, Value: float64(s.g.Value())}}
+	case s.gFn != nil:
+		return []Sample{{Name: f.name, Labels: s.labels, Value: s.gFn()}}
+	case s.h != nil:
+		h := s.h
+		out := make([]Sample, 0, len(h.bounds)+3)
+		withLE := func(le string) []Label {
+			ls := append(append([]Label{}, s.labels...), Label{"le", le})
+			sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+			return ls
+		}
+		var cum uint64
+		for i, ub := range h.bounds {
+			cum += h.counts[i].Load()
+			out = append(out, Sample{Name: f.name + "_bucket", Labels: withLE(formatFloat(ub)), Value: float64(cum)})
+		}
+		cum += h.counts[len(h.bounds)].Load()
+		out = append(out,
+			Sample{Name: f.name + "_bucket", Labels: withLE("+Inf"), Value: float64(cum)},
+			Sample{Name: f.name + "_sum", Labels: s.labels, Value: h.Sum()},
+			Sample{Name: f.name + "_count", Labels: s.labels, Value: float64(h.count.Load())},
+		)
+		return out
+	}
+	return nil
+}
+
+// orderedFamilies returns the families sorted by name, and each family's
+// series sorted by label signature — a stable exposition order.
+func (r *Registry) orderedFamilies() []*family {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}
+
+func (f *family) orderedSeries() []*series {
+	f.mu.Lock()
+	out := make([]*series, 0, len(f.series))
+	for _, s := range f.series {
+		out = append(out, s)
+	}
+	f.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].sig < out[j].sig })
+	return out
+}
+
+// Snapshot returns every sample in exposition order. Safe to call
+// concurrently with updates; nil registries return nil.
+func (r *Registry) Snapshot() []Sample {
+	if r == nil {
+		return nil
+	}
+	var out []Sample
+	for _, f := range r.orderedFamilies() {
+		for _, s := range f.orderedSeries() {
+			out = append(out, f.snapshotSeries(s)...)
+		}
+	}
+	return out
+}
+
+// WritePrometheus serializes the registry in Prometheus text exposition
+// format version 0.0.4 (# HELP / # TYPE headers, one sample per line).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	var b strings.Builder
+	for _, f := range r.orderedFamilies() {
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.k)
+		for _, s := range f.orderedSeries() {
+			for _, smp := range f.snapshotSeries(s) {
+				writeSample(&b, smp)
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeSample(b *strings.Builder, s Sample) {
+	b.WriteString(s.Name)
+	if len(s.Labels) > 0 {
+		b.WriteByte('{')
+		for i, l := range s.Labels {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(l.Key)
+			b.WriteString(`="`)
+			b.WriteString(escapeLabel(l.Value))
+			b.WriteByte('"')
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(formatFloat(s.Value))
+	b.WriteByte('\n')
+}
+
+// formatFloat renders a sample value: integral values without an exponent
+// or trailing zeros (counters read naturally), the rest in shortest form.
+func formatFloat(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatFloat(v, 'f', -1, 64)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	return strings.NewReplacer(`\`, `\\`, "\n", `\n`).Replace(s)
+}
+
+func escapeLabel(s string) string {
+	return strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`).Replace(s)
+}

@@ -1,0 +1,339 @@
+// Package obs is the cluster's observability plane: a dependency-free
+// metrics registry (counters, gauges, fixed-bucket histograms, exposed in
+// Prometheus text format) plus a bounded per-operation trace ring.
+//
+// Two disciplines shape the API, both enforced by saebft-lint:
+//
+//   - Write-only from consensus code. The deterministic protocol cores
+//     (pbft, execnode) may increment, set, observe, and record — they may
+//     never read a metric back, so no observability value can leak into a
+//     digest, an encoded message, or a WAL record and re-introduce the
+//     nondeterminism the simulator exists to exclude. The simdeterminism
+//     analyzer rejects any read-side call from those packages.
+//
+//   - Timestamps are the caller's. Nothing in this package reads a clock;
+//     latency observations and span timestamps arrive as values the caller
+//     derived from its own time source — the protocol clock (virtual under
+//     the simulator, monotonic under TCP) inside the deterministic cores,
+//     the wall clock in the I/O layers (storage, transport) that sit
+//     outside the determinism contract.
+//
+// Every instrument and the registry itself are nil-receiver safe: a
+// component built without observability calls the same methods against nil
+// and they no-op, so the instrumented code paths carry no conditionals.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one metric dimension, e.g. {"node", "0"} or {"phase", "commit"}.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Default bucket layouts. Latencies are observed in seconds (Prometheus
+// convention); sizes in natural units of the series.
+var (
+	// LatencyBuckets spans 100µs..10s — sub-millisecond loopback rounds
+	// through WAN view changes.
+	LatencyBuckets = []float64{0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+	// CountBuckets covers batch/record counts (powers of two up to 1024).
+	CountBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+	// ByteBuckets covers payload sizes (256 B .. 16 MiB).
+	ByteBuckets = []float64{256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20}
+)
+
+// Seconds converts a duration in nanoseconds (the protocol clock's unit) to
+// the seconds Histogram observations use.
+func Seconds(ns int64) float64 { return float64(ns) / 1e9 }
+
+// Counter is a monotonically increasing uint64. Safe for concurrent use;
+// all methods no-op on a nil receiver.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value reads the current count. Not for consensus code (write-only there).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable int64. Safe for concurrent use; all methods no-op on
+// a nil receiver.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adjusts the gauge by d (negative to decrease).
+func (g *Gauge) Add(d int64) {
+	if g != nil {
+		g.v.Add(d)
+	}
+}
+
+// Value reads the gauge. Not for consensus code (write-only there).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket histogram: counts per upper bound plus a
+// +Inf bucket, a sum, and a total count. Safe for concurrent use; Observe
+// no-ops on a nil receiver.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last is +Inf
+	sum    atomicFloat
+	count  atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.sum.add(v)
+	h.count.Add(1)
+}
+
+// Count reads the total number of observations. Not for consensus code.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum reads the sum of all observations. Not for consensus code.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.load()
+}
+
+// atomicFloat is a float64 updated via CAS on its bit pattern.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) add(v float64) {
+	for {
+		old := f.bits.Load()
+		if f.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// kind discriminates what a family's series hold.
+type kind uint8
+
+const (
+	kindCounter kind = iota + 1
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// series is one (family, label set) time series.
+type series struct {
+	labels []Label
+	sig    string // canonical label signature, sorted by key
+
+	c   *Counter
+	g   *Gauge
+	h   *Histogram
+	cFn func() uint64  // func-backed counter (folds external atomics in)
+	gFn func() float64 // func-backed gauge
+}
+
+// family groups every series sharing one metric name.
+type family struct {
+	name, help string
+	k          kind
+
+	mu     sync.Mutex
+	series map[string]*series
+}
+
+// Registry holds metric families and hands out get-or-create instruments.
+// All methods are safe for concurrent use and no-op (returning nil
+// instruments) on a nil receiver, so "observability off" needs no
+// conditionals at instrumentation sites.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{fams: make(map[string]*family)} }
+
+// sig canonicalizes a label set; the labels slice is sorted in place.
+func sig(labels []Label) string {
+	sort.Slice(labels, func(i, j int) bool { return labels[i].Key < labels[j].Key })
+	var b strings.Builder
+	for _, l := range labels {
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
+// fam returns (creating if needed) the family, panicking on a kind clash —
+// that is a programming error on the level of registering two variables
+// with one name.
+func (r *Registry) fam(name, help string, k kind) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.fams[name]
+	if f == nil {
+		f = &family{name: name, help: help, k: k, series: make(map[string]*series)}
+		r.fams[name] = f
+		return f
+	}
+	if f.k != k {
+		panic(fmt.Sprintf("obs: metric %q registered as both %v and %v", name, f.k, k))
+	}
+	return f
+}
+
+// get returns (creating via mk if needed) the series for the label set.
+func (f *family) get(labels []Label, mk func() *series) *series {
+	key := sig(labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s := f.series[key]; s != nil {
+		return s
+	}
+	s := mk()
+	s.labels = labels
+	s.sig = key
+	f.series[key] = s
+	return s
+}
+
+// Counter returns the counter for (name, labels), creating it at zero on
+// first use.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.fam(name, help, kindCounter).get(labels, func() *series { return &series{c: &Counter{}} }).c
+}
+
+// Gauge returns the gauge for (name, labels), creating it at zero on first
+// use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.fam(name, help, kindGauge).get(labels, func() *series { return &series{g: &Gauge{}} }).g
+}
+
+// Histogram returns the histogram for (name, labels) with the given upper
+// bounds (strictly increasing; +Inf implicit), creating it on first use.
+// Later calls reuse the first bounds.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.fam(name, help, kindHistogram).get(labels, func() *series {
+		b := make([]float64, len(bounds))
+		copy(b, bounds)
+		return &series{h: &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}}
+	}).h
+}
+
+// CounterFunc registers a counter whose value is read from fn at collection
+// time — the bridge for subsystems that already keep their own atomic
+// counters (transport link stats). fn must be safe for concurrent use.
+func (r *Registry) CounterFunc(name, help string, fn func() uint64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	f := r.fam(name, help, kindCounter)
+	s := f.get(labels, func() *series { return &series{cFn: fn} })
+	if s.cFn == nil && s.c == nil {
+		s.cFn = fn
+	}
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at collection
+// time. fn must be safe for concurrent use (e.g. len of a channel, an
+// atomic load).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	f := r.fam(name, help, kindGauge)
+	s := f.get(labels, func() *series { return &series{gFn: fn} })
+	if s.gFn == nil && s.g == nil {
+		s.gFn = fn
+	}
+}
+
+// Unregister removes one series (per-peer gauges die with their peer on
+// transport Close). Removing the last series keeps the family registered so
+// the name stays in the exposition with no samples.
+func (r *Registry) Unregister(name string, labels ...Label) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	f := r.fams[name]
+	r.mu.Unlock()
+	if f == nil {
+		return
+	}
+	key := sig(labels)
+	f.mu.Lock()
+	delete(f.series, key)
+	f.mu.Unlock()
+}

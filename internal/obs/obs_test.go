@@ -1,0 +1,320 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "ops", L("node", "0"))
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("test_ops_total", "ops", L("node", "0")); again != c {
+		t.Fatalf("get-or-create returned a different counter")
+	}
+	g := r.Gauge("test_depth", "depth")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+	h := r.Histogram("test_lat_seconds", "latency", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.01, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Fatalf("histogram count = %d, want 5", got)
+	}
+	if got, want := h.Sum(), 0.005+0.01+0.05+0.5+5; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("histogram sum = %v, want %v", got, want)
+	}
+	// Cumulative buckets: le=0.01 has 2 (0.005, 0.01 — bounds are
+	// inclusive), le=0.1 has 3, le=1 has 4, +Inf has 5.
+	var buckets []float64
+	for _, s := range r.Snapshot() {
+		if s.Name == "test_lat_seconds_bucket" {
+			buckets = append(buckets, s.Value)
+		}
+	}
+	want := []float64{2, 3, 4, 5}
+	if fmt.Sprint(buckets) != fmt.Sprint(want) {
+		t.Fatalf("cumulative buckets = %v, want %v", buckets, want)
+	}
+}
+
+// TestRegistryConcurrent drives every instrument type from many goroutines
+// while scraping; run under -race this is the registry's thread-safety
+// proof.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const workers, iters = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			node := L("node", strconv.Itoa(w%3))
+			for i := 0; i < iters; i++ {
+				r.Counter("cc_total", "c", node).Inc()
+				r.Gauge("cg", "g", node).Set(int64(i))
+				r.Histogram("ch_seconds", "h", LatencyBuckets, node).Observe(float64(i%100) / 1000)
+				if i%64 == 0 {
+					r.GaugeFunc("cf", "f", func() float64 { return 1 }, node)
+				}
+			}
+		}(w)
+	}
+	// Concurrent scrapers.
+	for s := 0; s < 2; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				var sb strings.Builder
+				if err := r.WritePrometheus(&sb); err != nil {
+					t.Errorf("WritePrometheus: %v", err)
+				}
+				r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	var total uint64
+	for n := 0; n < 3; n++ {
+		total += r.Counter("cc_total", "c", L("node", strconv.Itoa(n))).Value()
+	}
+	if want := uint64(workers * iters); total != want {
+		t.Fatalf("summed counters = %d, want %d", total, want)
+	}
+}
+
+// TestPrometheusExposition pins the exact text format for a fixed registry
+// and then runs the output through a strict text-format parser — the
+// "golden test that a Prometheus text parser accepts" from the issue.
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("saebft_pbft_batches_total", "batches ordered", L("node", "0")).Add(3)
+	r.Counter("saebft_pbft_batches_total", "batches ordered", L("node", "1")).Add(2)
+	r.Gauge("saebft_exec_queue_depth", "pending order certificates", L("node", "100")).Set(4)
+	h := r.Histogram("saebft_wal_fsync_seconds", "fsync latency", []float64{0.001, 0.01}, L("node", "0"))
+	h.Observe(0.0005)
+	h.Observe(0.5)
+	r.GaugeFunc("saebft_link_peer_queue_depth", "outbound frames queued",
+		func() float64 { return 7 }, L("node", "0"), L("peer", "2"))
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := `# HELP saebft_exec_queue_depth pending order certificates
+# TYPE saebft_exec_queue_depth gauge
+saebft_exec_queue_depth{node="100"} 4
+# HELP saebft_link_peer_queue_depth outbound frames queued
+# TYPE saebft_link_peer_queue_depth gauge
+saebft_link_peer_queue_depth{node="0",peer="2"} 7
+# HELP saebft_pbft_batches_total batches ordered
+# TYPE saebft_pbft_batches_total counter
+saebft_pbft_batches_total{node="0"} 3
+saebft_pbft_batches_total{node="1"} 2
+# HELP saebft_wal_fsync_seconds fsync latency
+# TYPE saebft_wal_fsync_seconds histogram
+saebft_wal_fsync_seconds_bucket{le="0.001",node="0"} 1
+saebft_wal_fsync_seconds_bucket{le="0.01",node="0"} 1
+saebft_wal_fsync_seconds_bucket{le="+Inf",node="0"} 2
+saebft_wal_fsync_seconds_sum{node="0"} 0.5005
+saebft_wal_fsync_seconds_count{node="0"} 2
+`
+	if got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	if _, err := parsePrometheusText(got); err != nil {
+		t.Fatalf("exposition does not parse: %v", err)
+	}
+}
+
+// TestExpositionAlwaysParses feeds a registry with awkward values (label
+// escaping, huge and fractional numbers) and checks the parser still
+// accepts the output.
+func TestExpositionAlwaysParses(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("g1", `help with \ backslash and "quotes"`, L("k", `va"l\ue`+"\nnl")).Set(-12)
+	r.Counter("big_total", "big").Add(1 << 62)
+	r.Histogram("h_seconds", "h", LatencyBuckets).Observe(0.000123)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := parsePrometheusText(sb.String())
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, sb.String())
+	}
+	if samples == 0 {
+		t.Fatal("parser saw no samples")
+	}
+}
+
+func TestUnregister(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("peer_depth", "d", func() float64 { return 1 }, L("peer", "1"))
+	r.GaugeFunc("peer_depth", "d", func() float64 { return 2 }, L("peer", "2"))
+	r.Unregister("peer_depth", L("peer", "1"))
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+	if strings.Contains(out, `peer="1"`) {
+		t.Fatalf("unregistered series still exposed:\n%s", out)
+	}
+	if !strings.Contains(out, `peer="2"`) {
+		t.Fatalf("surviving series missing:\n%s", out)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total", "x")
+	g := r.Gauge("y", "y")
+	h := r.Histogram("z", "z", CountBuckets)
+	var tr *Tracer
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	tr.Record(Span{Stage: StageSubmit})
+	r.CounterFunc("f_total", "f", func() uint64 { return 1 })
+	r.GaugeFunc("fg", "f", func() float64 { return 1 })
+	r.Unregister("x_total")
+	if r.Snapshot() != nil || tr.Dump() != nil || tr.Total() != 0 {
+		t.Fatal("nil registry/tracer returned non-zero data")
+	}
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	var s *OpsServer
+	if s.Addr() != "" || s.Close() != nil {
+		t.Fatal("nil ops server misbehaved")
+	}
+}
+
+// parsePrometheusText is a strict parser for the text exposition format
+// v0.0.4: it validates comment lines, metric-name and label grammar, value
+// syntax, and that every sample line belongs to a # TYPE-declared family.
+// Returns the number of samples parsed.
+func parsePrometheusText(text string) (int, error) {
+	types := map[string]string{}
+	samples := 0
+	validName := func(s string) bool {
+		for i, r := range s {
+			ok := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (i > 0 && r >= '0' && r <= '9')
+			if !ok {
+				return false
+			}
+		}
+		return len(s) > 0
+	}
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, _, _ := strings.Cut(rest, " ")
+			if !validName(name) {
+				return 0, fmt.Errorf("line %d: bad HELP metric name %q", ln+1, name)
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 || !validName(fields[0]) {
+				return 0, fmt.Errorf("line %d: bad TYPE line %q", ln+1, line)
+			}
+			switch fields[1] {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return 0, fmt.Errorf("line %d: unknown type %q", ln+1, fields[1])
+			}
+			types[fields[0]] = fields[1]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			return 0, fmt.Errorf("line %d: unknown comment %q", ln+1, line)
+		}
+		// Sample line: name[{labels}] value
+		name := line
+		rest := ""
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name, rest = line[:i], line[i:]
+		}
+		if !validName(name) {
+			return 0, fmt.Errorf("line %d: bad metric name %q", ln+1, name)
+		}
+		base := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if b, ok := strings.CutSuffix(name, suffix); ok && types[b] == "histogram" {
+				base = b
+			}
+		}
+		if _, ok := types[base]; !ok {
+			return 0, fmt.Errorf("line %d: sample %q precedes its TYPE declaration", ln+1, name)
+		}
+		if strings.HasPrefix(rest, "{") {
+			end := strings.Index(rest, "} ")
+			if end < 0 {
+				return 0, fmt.Errorf("line %d: unterminated label set", ln+1)
+			}
+			labels := rest[1:end]
+			rest = rest[end+1:]
+			for _, pair := range splitLabels(labels) {
+				k, v, ok := strings.Cut(pair, "=")
+				if !ok || !validName(k) || len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+					return 0, fmt.Errorf("line %d: bad label pair %q", ln+1, pair)
+				}
+			}
+		}
+		val := strings.TrimSpace(rest)
+		if val != "+Inf" && val != "-Inf" && val != "NaN" {
+			if _, err := strconv.ParseFloat(val, 64); err != nil {
+				return 0, fmt.Errorf("line %d: bad value %q: %v", ln+1, val, err)
+			}
+		}
+		samples++
+	}
+	if samples == 0 {
+		return 0, fmt.Errorf("no samples")
+	}
+	return samples, nil
+}
+
+// splitLabels splits k1="v1",k2="v2" at commas outside quotes.
+func splitLabels(s string) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

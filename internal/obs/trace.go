@@ -1,0 +1,104 @@
+package obs
+
+import "sync"
+
+// Span stages through the request lifecycle, in protocol order. One request
+// leaves a trail: submit at the primary, the batch it was cut into, that
+// batch's agreement phases, its execution, and the reply (or, on the read
+// path, the certified read served). Stage strings are part of the
+// /debug/trace output contract; docs/ARCHITECTURE.md diagrams them.
+const (
+	StageSubmit     = "submit"      // request accepted into the primary's queue
+	StageBatchCut   = "batch_cut"   // primary cut a batch and proposed it
+	StagePrePrepare = "pre_prepare" // replica accepted a pre-prepare
+	StagePrepared   = "prepared"    // 2f matching prepares collected
+	StageCommitted  = "committed"   // 2f+1 matching commits collected
+	StageExecuted   = "executed"    // agreement-side execution (certificate released)
+	StageApply      = "apply"       // execution replica applied the batch
+	StageReply      = "reply"       // reply shares emitted toward the certifiers
+	StageReadServe  = "read_serve"  // execution replica answered a certified read
+	StageViewChange = "view_change" // replica abandoned its view
+	StageNewView    = "new_view"    // replica installed a new view
+	StageCheckpoint = "checkpoint"  // stable checkpoint formed
+)
+
+// Span is one lifecycle record. At is in the recording component's clock
+// units (nanoseconds): virtual time under the simulator — so traces are
+// deterministic across runs — and monotonic-since-start under TCP.
+type Span struct {
+	At    int64  `json:"at_ns"`
+	Node  int    `json:"node"`
+	Stage string `json:"stage"`
+	Seq   uint64 `json:"seq,omitempty"`
+	View  uint64 `json:"view,omitempty"`
+	// Note carries stage-specific detail: "client=5 ts=12" on submit,
+	// "reqs=8" on batch_cut, the refusal reason on reads, and so on.
+	Note string `json:"note,omitempty"`
+}
+
+// Tracer keeps the newest spans in a fixed ring. Recording is cheap (one
+// mutex, no allocation beyond the slot) and never blocks on readers; when
+// the ring wraps, the oldest spans are overwritten. All methods no-op (or
+// return zero values) on a nil receiver.
+type Tracer struct {
+	mu    sync.Mutex
+	ring  []Span
+	next  int
+	total uint64
+}
+
+// DefaultTraceCap is the span capacity used when none is given: enough to
+// hold the full lifecycle of several hundred recent operations.
+const DefaultTraceCap = 4096
+
+// NewTracer returns a tracer holding the newest capacity spans (<=0 takes
+// DefaultTraceCap).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCap
+	}
+	return &Tracer{ring: make([]Span, capacity)}
+}
+
+// Record appends one span, overwriting the oldest once the ring is full.
+func (t *Tracer) Record(s Span) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.ring[t.next] = s
+	t.next = (t.next + 1) % len(t.ring)
+	t.total++
+	t.mu.Unlock()
+}
+
+// Dump returns the retained spans, oldest first. Not for consensus code
+// (the trace plane is write-only there).
+func (t *Tracer) Dump() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := len(t.ring)
+	if t.total < uint64(n) {
+		out := make([]Span, t.next)
+		copy(out, t.ring[:t.next])
+		return out
+	}
+	out := make([]Span, 0, n)
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// Total reports how many spans were ever recorded (including overwritten
+// ones). Not for consensus code.
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}

@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTracerRing(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 3; i++ {
+		tr.Record(Span{At: int64(i), Stage: StageSubmit})
+	}
+	got := tr.Dump()
+	if len(got) != 3 || got[0].At != 0 || got[2].At != 2 {
+		t.Fatalf("partial ring dump = %+v", got)
+	}
+	for i := 3; i < 10; i++ {
+		tr.Record(Span{At: int64(i), Stage: StageBatchCut})
+	}
+	got = tr.Dump()
+	if len(got) != 4 {
+		t.Fatalf("full ring holds %d spans, want 4", len(got))
+	}
+	// Oldest-first: the newest 4 of 10 records are 6..9.
+	for i, s := range got {
+		if want := int64(6 + i); s.At != want {
+			t.Fatalf("dump[%d].At = %d, want %d", i, s.At, want)
+		}
+	}
+	if tr.Total() != 10 {
+		t.Fatalf("total = %d, want 10", tr.Total())
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(128)
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 1000; i++ {
+				tr.Record(Span{At: int64(i), Node: w, Stage: StageApply})
+			}
+		}(w)
+	}
+	for i := 0; i < 20; i++ {
+		tr.Dump()
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+	if tr.Total() != 4000 {
+		t.Fatalf("total = %d, want 4000", tr.Total())
+	}
+}
+
+// TestOpsServer drives the three endpoint families end to end and then
+// checks Close leaks no goroutines — the ops-server half of the issue's
+// shutdown-leak guard (the node-level half lives in the saebft tests).
+func TestOpsServer(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	reg := NewRegistry()
+	reg.Counter("saebft_test_total", "t", L("node", "9")).Add(41)
+	tr := NewTracer(16)
+	tr.Record(Span{At: 5, Node: 9, Stage: StageExecuted, Seq: 3})
+	s, err := ServeOps("127.0.0.1:0", reg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + s.Addr()
+
+	body := httpGet(t, base+"/metrics")
+	if !strings.Contains(body, `saebft_test_total{node="9"} 41`) {
+		t.Fatalf("/metrics missing series:\n%s", body)
+	}
+	if _, err := parsePrometheusText(body); err != nil {
+		t.Fatalf("/metrics not parseable: %v", err)
+	}
+
+	var dump struct {
+		Total uint64 `json:"total"`
+		Spans []Span `json:"spans"`
+	}
+	if err := json.Unmarshal([]byte(httpGet(t, base+"/debug/trace")), &dump); err != nil {
+		t.Fatalf("/debug/trace JSON: %v", err)
+	}
+	if dump.Total != 1 || len(dump.Spans) != 1 || dump.Spans[0].Stage != StageExecuted {
+		t.Fatalf("/debug/trace = %+v", dump)
+	}
+
+	if body := httpGet(t, base+"/debug/pprof/cmdline"); body == "" {
+		t.Fatal("/debug/pprof/cmdline empty")
+	}
+
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	// The serve goroutine and every handler must be gone.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		buf := make([]byte, 1<<16)
+		t.Fatalf("goroutines leaked after Close: %d > %d\n%s", n, before, buf[:runtime.Stack(buf, true)])
+	}
+}
+
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func ExampleRegistry_WritePrometheus() {
+	r := NewRegistry()
+	r.Counter("example_total", "an example counter", L("node", "0")).Add(2)
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	fmt.Print(sb.String())
+	// Output:
+	// # HELP example_total an example counter
+	// # TYPE example_total counter
+	// example_total{node="0"} 2
+}

@@ -22,6 +22,7 @@ import (
 	"sort"
 
 	"repro/internal/auth"
+	"repro/internal/obs"
 	"repro/internal/storage"
 	"repro/internal/transport"
 	"repro/internal/types"
@@ -103,6 +104,14 @@ type Config struct {
 	// without counting against f.
 	Store storage.Store
 
+	// Obs, when non-nil, receives this replica's metrics (see
+	// internal/obs). The replica only writes instruments — the
+	// simdeterminism analyzer forbids read-side calls — so observability
+	// never feeds back into protocol state. Trace, when non-nil, receives
+	// lifecycle spans stamped with the protocol clock.
+	Obs   *obs.Registry
+	Trace *obs.Tracer
+
 	// VolatileVotes reverts to committed-state-only durability: per-slot
 	// votes, prepared certificates, and view transitions are not logged
 	// (saving one WAL sync per vote message). A replica recovering under
@@ -161,6 +170,12 @@ type instance struct {
 	prepared  bool
 	committed bool
 	executed  bool
+
+	// Phase timestamps (protocol clock) for latency histograms; zero when
+	// the instance was recreated across a view migration.
+	acceptedAt  types.Time
+	preparedAt  types.Time
+	committedAt types.Time
 }
 
 // commitAtts collects the attestations that vouch for this instance's
@@ -263,6 +278,12 @@ type Replica struct {
 
 	statusDeadline types.Time
 
+	// observability (write-only from this package; see obs.go)
+	om        metrics
+	trace     *obs.Tracer
+	ckptBegan types.Time // when the in-flight checkpoint sync started
+	vcBegan   types.Time // when the current view-change campaign started
+
 	// Metrics counts externally observable progress for tests/benches.
 	Metrics Metrics
 }
@@ -305,6 +326,8 @@ func New(cfg Config, app App, send transport.Sender) (*Replica, error) {
 		ckptVotes: make(map[types.SeqNum]map[types.NodeID]wire.AgreeCheckpoint),
 		ckptLocal: make(map[types.SeqNum]savedCheckpoint),
 		vcs:       make(map[types.View]map[types.NodeID]*wire.ViewChange),
+		om:        newPBFTMetrics(cfg.Obs, cfg.ID),
+		trace:     cfg.Trace,
 	}
 	return r, nil
 }
@@ -591,6 +614,8 @@ func (r *Replica) enqueue(m *wire.Request, now types.Time) {
 			if r.batchDeadline == 0 {
 				r.batchDeadline = now + r.cfg.BatchWait
 			}
+			r.om.queueDepth.Set(int64(len(r.queue)))
+			r.span(now, obs.StageSubmit, 0, fmt.Sprintf("client=%d ts=%d", m.Client, m.Timestamp))
 		}
 		return
 	}
@@ -639,6 +664,7 @@ func (r *Replica) maybePropose(now types.Time) {
 		}
 		r.queue = append(r.queue[:0], r.queue[k:]...)
 		r.queueBytes -= kbytes
+		r.om.queueDepth.Set(int64(len(r.queue)))
 		if len(r.queue) == 0 {
 			r.batchDeadline = 0
 		} else {
@@ -658,6 +684,8 @@ func (r *Replica) propose(n types.SeqNum, batch []wire.Request, now types.Time) 
 		t = r.ndClock + 1
 	}
 	nd := types.NonDet{Time: t, Rand: types.ComputeNonDetRand(n, t)}
+	r.om.batchSize.Observe(float64(len(batch)))
+	r.span(now, obs.StageBatchCut, n, fmt.Sprintf("reqs=%d", len(batch)))
 	pp := &wire.PrePrepare{View: r.view, Seq: n, ND: nd, Requests: batch, Primary: r.cfg.ID}
 	od := pp.OrderDigest()
 	att, err := r.cfg.ReplicaAuth.Attest(auth.KindPrePrepare, od, r.top.Agreement)
@@ -726,6 +754,7 @@ func (r *Replica) onPrePrepare(m *wire.PrePrepare, now types.Time) {
 	if in.pp != nil {
 		if in.od != od {
 			// Equivocating primary: demand a view change.
+			r.om.equivocations.Inc()
 			r.startViewChange(r.view+1, now)
 		}
 		return
@@ -736,6 +765,7 @@ func (r *Replica) onPrePrepare(m *wire.PrePrepare, now types.Time) {
 	// even when the earlier pre-prepare itself died with the old process.
 	if voteOK, conflict := r.mayVote(m.View, m.Seq, od); !voteOK {
 		if conflict {
+			r.om.equivocations.Inc()
 			r.startViewChange(r.view+1, now)
 		}
 		return
@@ -764,6 +794,8 @@ func (r *Replica) acceptPrePrepare(pp *wire.PrePrepare, od types.Digest, now typ
 	in := r.inst(pp.View, pp.Seq)
 	in.pp = pp
 	in.od = od
+	in.acceptedAt = now
+	r.span(now, obs.StagePrePrepare, pp.Seq, "")
 	if pp.ND.Time > r.ndClock {
 		r.ndClock = pp.ND.Time
 	}
@@ -830,6 +862,9 @@ func (r *Replica) checkPrepared(in *instance, now types.Time) {
 		return
 	}
 	in.prepared = true
+	in.preparedAt = now
+	observeSince(r.om.prepareLat, in.acceptedAt, now)
+	r.span(now, obs.StagePrepared, in.seq, "")
 	in.commits[r.cfg.ID] = vote{od: in.od, att: att}
 	cm := &wire.Commit{View: in.view, Seq: in.seq, OD: in.od, Replica: r.cfg.ID, Att: att}
 	r.broadcast(wire.Marshal(cm))
@@ -867,6 +902,9 @@ func (r *Replica) checkCommitted(in *instance, now types.Time) {
 		return
 	}
 	in.committed = true
+	in.committedAt = now
+	observeSince(r.om.commitLat, in.preparedAt, now)
+	r.span(now, obs.StageCommitted, in.seq, "")
 	// Durability: log the commit as a self-proving transferable
 	// certificate (the same form peers exchange during catch-up), so
 	// replay after a restart re-verifies 2f+1 signatures rather than
@@ -923,6 +961,11 @@ func (r *Replica) executeReady(now types.Time) {
 		r.lastExec = next
 		r.Metrics.Batches++
 		r.Metrics.Requests += uint64(len(in.pp.Requests))
+		r.om.batches.Inc()
+		r.om.requests.Add(uint64(len(in.pp.Requests)))
+		r.om.lastExec.Set(int64(next))
+		observeSince(r.om.executeLat, in.committedAt, now)
+		r.span(now, obs.StageExecuted, next, "")
 		// Clear suspicion timers and advance both dedup values; the
 		// execution-derived one feeds the checkpoint.
 		for i := range in.pp.Requests {
@@ -952,6 +995,7 @@ func (r *Replica) executeReady(now types.Time) {
 func (r *Replica) beginCheckpoint(n types.SeqNum) {
 	r.syncing = true
 	r.syncSeq = n
+	r.ckptBegan = r.now
 	r.app.Sync(n, func(digest types.Digest, payload []byte) {
 		r.completeCheckpoint(n, digest, payload)
 	})
@@ -969,6 +1013,8 @@ func (r *Replica) completeCheckpoint(n types.SeqNum, digest types.Digest, payloa
 	digest = types.DigestBytes(payload)
 	r.ckptLocal[n] = savedCheckpoint{digest: digest, payload: payload}
 	r.Metrics.Checkpoints++
+	r.om.checkpoints.Inc()
+	observeSince(r.om.ckptSecs, r.ckptBegan, r.now)
 	// If stability raced ahead of the local sync (2f+1 peers finished
 	// first), the deferred persist from makeStable can complete now.
 	if n == r.lastStable {
@@ -1034,6 +1080,8 @@ func (r *Replica) makeStable(n types.SeqNum, digest types.Digest, votes map[type
 	sort.Slice(proof, func(i, j int) bool { return proof[i].Replica < proof[j].Replica })
 	r.lastStable = n
 	r.stableProof = proof
+	r.om.lastStable.Set(int64(n))
+	r.span(r.now, obs.StageCheckpoint, n, "stable")
 	// Durability: persist the stable checkpoint with its vote set, then
 	// let the WAL shed segments it supersedes.
 	r.persistStable(n)

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"repro/internal/auth"
+	"repro/internal/obs"
 	"repro/internal/types"
 	"repro/internal/wire"
 )
@@ -22,10 +23,17 @@ func (r *Replica) startViewChange(target types.View, now types.Time) {
 	if target <= r.view {
 		return
 	}
+	if !r.inViewChange {
+		r.vcBegan = now // an escalating campaign keeps its original start
+	}
 	r.view = target
 	r.inViewChange = true
 	r.vcAttempts = 0
 	r.Metrics.ViewChanges++
+	r.om.viewChanges.Inc()
+	r.om.view.Set(int64(target))
+	r.om.queueDepth.Set(0)
+	r.span(now, obs.StageViewChange, 0, "")
 	r.queue = nil
 	r.queued = make(map[types.Digest]bool)
 	r.queueBytes = 0
@@ -375,6 +383,10 @@ func (r *Replica) onNewView(m *wire.NewView, now types.Time) {
 // them.
 func (r *Replica) installNewView(m *wire.NewView, minS, maxS types.SeqNum, now types.Time) {
 	r.inViewChange = false
+	observeSince(r.om.vcSeconds, r.vcBegan, now)
+	r.vcBegan = 0
+	r.om.view.Set(int64(r.view))
+	r.span(now, obs.StageNewView, 0, "")
 	r.lastNewView = m
 	r.sentVC = nil
 	if maxS > r.nextSeq {

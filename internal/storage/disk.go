@@ -4,6 +4,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"repro/internal/types"
 )
@@ -15,11 +16,13 @@ import (
 type DiskStore struct {
 	dir string
 
-	mu     sync.Mutex
-	lock   *os.File // exclusive flock on <dir>/LOCK (unix)
-	wal    *wal
-	ckpts  *ckptStore
-	closed bool
+	mu      sync.Mutex
+	lock    *os.File // exclusive flock on <dir>/LOCK (unix)
+	wal     *wal
+	ckpts   *ckptStore
+	closed  bool
+	om      walMetrics
+	pending int // appends not yet covered by a sync (under mu)
 }
 
 // Open creates or reopens a node's store rooted at dir, truncating any torn
@@ -46,7 +49,9 @@ func Open(dir string, opts Options) (*DiskStore, error) {
 		releaseDirLock(lock)
 		return nil, err
 	}
-	return &DiskStore{dir: dir, lock: lock, wal: w, ckpts: c}, nil
+	s := &DiskStore{dir: dir, lock: lock, wal: w, ckpts: c, om: newWALMetrics(opts.Obs, opts.ObsNode)}
+	s.om.segments.Set(int64(len(w.segs)))
+	return s, nil
 }
 
 // Dir returns the store's root directory.
@@ -59,7 +64,14 @@ func (s *DiskStore) Append(kind RecordKind, seq types.SeqNum, payload []byte) er
 	if s.closed {
 		return errClosed
 	}
-	return s.wal.append(kind, seq, payload)
+	start := time.Now()
+	err := s.wal.append(kind, seq, payload)
+	s.om.appendLat.Observe(time.Since(start).Seconds())
+	s.om.segments.Set(int64(len(s.wal.segs)))
+	if err == nil {
+		s.pending++
+	}
+	return err
 }
 
 // Sync implements Store.
@@ -69,8 +81,15 @@ func (s *DiskStore) Sync() error {
 	if s.closed {
 		return errClosed
 	}
+	start := time.Now()
 	//lint:allow lockdiscipline s.mu is the store's designated durability serialization point: append/sync ordering under concurrent close is exactly what this mutex exists to provide
-	return s.wal.sync()
+	err := s.wal.sync()
+	if s.pending > 0 {
+		s.om.fsyncLat.Observe(time.Since(start).Seconds())
+		s.om.syncBatch.Observe(float64(s.pending))
+		s.pending = 0
+	}
+	return err
 }
 
 // SaveCheckpoint implements Store.
@@ -110,7 +129,9 @@ func (s *DiskStore) Prune(stable types.SeqNum) error {
 	if s.closed {
 		return errClosed
 	}
-	return s.wal.prune(stable)
+	err := s.wal.prune(stable)
+	s.om.segments.Set(int64(len(s.wal.segs)))
+	return err
 }
 
 // Close implements Store: flushes the WAL and releases file handles.

@@ -1,0 +1,30 @@
+package storage
+
+import (
+	"repro/internal/obs"
+)
+
+// walMetrics holds the store's registered instruments. Storage sits outside
+// the deterministic cores, so latencies here are wall-clock (the fsync
+// really took that long). Instruments are nil without a registry and no-op
+// on nil.
+type walMetrics struct {
+	appendLat *obs.Histogram
+	fsyncLat  *obs.Histogram
+	syncBatch *obs.Histogram // appends made durable by one fsync
+	segments  *obs.Gauge
+}
+
+func newWALMetrics(reg *obs.Registry, node string) walMetrics {
+	l := obs.L("node", node)
+	return walMetrics{
+		appendLat: reg.Histogram("saebft_wal_append_seconds",
+			"WAL record append latency (buffered write, wall clock)", obs.LatencyBuckets, l),
+		fsyncLat: reg.Histogram("saebft_wal_fsync_seconds",
+			"WAL sync latency (flush + fsync, wall clock)", obs.LatencyBuckets, l),
+		syncBatch: reg.Histogram("saebft_wal_sync_batch_records",
+			"records made durable by one sync (group-commit batch size)", obs.CountBuckets, l),
+		segments: reg.Gauge("saebft_wal_segments",
+			"WAL segments on disk", l),
+	}
+}

@@ -20,7 +20,10 @@
 // delivery bursts.
 package storage
 
-import "repro/internal/types"
+import (
+	"repro/internal/obs"
+	"repro/internal/types"
+)
 
 // RecordKind discriminates WAL record payloads.
 type RecordKind uint8
@@ -83,6 +86,11 @@ type Options struct {
 	RetainCheckpoints int
 	// Fsync selects the media-write policy. Default FsyncBatch.
 	Fsync FsyncMode
+	// Obs, when non-nil, receives WAL metrics (append/fsync latency,
+	// sync-batch size, segment count); ObsNode is the "node" label value
+	// for the series.
+	Obs     *obs.Registry
+	ObsNode string
 }
 
 func (o *Options) fillDefaults() {

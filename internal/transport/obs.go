@@ -1,0 +1,86 @@
+package transport
+
+import (
+	"strconv"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/types"
+)
+
+// obsSeries remembers one registered series so Close can unregister it: a
+// stopped endpoint must not keep exporting frozen link counters or — worse —
+// a stale stalled=1 for peers it no longer dials.
+type obsSeries struct {
+	name   string
+	labels []obs.Label
+}
+
+// registerObs folds the endpoint's atomic link counters into the registry
+// as func-backed series (one source of truth: LinkStats and /metrics read
+// the same atomics) and surfaces the TLS leaf-certificate expiry.
+func (n *TCPNet) registerObs() {
+	reg := n.opts.Obs
+	if reg == nil {
+		return
+	}
+	node := obs.L("node", n.opts.ObsNode)
+	cf := func(name, help string, fn func() uint64) {
+		reg.CounterFunc(name, help, fn, node)
+		n.obsSeries = append(n.obsSeries, obsSeries{name, []obs.Label{node}})
+	}
+	cf("saebft_link_dials_total", "outbound connection attempts", n.stats.dials.Load)
+	cf("saebft_link_dial_failures_total", "connection attempts failed before any handshake", n.stats.dialFailures.Load)
+	cf("saebft_link_handshakes_total", "authenticated handshakes completed (both directions)", n.stats.handshakes.Load)
+	cf("saebft_link_handshake_failures_total", "TLS/hello handshake failures (both directions)", n.stats.handshakeFailures.Load)
+	cf("saebft_link_auth_rejects_total", "peers whose authenticated identity contradicted the claimed sender", n.stats.authRejects.Load)
+	cf("saebft_link_reconnects_total", "successful handshakes after a previous connection was lost", n.stats.reconnects.Load)
+	cf("saebft_link_frames_sent_total", "frames written to peers", n.stats.framesSent.Load)
+	cf("saebft_link_frames_received_total", "frames read from peers", n.stats.framesReceived.Load)
+	cf("saebft_link_bytes_sent_total", "frame bytes written to peers", n.stats.bytesSent.Load)
+	cf("saebft_link_bytes_received_total", "frame bytes read from peers", n.stats.bytesReceived.Load)
+	cf("saebft_link_frames_dropped_total", "frames dropped by bounded queues or unreachable peers", n.stats.framesDropped.Load)
+	if sec := n.opts.Security; sec != nil {
+		notAfter := sec.LeafNotAfter()
+		reg.GaugeFunc("saebft_tls_cert_not_after_seconds",
+			"TLS leaf certificate notAfter as unix seconds",
+			func() float64 { return float64(notAfter.Unix()) }, node)
+		n.obsSeries = append(n.obsSeries, obsSeries{"saebft_tls_cert_not_after_seconds", []obs.Label{node}})
+	}
+}
+
+// registerPeerObs registers the per-peer series when a peer link first
+// forms: a queue-depth gauge reading the channel length (len on a channel
+// is concurrency-safe) and the stall-detector gauge the writeLoop drives.
+// Caller holds n.mu.
+func (n *TCPNet) registerPeerObs(p *tcpPeer, to types.NodeID) {
+	reg := n.opts.Obs
+	if reg == nil {
+		return
+	}
+	node := obs.L("node", n.opts.ObsNode)
+	peer := obs.L("peer", strconv.Itoa(int(to)))
+	reg.GaugeFunc("saebft_link_peer_queue_depth",
+		"outbound frames queued toward the peer",
+		func() float64 { return float64(len(p.out)) }, node, peer)
+	p.stalled = reg.Gauge("saebft_link_peer_stalled",
+		"1 while the peer link is down and backing off, 0 while connected", node, peer)
+	n.obsSeries = append(n.obsSeries,
+		obsSeries{"saebft_link_peer_queue_depth", []obs.Label{node, peer}},
+		obsSeries{"saebft_link_peer_stalled", []obs.Label{node, peer}})
+}
+
+// warnCertExpiry logs at startup when the endpoint's TLS leaf certificate
+// has less than 30 days of validity left (certs are minted ten-year today,
+// so any short remainder is an operational mistake worth flagging early).
+func (n *TCPNet) warnCertExpiry() {
+	sec := n.opts.Security
+	if sec == nil {
+		return
+	}
+	notAfter := sec.LeafNotAfter()
+	if d := time.Until(notAfter); d < 30*24*time.Hour {
+		n.log("tcp %v: TLS leaf certificate expires %s (in %s); rotate it soon",
+			n.self, notAfter.Format(time.RFC3339), d.Round(time.Hour))
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/types"
 )
 
@@ -65,6 +66,13 @@ type TCPOptions struct {
 	// outage the queue holds the newest window of traffic, which is what
 	// the retransmitting protocols want on reconnect.
 	QueueLen int
+
+	// Obs, when non-nil, receives the endpoint's link metrics: the
+	// LinkStats counters as func-backed series, per-peer queue-depth and
+	// stall-detector gauges, and the TLS certificate expiry. ObsNode is
+	// the "node" label value for every series. Close unregisters them.
+	Obs     *obs.Registry
+	ObsNode string
 }
 
 func (o *TCPOptions) fillDefaults() {
@@ -146,19 +154,21 @@ type TCPNet struct {
 	logf  atomic.Pointer[func(string, ...interface{})]
 	stats linkCounters
 
-	mu      sync.Mutex
-	peers   map[types.NodeID]*tcpPeer
-	inbound map[net.Conn]bool
-	closed  bool
-	handler func(from types.NodeID, data []byte)
-	wg      sync.WaitGroup
-	start   time.Time
+	mu        sync.Mutex
+	peers     map[types.NodeID]*tcpPeer
+	inbound   map[net.Conn]bool
+	closed    bool
+	handler   func(from types.NodeID, data []byte)
+	wg        sync.WaitGroup
+	start     time.Time
+	obsSeries []obsSeries // registered series, unregistered on Close
 }
 
 type tcpPeer struct {
 	out           chan []byte
 	stop          chan struct{}
-	everConnected bool // writeLoop-only; reconnect accounting
+	everConnected bool       // writeLoop-only; reconnect accounting
+	stalled       *obs.Gauge // 1 while down and backing off; nil without a registry
 }
 
 // NewTCPNet creates a plaintext node endpoint with default tuning. addrs
@@ -192,6 +202,8 @@ func NewTCPNetOpts(self types.NodeID, addrs map[types.NodeID]string, handler fun
 		start:   time.Now(),
 	}
 	n.SetLogf(log.Printf)
+	n.registerObs()
+	n.warnCertExpiry()
 	n.wg.Add(1)
 	go n.acceptLoop()
 	return n, nil
@@ -391,6 +403,7 @@ func (n *TCPNet) Send(to types.NodeID, data []byte) {
 	if p == nil {
 		p = &tcpPeer{out: make(chan []byte, n.opts.QueueLen), stop: make(chan struct{})}
 		n.peers[to] = p
+		n.registerPeerObs(p, to)
 		n.wg.Add(1)
 		go func() {
 			defer n.wg.Done()
@@ -491,6 +504,7 @@ func (n *TCPNet) writeLoop(p *tcpPeer, to types.NodeID, addr string) {
 			for conn == nil {
 				c, err := n.dialPeer(to, addr)
 				if err != nil {
+					p.stalled.Set(1)
 					n.log("tcp %v: connecting to node %v (%s): %v", n.self, to, addr, err)
 					// Connection attempt failed; drop the pending frame
 					// rather than buffering unboundedly, and back off with
@@ -514,6 +528,7 @@ func (n *TCPNet) writeLoop(p *tcpPeer, to types.NodeID, addr string) {
 				// Reset only here: the handshake authenticated the peer. A
 				// listener that accepts TCP but fails auth keeps backing off.
 				backoff = n.opts.BackoffMin
+				p.stalled.Set(0)
 				if p.everConnected {
 					n.stats.reconnects.Add(1)
 				}
@@ -525,6 +540,7 @@ func (n *TCPNet) writeLoop(p *tcpPeer, to types.NodeID, addr string) {
 			conn.SetWriteDeadline(time.Now().Add(n.opts.WriteTimeout))
 			if _, err := conn.Write(frame); err != nil {
 				n.stats.framesDropped.Add(1)
+				p.stalled.Set(1)
 				conn.Close()
 				conn = nil
 				continue
@@ -535,7 +551,11 @@ func (n *TCPNet) writeLoop(p *tcpPeer, to types.NodeID, addr string) {
 	}
 }
 
-// Close shuts the endpoint down and waits for its goroutines.
+// Close shuts the endpoint down and waits for its goroutines. Every metric
+// series the endpoint registered — the link counters and the per-peer
+// queue-depth/stall gauges — is unregistered, so a stopped endpoint's
+// backoff bookkeeping cannot linger in the registry as a permanently
+// stalled peer.
 func (n *TCPNet) Close() error {
 	n.mu.Lock()
 	if n.closed {
@@ -545,6 +565,8 @@ func (n *TCPNet) Close() error {
 	n.closed = true
 	peers := n.peers
 	n.peers = make(map[types.NodeID]*tcpPeer)
+	series := n.obsSeries
+	n.obsSeries = nil
 	inbound := make([]net.Conn, 0, len(n.inbound))
 	for c := range n.inbound {
 		inbound = append(inbound, c)
@@ -559,6 +581,9 @@ func (n *TCPNet) Close() error {
 		close(p.stop)
 	}
 	n.wg.Wait()
+	for _, s := range series {
+		n.opts.Obs.Unregister(s.name, s.labels...)
+	}
 	return nil
 }
 

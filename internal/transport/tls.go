@@ -204,6 +204,16 @@ func NewSecurity(self types.NodeID, caPEM, certPEM, keyPEM []byte) (*Security, e
 	return &Security{self: self, cert: cert, pool: pool}, nil
 }
 
+// LeafNotAfter reports the leaf certificate's expiry time. The transport
+// exposes it as a gauge and warns at startup when under 30 days remain.
+// Zero on a nil receiver.
+func (s *Security) LeafNotAfter() time.Time {
+	if s == nil {
+		return time.Time{}
+	}
+	return s.cert.Leaf.NotAfter
+}
+
 // LoadSecurity reads the endpoint security state from PEM files.
 func LoadSecurity(self types.NodeID, caFile, certFile, keyFile string) (*Security, error) {
 	caPEM, err := os.ReadFile(caFile)

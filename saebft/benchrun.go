@@ -73,6 +73,7 @@ type BenchPoint struct {
 	BatchOps   int     `json:"batch_ops"`         // 0 = client batching off
 	Storage    bool    `json:"storage,omitempty"` // fsync-batched WAL + checkpoint store enabled
 	TLS        bool    `json:"tls,omitempty"`     // links over mutual TLS (TCP only)
+	Obs        string  `json:"obs,omitempty"`     // "off" = observability disabled; "" = on (the default everywhere else)
 	Read       string  `json:"read,omitempty"`    // read sweep: "certified" or "invoke"
 	Ops        int     `json:"ops"`
 	OpSize     int     `json:"op_size"`
@@ -92,6 +93,9 @@ func (p *BenchPoint) key() string {
 	}
 	if p.TLS {
 		k += "/tls"
+	}
+	if p.Obs != "" {
+		k += "/obs=" + p.Obs
 	}
 	if p.Read != "" {
 		k += "/read=" + p.Read
@@ -129,7 +133,7 @@ func RunBatchingBench(cfg BatchBenchConfig) (*BenchReport, error) {
 			for _, bops := range cfg.BatchOps {
 				var best BenchPoint
 				for try := 0; try < cfg.Repeat; try++ {
-					pt, err := runBatchPoint(tr, pipe, bops, cfg.Ops, cfg.OpSize, false, cfg.TLS)
+					pt, err := runBatchPoint(tr, pipe, bops, cfg.Ops, cfg.OpSize, false, cfg.TLS, false)
 					if err != nil {
 						return nil, fmt.Errorf("saebft: bench point %s/p%d/b%d: %w", tr, pipe, bops, err)
 					}
@@ -161,9 +165,32 @@ func RunBatchingBench(cfg BatchBenchConfig) (*BenchReport, error) {
 	for _, tr := range cfg.Transports {
 		var best BenchPoint
 		for try := 0; try < cfg.Repeat; try++ {
-			pt, err := runBatchPoint(tr, maxPipe, maxBops, cfg.Ops, cfg.OpSize, true, cfg.TLS)
+			pt, err := runBatchPoint(tr, maxPipe, maxBops, cfg.Ops, cfg.OpSize, true, cfg.TLS, false)
 			if err != nil {
 				return nil, fmt.Errorf("saebft: durable bench point %s/p%d/b%d: %w", tr, maxPipe, maxBops, err)
+			}
+			if try == 0 || pt.Throughput > best.Throughput {
+				best = pt
+			}
+		}
+		rep.Points = append(rep.Points, best)
+	}
+	// One observability-off datapoint on the simulated transport, at the
+	// same widest configuration: its pair is the matching sim grid point
+	// above, which runs with the registry and trace ring on (the default).
+	// Keeping both in the report makes the instrumentation overhead a number
+	// CI records every run. Not part of the regression gate (the baseline
+	// carries no obs=off point); the grid points themselves ARE gated, so
+	// instrumentation cost past the 30% floor still fails the build.
+	for _, tr := range cfg.Transports {
+		if tr != "sim" {
+			continue
+		}
+		var best BenchPoint
+		for try := 0; try < cfg.Repeat; try++ {
+			pt, err := runBatchPoint(tr, maxPipe, maxBops, cfg.Ops, cfg.OpSize, false, cfg.TLS, true)
+			if err != nil {
+				return nil, fmt.Errorf("saebft: obs-off bench point %s/p%d/b%d: %w", tr, maxPipe, maxBops, err)
 			}
 			if try == 0 || pt.Throughput > best.Throughput {
 				best = pt
@@ -174,7 +201,7 @@ func RunBatchingBench(cfg BatchBenchConfig) (*BenchReport, error) {
 	return rep, nil
 }
 
-func runBatchPoint(transport string, pipeline, batchOps, ops, opSize int, durable, secure bool) (BenchPoint, error) {
+func runBatchPoint(transport string, pipeline, batchOps, ops, opSize int, durable, secure, obsOff bool) (BenchPoint, error) {
 	secure = secure && transport == "tcp" // the simulator has no links to secure
 	pt := BenchPoint{
 		Transport: transport, Pipeline: pipeline, BatchOps: batchOps,
@@ -185,6 +212,10 @@ func runBatchPoint(transport string, pipeline, batchOps, ops, opSize int, durabl
 		WithClients(pipeline),
 		WithSeed("bench-batching"),
 		WithInvokeTimeout(2 * time.Minute),
+	}
+	if obsOff {
+		pt.Obs = "off"
+		opts = append(opts, WithObservability(false))
 	}
 	if durable {
 		dir, err := os.MkdirTemp("", "saebft-bench-storage-")

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/replycert"
 	"repro/internal/wire"
 )
@@ -37,6 +38,7 @@ type Client struct {
 	quit        chan struct{} // closed on terminal shutdown
 	bat         *batcher      // non-nil when client-side batching is enabled
 	session     *Session      // the handle's implicit session
+	reg         *obs.Registry // backing registry for Metrics (may be nil)
 
 	inFlight    atomic.Int64
 	maxInFlight atomic.Int64
@@ -70,6 +72,7 @@ func newHandle(width int, timeout, readTimeout time.Duration) *Client {
 func newClusterClient(c *Cluster, width int, timeout, readTimeout time.Duration) *Client {
 	h := newHandle(width, timeout, readTimeout)
 	h.cluster = c
+	h.reg = c.o.obsReg
 	return h
 }
 

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // Cluster is a full deployment — agreement replicas, execution replicas,
@@ -24,6 +25,7 @@ type Cluster struct {
 
 	mu        sync.Mutex
 	rt        clusterRuntime
+	ops       *obs.OpsServer
 	watchStop chan struct{}
 	closed    bool
 }
@@ -54,6 +56,7 @@ func NewCluster(optfns ...Option) (*Cluster, error) {
 	}
 	c := &Cluster{o: o, builder: b}
 	c.handle = newClusterClient(c, o.clients, o.invokeTimeout, o.readTimeout)
+	c.handle.registerClientObs(o.obsReg)
 	if o.clientBatch.enabled {
 		c.handle.startBatching(o.clientBatch)
 	}
@@ -80,6 +83,14 @@ func (c *Cluster) Start(ctx context.Context) error {
 	rt, err := c.o.transport.start(c.builder, &c.o)
 	if err != nil {
 		return err
+	}
+	if c.o.metricsAddr != "" {
+		srv, err := obs.ServeOps(c.o.metricsAddr, c.o.obsReg, c.o.obsTrace)
+		if err != nil {
+			rt.close()
+			return fmt.Errorf("saebft: ops endpoint: %w", err)
+		}
+		c.ops = srv
 	}
 	c.rt = rt
 	if ctx.Done() != nil {
@@ -116,11 +127,14 @@ func (c *Cluster) teardown() (rt clusterRuntime, done bool) {
 	}
 	c.closed = true
 	rt = c.rt
+	ops := c.ops
+	c.ops = nil
 	stop := c.watchStop
 	c.mu.Unlock()
 	if stop != nil {
 		close(stop)
 	}
+	ops.Close() // nil-safe; stops serving before the nodes go away
 	// Drain the handle first: queued (not yet dispatched) operations fail
 	// with ErrClosed immediately, then closing the runtime resolves the
 	// in-flight ones.

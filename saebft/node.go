@@ -4,11 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/deploy"
+	"repro/internal/obs"
 	"repro/internal/transport"
 	"repro/internal/types"
 )
@@ -28,9 +30,13 @@ type Node struct {
 	tlsCert       string
 	tlsKey        string
 	noTLS         bool
+	metricsAddr   string
+	obsReg        *obs.Registry
+	obsTrace      *obs.Tracer
 
 	mu        sync.Mutex
 	running   *deploy.RunningNode
+	ops       *obs.OpsServer
 	watchStop chan struct{}
 	closed    bool
 }
@@ -72,6 +78,16 @@ func NodeInsecure() NodeOption {
 	return func(n *Node) { n.noTLS = true }
 }
 
+// NodeMetricsAddr serves the node's ops HTTP endpoint on addr once Start
+// succeeds: Prometheus text on /metrics, the per-operation trace ring on
+// /debug/trace, and the standard pprof handlers under /debug/pprof/. Pass
+// "127.0.0.1:0" to let the kernel pick a port (Node.OpsAddr reports it).
+// The endpoint is operational surface, not protocol surface — bind it to
+// an address the deployment's operators can reach, never the public one.
+func NodeMetricsAddr(addr string) NodeOption {
+	return func(n *Node) { n.metricsAddr = addr }
+}
+
 // LinkStats snapshots the node's cumulative transport link counters
 // (zero value before Start). docs/DEPLOYMENT.md's troubleshooting section
 // is keyed to these.
@@ -109,7 +125,11 @@ func NewNode(cfg *Config, id int, opts ...NodeOption) (*Node, error) {
 	if role == types.RoleClient {
 		return nil, fmt.Errorf("saebft: identity %d is a client; use Dial", id)
 	}
-	n := &Node{cfg: cfg, id: types.NodeID(id), role: role}
+	n := &Node{
+		cfg: cfg, id: types.NodeID(id), role: role,
+		obsReg:   obs.NewRegistry(),
+		obsTrace: obs.NewTracer(obs.DefaultTraceCap),
+	}
 	for _, fn := range opts {
 		fn(n)
 	}
@@ -145,9 +165,19 @@ func (n *Node) Start(ctx context.Context) error {
 		TLSCert:       n.tlsCert,
 		TLSKey:        n.tlsKey,
 		DisableTLS:    n.noTLS,
+		Obs:           n.obsReg,
+		Trace:         n.obsTrace,
 	})
 	if err != nil {
 		return err
+	}
+	if n.metricsAddr != "" {
+		srv, err := obs.ServeOps(n.metricsAddr, n.obsReg, n.obsTrace)
+		if err != nil {
+			rn.Close()
+			return fmt.Errorf("saebft: ops endpoint: %w", err)
+		}
+		n.ops = srv
 	}
 	rn.Net.SetLogf(logfOrSilent(n.logf))
 	n.running = rn
@@ -174,11 +204,14 @@ func (n *Node) Close() error {
 	}
 	n.closed = true
 	rn := n.running
+	ops := n.ops
+	n.ops = nil
 	stop := n.watchStop
 	n.mu.Unlock()
 	if stop != nil {
 		close(stop)
 	}
+	ops.Close() // nil-safe; stops serving before the node goes away
 	if rn != nil {
 		rn.Close()
 	}
@@ -350,6 +383,11 @@ func DialConfig(cfg *Config, optfns ...DialOption) (*Client, error) {
 			return cfg.d.Security(id)
 		}
 	}
+	// The handle gets its own registry: client-side pipeline/read counters
+	// plus each endpoint's link series, mirroring what a cluster-owned
+	// handle sees (minus the server-side layers, which live in other
+	// processes and serve their own /metrics).
+	reg := obs.NewRegistry()
 	rt := &tcpRuntime{quit: make(chan struct{})}
 	for _, id := range ids {
 		role, _, ok := b.Top.RoleOf(types.NodeID(id))
@@ -362,7 +400,9 @@ func DialConfig(cfg *Config, optfns ...DialOption) (*Client, error) {
 			rt.close()
 			return nil, fmt.Errorf("saebft: TLS material for client %d: %w", id, err)
 		}
-		ep, err := newTCPEndpoint(b, addrs, types.NodeID(id), dc.logf, transport.TCPOptions{Security: sec})
+		ep, err := newTCPEndpoint(b, addrs, types.NodeID(id), dc.logf, transport.TCPOptions{
+			Security: sec, Obs: reg, ObsNode: strconv.Itoa(id),
+		})
 		if err != nil {
 			rt.close()
 			return nil, fmt.Errorf("saebft: connecting client %d: %w", id, err)
@@ -370,6 +410,8 @@ func DialConfig(cfg *Config, optfns ...DialOption) (*Client, error) {
 		rt.eps = append(rt.eps, ep)
 	}
 	h := newDialedClient(rt, len(rt.eps), dc.timeout, dc.readTimeout)
+	h.reg = reg
+	h.registerClientObs(reg)
 	if dc.batch.enabled {
 		h.startBatching(dc.batch)
 	}

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sm"
 	"repro/internal/storage"
 	"repro/internal/types"
@@ -35,6 +36,13 @@ type options struct {
 	readTimeout   time.Duration
 	transport     Transport
 	tls           TLSConfig
+	obsOff        bool
+	metricsAddr   string
+
+	// obsReg and obsTrace are built by fillDefaults (unless observability
+	// is disabled) and shared by every layer of the cluster.
+	obsReg   *obs.Registry
+	obsTrace *obs.Tracer
 }
 
 // Option configures NewCluster.
@@ -234,6 +242,22 @@ func WithReadTimeout(d time.Duration) Option {
 // SimTransport().
 func WithTransport(t Transport) Option { return func(o *options) { o.transport = t } }
 
+// WithObservability toggles the cluster's metrics registry and trace ring
+// (on by default). Every layer records into them — agreement phase
+// latencies, execution apply lag, WAL fsync cost, link counters, client
+// pipeline state — behind lock-free atomics; turning them off is for
+// quantifying that overhead (the bench suite does), not for production.
+func WithObservability(on bool) Option { return func(o *options) { o.obsOff = !on } }
+
+// WithMetricsAddr serves the cluster's ops HTTP endpoint on addr once
+// Start succeeds: Prometheus text on /metrics, the per-operation trace
+// ring on /debug/trace, and the standard pprof handlers under
+// /debug/pprof/. Pass "127.0.0.1:0" to let the kernel pick a port
+// (Cluster.OpsAddr reports it). Implies observability.
+func WithMetricsAddr(addr string) Option {
+	return func(o *options) { o.metricsAddr = addr; o.obsOff = false }
+}
+
 func (o *options) fillDefaults() {
 	if o.clients == 0 {
 		o.clients = 4
@@ -246,6 +270,10 @@ func (o *options) fillDefaults() {
 	}
 	if o.appName == "" {
 		o.appName = "kv"
+	}
+	if !o.obsOff {
+		o.obsReg = obs.NewRegistry()
+		o.obsTrace = obs.NewTracer(obs.DefaultTraceCap)
 	}
 }
 
@@ -277,6 +305,8 @@ func (o *options) coreOptions() (core.Options, error) {
 		Seed:               o.seed,
 		NetSeed:            o.netSeed,
 		App:                app,
+		Obs:                o.obsReg,
+		Trace:              o.obsTrace,
 	}
 	if o.storage.DataDir != "" {
 		opts.DataDir = o.storage.DataDir

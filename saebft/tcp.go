@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -32,14 +33,16 @@ func (t *tcpTransport) start(b *core.Builder, o *options) (clusterRuntime, error
 		return nil, err
 	}
 	topts := func(id types.NodeID) (transport.TCPOptions, error) {
+		to := transport.TCPOptions{Obs: o.obsReg, ObsNode: strconv.Itoa(int(id))}
 		if secFor == nil {
-			return transport.TCPOptions{}, nil
+			return to, nil
 		}
 		sec, err := secFor(id)
 		if err != nil {
 			return transport.TCPOptions{}, fmt.Errorf("saebft: TLS material for node %v: %w", id, err)
 		}
-		return transport.TCPOptions{Security: sec}, nil
+		to.Security = sec
+		return to, nil
 	}
 	r := &tcpRuntime{quit: make(chan struct{})}
 	for _, id := range serverIDs(b) {

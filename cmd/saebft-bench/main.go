@@ -105,8 +105,10 @@ func runBatching(short, useTLS bool, out, baseline string, maxRegress float64) {
 		os.Exit(1)
 	}
 	for _, p := range rep.Points {
+		// Sim points report virtual time, except the wall-clock-measured
+		// crypto pair (VirtualMs unset) — see BenchPoint.
 		clock := fmt.Sprintf("wall %8.1fms", p.WallMs)
-		if p.Transport == "sim" {
+		if p.VirtualMs > 0 {
 			clock = fmt.Sprintf("virt %8.1fms", p.VirtualMs)
 		}
 		batch := "off"
@@ -127,6 +129,9 @@ func runBatching(short, useTLS bool, out, baseline string, maxRegress float64) {
 		tag := ""
 		if p.Obs != "" {
 			tag = "  obs=" + p.Obs
+		}
+		if p.Crypto != "" {
+			tag += "  crypto=" + p.Crypto
 		}
 		fmt.Printf("%-4s pipeline=%d batch=%-3s store=%s ops=%-4d %s  %9.0f ops/s  mean-lat %6.1fms  batches=%-3d width=%d%s\n",
 			link, p.Pipeline, batch, store, p.Ops, clock, p.Throughput, p.MeanLatMs, p.Batches, p.FinalWidth, tag)

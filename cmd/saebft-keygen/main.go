@@ -47,6 +47,7 @@ func main() {
 		clients       = flag.Int("clients", 2, "number of client identities")
 		batch         = flag.Int("batch", 8, "agreement batch (reply bundle) size")
 		thresholdBits = flag.Int("threshold-bits", 1024, "threshold RSA modulus size")
+		crypto        = flag.String("crypto", "ed25519", "agreement-vote authenticators: ed25519 (transferable signatures) or mac (pairwise MAC vectors on prepare/commit traffic; view changes stay signed)")
 		useTLS        = flag.Bool("tls", false, "mint a cluster CA + per-identity mutual-TLS certificates and record them in the config")
 		tlsDir        = flag.String("tls-dir", "certs", "directory for the minted TLS material (keep it next to the config file)")
 	)
@@ -77,6 +78,7 @@ func main() {
 		Clients:       *clients,
 		BatchSize:     *batch,
 		ThresholdBits: *thresholdBits,
+		Crypto:        *crypto,
 		BasePort:      *port,
 		Host:          *host,
 	}

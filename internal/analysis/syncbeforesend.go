@@ -75,11 +75,14 @@ func isSyncEvent(p *Pass, call *ast.CallExpr) bool {
 	return isStoreCall(p.Info, call, "Sync")
 }
 
-// isSendEvent: a message leaving the node — the replicas' broadcast helpers
-// or a direct transport.Sender invocation.
+// isSendEvent: a message leaving the node — the replicas' broadcast/send
+// helpers or a direct transport.Sender invocation. "send" is a name match
+// because pbft routes it through the burst outbox (a method, not a
+// Sender-typed field): queuing for the post-sync flush still externalizes
+// the message from this handler's point of view.
 func isSendEvent(p *Pass, call *ast.CallExpr) bool {
 	switch calleeName(call) {
-	case "broadcast", "broadcastExec":
+	case "broadcast", "broadcastExec", "send":
 		return true
 	}
 	return isSenderCall(p.Info, call)

@@ -14,9 +14,10 @@ type replica struct {
 	store storage.Store
 }
 
-func (r *replica) logVote() bool    { return true }
-func (r *replica) syncVotes() bool  { return true }
-func (r *replica) broadcast([]byte) {}
+func (r *replica) logVote() bool             { return true }
+func (r *replica) syncVotes() bool           { return true }
+func (r *replica) broadcast([]byte)          {}
+func (r *replica) send(types.NodeID, []byte) {}
 
 func (r *replica) voteThenBroadcast(msg []byte) {
 	r.logVote()
@@ -32,4 +33,11 @@ func (r *replica) syncTooLate(msg []byte) {
 	r.logVote()
 	r.broadcast(msg) // want syncbeforesend
 	r.syncVotes()
+}
+
+// The burst-outbox helper is a method, not a Sender-typed field; the
+// analyzer must still treat it as externalization.
+func (r *replica) voteThenUnicast(msg []byte) {
+	r.logVote()
+	r.send(1, msg) // want syncbeforesend
 }

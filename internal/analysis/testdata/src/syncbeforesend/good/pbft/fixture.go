@@ -13,9 +13,10 @@ type replica struct {
 	store storage.Store
 }
 
-func (r *replica) logVote() bool    { return true }
-func (r *replica) syncVotes() bool  { return true }
-func (r *replica) broadcast([]byte) {}
+func (r *replica) logVote() bool             { return true }
+func (r *replica) syncVotes() bool           { return true }
+func (r *replica) broadcast([]byte)          {}
+func (r *replica) send(types.NodeID, []byte) {}
 
 // The codebase's canonical pattern: log, sync, then externalize.
 func (r *replica) voteSyncBroadcast(msg []byte) {
@@ -44,4 +45,13 @@ func (r *replica) plainSend(msg []byte) {
 // in this one, so no promise externalizes early.
 func (r *replica) deferredSync(seq types.SeqNum, rec []byte) {
 	_ = r.store.Append(storage.RecCommit, seq, rec)
+}
+
+// The burst-outbox unicast helper after log + sync is the canonical
+// pattern, same as broadcast.
+func (r *replica) voteSyncUnicast(msg []byte) {
+	if !r.logVote() || !r.syncVotes() {
+		return
+	}
+	r.send(1, msg)
 }

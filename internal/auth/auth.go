@@ -23,7 +23,9 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash"
 	"sort"
+	"sync"
 
 	"repro/internal/types"
 )
@@ -75,13 +77,46 @@ type Scheme interface {
 	Verify(kind Kind, digest types.Digest, att Attestation) error
 }
 
+// TransferScheme marks a Scheme whose attestations are transferable: any
+// third party holding the public material can verify them, so they may sit
+// inside certificates that travel beyond their original destination set
+// (view changes, new views, checkpoint proofs of stability). MAC vectors
+// are deliberately NOT transferable — only each destination can check its
+// own slot — so MACScheme does not implement this interface, and any config
+// field typed TransferScheme is a compile-time guarantee that MAC
+// authenticators can never be wired into a transferable certificate.
+type TransferScheme interface {
+	Scheme
+	// Transferable is a marker; implementations with third-party-verifiable
+	// proofs return true.
+	Transferable() bool
+}
+
 // Errors returned by Verify.
 var (
 	ErrBadMAC       = errors.New("auth: MAC verification failed")
 	ErrNoSlot       = errors.New("auth: MAC vector has no slot for this verifier")
 	ErrBadSignature = errors.New("auth: signature verification failed")
 	ErrUnknownNode  = errors.New("auth: no key material for node")
+	// ErrNonTransferable rejects an attempt to use MAC vectors for a
+	// certificate kind that must convince third parties.
+	ErrNonTransferable = errors.New("auth: certificate kind requires a transferable (signature) scheme, not MACs")
 )
+
+// transferableOnly lists the attestation domains whose certificates leave
+// their destination set: view-change and new-view certificates are replayed
+// to replicas that join a view later, and checkpoint-stability proofs ride
+// inside view changes and state transfer. A MAC vector presented to a node
+// that was not among the original destinations is unverifiable, so MACScheme
+// refuses these kinds outright (defense in depth behind the TransferScheme
+// type split).
+func transferableOnly(kind Kind) bool {
+	switch kind {
+	case KindViewChange, KindNewView, KindAgreeCheckpoint, KindExecCheckpoint:
+		return true
+	}
+	return false
+}
 
 // --- MAC authenticators ---------------------------------------------------
 
@@ -93,18 +128,45 @@ var (
 type KeyRing struct {
 	self    types.NodeID
 	secrets map[types.NodeID][]byte
+	// states pools initialized HMAC instances per peer: hmac.New runs the
+	// two-block key schedule on every call, which dominates MAC cost for
+	// 33-byte bound digests. The pools are populated lazily and are safe
+	// for the concurrent verification workers.
+	states map[types.NodeID]*sync.Pool
 }
 
 // NewKeyRing derives the pairwise secrets between self and each peer.
 func NewKeyRing(master []byte, self types.NodeID, peers []types.NodeID) *KeyRing {
-	kr := &KeyRing{self: self, secrets: make(map[types.NodeID][]byte, len(peers))}
+	kr := &KeyRing{
+		self:    self,
+		secrets: make(map[types.NodeID][]byte, len(peers)),
+		states:  make(map[types.NodeID]*sync.Pool, len(peers)),
+	}
 	for _, p := range peers {
 		if p == self {
 			continue
 		}
-		kr.secrets[p] = PairSecret(master, self, p)
+		secret := PairSecret(master, self, p)
+		kr.secrets[p] = secret
+		kr.states[p] = &sync.Pool{New: func() any { return hmac.New(sha256.New, secret) }}
 	}
 	return kr
+}
+
+// mac computes the truncated pairwise MAC toward peer, reusing a pooled
+// HMAC state. ok is false when no secret is shared with peer.
+func (kr *KeyRing) mac(peer types.NodeID, kind Kind, digest types.Digest, out []byte) (sum []byte, ok bool) {
+	pool := kr.states[peer]
+	if pool == nil {
+		return nil, false
+	}
+	h := pool.Get().(hash.Hash)
+	h.Reset()
+	bound := Bind(kind, digest)
+	h.Write(bound[:])
+	sum = h.Sum(out[:0])[:macSize]
+	pool.Put(h)
+	return sum, true
 }
 
 // PairSecret derives the shared secret between nodes a and b.
@@ -125,13 +187,6 @@ func PairSecret(master []byte, a, b types.NodeID) []byte {
 // far smaller than signatures.
 const macSize = 16
 
-func computeMAC(secret []byte, kind Kind, digest types.Digest) []byte {
-	mac := hmac.New(sha256.New, secret)
-	bound := Bind(kind, digest)
-	mac.Write(bound[:])
-	return mac.Sum(nil)[:macSize]
-}
-
 // MACScheme implements Scheme with per-destination HMAC vectors.
 type MACScheme struct {
 	ring *KeyRing
@@ -142,7 +197,11 @@ func NewMACScheme(ring *KeyRing) *MACScheme { return &MACScheme{ring: ring} }
 
 // Attest builds a MAC vector with one slot per destination, sorted by
 // NodeID for determinism. The self-destination, if present, is skipped.
+// Kinds whose certificates must be transferable are refused.
 func (s *MACScheme) Attest(kind Kind, digest types.Digest, dests []types.NodeID) (Attestation, error) {
+	if transferableOnly(kind) {
+		return Attestation{}, fmt.Errorf("%w: kind %d", ErrNonTransferable, kind)
+	}
 	sorted := make([]types.NodeID, 0, len(dests))
 	seen := make(map[types.NodeID]bool, len(dests))
 	for _, d := range dests {
@@ -154,23 +213,26 @@ func (s *MACScheme) Attest(kind Kind, digest types.Digest, dests []types.NodeID)
 	}
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 
+	var scratch [sha256.Size]byte
 	proof := make([]byte, 0, 4+len(sorted)*(4+macSize))
 	proof = binary.BigEndian.AppendUint32(proof, uint32(len(sorted)))
 	for _, d := range sorted {
-		secret, ok := s.ring.secrets[d]
+		sum, ok := s.ring.mac(d, kind, digest, scratch[:])
 		if !ok {
 			return Attestation{}, fmt.Errorf("%w: %v", ErrUnknownNode, d)
 		}
 		proof = binary.BigEndian.AppendUint32(proof, uint32(int32(d)))
-		proof = append(proof, computeMAC(secret, kind, digest)...)
+		proof = append(proof, sum...)
 	}
 	return Attestation{Node: s.ring.self, Proof: proof}, nil
 }
 
 // Verify locates this node's slot in the MAC vector and checks it.
 func (s *MACScheme) Verify(kind Kind, digest types.Digest, att Attestation) error {
-	secret, ok := s.ring.secrets[att.Node]
-	if !ok {
+	if transferableOnly(kind) {
+		return fmt.Errorf("%w: kind %d", ErrNonTransferable, kind)
+	}
+	if _, ok := s.ring.secrets[att.Node]; !ok {
 		return fmt.Errorf("%w: %v", ErrUnknownNode, att.Node)
 	}
 	p := att.Proof
@@ -182,7 +244,8 @@ func (s *MACScheme) Verify(kind Kind, digest types.Digest, att Attestation) erro
 	if len(p) != n*(4+macSize) {
 		return ErrNoSlot
 	}
-	want := computeMAC(secret, kind, digest)
+	var scratch [sha256.Size]byte
+	want, _ := s.ring.mac(att.Node, kind, digest, scratch[:])
 	for i := 0; i < n; i++ {
 		slot := p[i*(4+macSize) : (i+1)*(4+macSize)]
 		if types.NodeID(int32(binary.BigEndian.Uint32(slot[:4]))) != s.ring.self {
@@ -253,6 +316,15 @@ func (s *SigScheme) Verify(kind Kind, digest types.Digest, att Attestation) erro
 	return nil
 }
 
+// Transferable marks Ed25519 proofs as third-party verifiable.
+func (s *SigScheme) Transferable() bool { return true }
+
+// SigScheme proofs may back transferable certificates; MAC vectors may not.
+// The second assertion is load-bearing documentation: if MACScheme ever
+// gained a Transferable method, the transferability split would silently
+// widen, so auth_test.go pins *MACScheme's non-conformance at runtime too.
+var _ TransferScheme = (*SigScheme)(nil)
+
 // --- Quorum certificates -----------------------------------------------------
 
 // Quorum accumulates attestations from distinct nodes over one (kind, digest)
@@ -298,17 +370,5 @@ func (q *Quorum) Attestations() []Attestation {
 // (kind, digest) appear in atts, verifying each with the scheme and
 // requiring membership in the allowed set when allowed is non-nil.
 func CountDistinct(s Scheme, kind Kind, digest types.Digest, atts []Attestation, allowed map[types.NodeID]bool) int {
-	seen := make(map[types.NodeID]bool, len(atts))
-	for _, a := range atts {
-		if seen[a.Node] {
-			continue
-		}
-		if allowed != nil && !allowed[a.Node] {
-			continue
-		}
-		if s.Verify(kind, digest, a) == nil {
-			seen[a.Node] = true
-		}
-	}
-	return len(seen)
+	return CountDistinctPar(nil, s, kind, digest, atts, allowed)
 }

@@ -1,0 +1,126 @@
+package auth
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/types"
+)
+
+// FuzzMACVectorDecode throws arbitrary bytes at the MAC-vector parser in
+// Verify and pins its acceptance condition: the only proofs that pass are
+// canonically encoded vectors (exact length for the declared slot count)
+// whose first slot for this verifier carries the genuine pairwise MAC.
+// Everything else — truncated vectors, padded vectors, inflated counts,
+// slots for other nodes, flipped MAC bits — must be rejected, and nothing
+// may panic or read out of bounds.
+func FuzzMACVectorDecode(f *testing.F) {
+	ids := []types.NodeID{1, 2, 3, 4}
+	attester := NewMACScheme(NewKeyRing(master, 1, ids))
+	verifier := NewMACScheme(NewKeyRing(master, 2, ids))
+	d := types.DigestBytes([]byte("fuzz-vector"))
+
+	good, err := attester.Attest(KindCommit, d, ids)
+	if err != nil {
+		f.Fatal(err)
+	}
+	// The reference MAC node 1 computes toward node 2, extracted from a
+	// single-slot vector: header(4) + id(4) + mac.
+	ref, err := attester.Attest(KindCommit, d, []types.NodeID{2})
+	if err != nil {
+		f.Fatal(err)
+	}
+	refMAC := ref.Proof[8 : 8+macSize]
+
+	f.Add(good.Proof)                     // valid three-slot vector
+	f.Add(ref.Proof)                      // valid single-slot vector
+	f.Add([]byte{})                       // no header
+	f.Add([]byte{0, 0, 0, 0})             // empty vector
+	f.Add(good.Proof[:len(good.Proof)-1]) // truncated final MAC
+	f.Add(append(good.Proof, 0))          // trailing padding
+	wrongSlot := append([]byte(nil), ref.Proof...)
+	binary.BigEndian.PutUint32(wrongSlot[4:8], 3) // node 3's id over node 2's MAC
+	f.Add(wrongSlot)
+	inflated := append([]byte(nil), ref.Proof...)
+	binary.BigEndian.PutUint32(inflated[:4], 2) // claims two slots, carries one
+	f.Add(inflated)
+
+	f.Fuzz(func(t *testing.T, proof []byte) {
+		err := verifier.Verify(KindCommit, d, Attestation{Node: 1, Proof: proof})
+		if err != nil {
+			return // rejection is always a safe outcome
+		}
+		// Accepted: re-derive what acceptance requires and fail on any gap.
+		if len(proof) < 4 {
+			t.Fatalf("accepted %d-byte proof with no header", len(proof))
+		}
+		n := int(binary.BigEndian.Uint32(proof[:4]))
+		if len(proof)-4 != n*(4+macSize) {
+			t.Fatalf("accepted non-canonical vector: %d slots declared, %d payload bytes", n, len(proof)-4)
+		}
+		for i := 0; i < n; i++ {
+			slot := proof[4+i*(4+macSize) : 4+(i+1)*(4+macSize)]
+			if types.NodeID(int32(binary.BigEndian.Uint32(slot[:4]))) != 2 {
+				continue
+			}
+			// Verify checks the first slot addressed to this node.
+			if string(slot[4:]) != string(refMAC) {
+				t.Fatalf("accepted vector whose first slot for the verifier holds a wrong MAC")
+			}
+			return
+		}
+		t.Fatalf("accepted vector with no slot for the verifier")
+	})
+}
+
+// The deterministic companions to the fuzz target: the specific rejection
+// classes the issue calls out, pinned with named cases so a regression is
+// attributable without a fuzz corpus.
+func TestMACVectorRejectionClasses(t *testing.T) {
+	ids := []types.NodeID{1, 2, 3}
+	attester := NewMACScheme(NewKeyRing(master, 1, ids))
+	verifier := NewMACScheme(NewKeyRing(master, 2, ids))
+	d := types.DigestBytes([]byte("classes"))
+	good, err := attester.Attest(KindCommit, d, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verifier.Verify(KindCommit, d, good); err != nil {
+		t.Fatalf("control: %v", err)
+	}
+
+	mutate := func(fn func(p []byte) []byte) Attestation {
+		p := fn(append([]byte(nil), good.Proof...))
+		return Attestation{Node: 1, Proof: p}
+	}
+	cases := []struct {
+		name string
+		att  Attestation
+	}{
+		{"truncated header", mutate(func(p []byte) []byte { return p[:3] })},
+		{"truncated mid-slot", mutate(func(p []byte) []byte { return p[:len(p)-macSize/2] })},
+		{"trailing garbage", mutate(func(p []byte) []byte { return append(p, 0xFF) })},
+		{"count overstates slots", mutate(func(p []byte) []byte {
+			binary.BigEndian.PutUint32(p[:4], binary.BigEndian.Uint32(p[:4])+1)
+			return p
+		})},
+		{"count understates slots", mutate(func(p []byte) []byte {
+			binary.BigEndian.PutUint32(p[:4], binary.BigEndian.Uint32(p[:4])-1)
+			return p
+		})},
+		{"wrong slot id", mutate(func(p []byte) []byte {
+			// Retarget node 2's slot (first in sorted order) to node 3.
+			binary.BigEndian.PutUint32(p[4:8], 3)
+			return p
+		})},
+		{"flipped MAC bit", mutate(func(p []byte) []byte {
+			p[8] ^= 1 // first byte of node 2's MAC
+			return p
+		})},
+	}
+	for _, tc := range cases {
+		if err := verifier.Verify(KindCommit, d, tc.att); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}

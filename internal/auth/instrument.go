@@ -1,0 +1,78 @@
+package auth
+
+// This file is the crypto hot path's instrumentation: per-scheme
+// sign/verify latency histograms. It is the one place in the
+// authentication stack that reads a clock, and it deliberately lives
+// outside the deterministic protocol packages (pbft, execnode, wire, ...)
+// that the simdeterminism analyzer scans: the measured durations flow only
+// into the write-only observability plane, never into a digest, message,
+// or WAL record.
+
+import (
+	"strconv"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/types"
+)
+
+// instrumented wraps a Scheme, timing Attest/Verify into histograms.
+type instrumented struct {
+	inner          Scheme
+	attest, verify *obs.Histogram
+}
+
+// instrumentedTransfer preserves the TransferScheme marker through the
+// wrapper so an instrumented SigScheme still satisfies transferable-typed
+// configuration fields.
+type instrumentedTransfer struct {
+	instrumented
+}
+
+func (instrumentedTransfer) Transferable() bool { return true }
+
+func cryptoHists(reg *obs.Registry, scheme string, node types.NodeID) (attest, verify *obs.Histogram) {
+	labels := []obs.Label{obs.L("node", strconv.Itoa(int(node))), obs.L("scheme", scheme)}
+	attest = reg.Histogram("saebft_auth_sign_seconds",
+		"wall-clock latency of one Attest (sign / MAC-vector build), by scheme",
+		obs.LatencyBuckets, labels...)
+	verify = reg.Histogram("saebft_auth_verify_seconds",
+		"wall-clock latency of one attestation Verify, by scheme",
+		obs.LatencyBuckets, labels...)
+	return attest, verify
+}
+
+// Instrument wraps s so every Attest/Verify records its wall-clock latency
+// into reg under the given scheme label. A nil registry returns s
+// unchanged, keeping the uninstrumented hot path wrapper-free.
+func Instrument(s Scheme, reg *obs.Registry, scheme string, node types.NodeID) Scheme {
+	if reg == nil || s == nil {
+		return s
+	}
+	a, v := cryptoHists(reg, scheme, node)
+	return &instrumented{inner: s, attest: a, verify: v}
+}
+
+// InstrumentTransfer is Instrument for transferable schemes, preserving the
+// TransferScheme marker.
+func InstrumentTransfer(s TransferScheme, reg *obs.Registry, scheme string, node types.NodeID) TransferScheme {
+	if reg == nil || s == nil {
+		return s
+	}
+	a, v := cryptoHists(reg, scheme, node)
+	return &instrumentedTransfer{instrumented{inner: s, attest: a, verify: v}}
+}
+
+func (w *instrumented) Attest(kind Kind, digest types.Digest, dests []types.NodeID) (Attestation, error) {
+	start := time.Now()
+	att, err := w.inner.Attest(kind, digest, dests)
+	w.attest.Observe(time.Since(start).Seconds())
+	return att, err
+}
+
+func (w *instrumented) Verify(kind Kind, digest types.Digest, att Attestation) error {
+	start := time.Now()
+	err := w.inner.Verify(kind, digest, att)
+	w.verify.Observe(time.Since(start).Seconds())
+	return err
+}

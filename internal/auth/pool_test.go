@@ -1,0 +1,129 @@
+package auth
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/types"
+)
+
+func TestNewVerifyPoolInlineBelowTwo(t *testing.T) {
+	for _, w := range []int{-1, 0, 1} {
+		if p := NewVerifyPool(w); p != nil {
+			t.Errorf("NewVerifyPool(%d) = %v, want nil (inline)", w, p)
+		}
+	}
+	if NewVerifyPool(4).Workers() != 4 {
+		t.Error("Workers() lost the bound")
+	}
+	var nilPool *VerifyPool
+	if nilPool.Workers() != 0 {
+		t.Error("nil pool Workers() != 0")
+	}
+}
+
+// Run must visit every index exactly once, pooled or inline.
+func TestVerifyPoolRunCoversAllIndexes(t *testing.T) {
+	for _, pool := range []*VerifyPool{nil, NewVerifyPool(2), NewVerifyPool(7)} {
+		for _, n := range []int{0, 1, 2, 3, 5, 64} {
+			hits := make([]atomic.Int32, n)
+			if err := pool.Run(n, func(i int) error {
+				hits[i].Add(1)
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			for i := range hits {
+				if got := hits[i].Load(); got != 1 {
+					t.Fatalf("pool=%d n=%d: index %d visited %d times", pool.Workers(), n, i, got)
+				}
+			}
+		}
+	}
+}
+
+// The reported error must be the lowest-index failure regardless of
+// scheduling — the property that keeps the replica cores deterministic when
+// verification fans out.
+func TestVerifyPoolRunLowestIndexError(t *testing.T) {
+	pool := NewVerifyPool(8)
+	errAt := func(bad ...int) func(int) error {
+		set := make(map[int]bool, len(bad))
+		for _, i := range bad {
+			set[i] = true
+		}
+		return func(i int) error {
+			if set[i] {
+				return fmt.Errorf("fail@%d", i)
+			}
+			return nil
+		}
+	}
+	for trial := 0; trial < 50; trial++ {
+		err := pool.Run(64, errAt(3, 17, 60))
+		if err == nil || err.Error() != "fail@3" {
+			t.Fatalf("trial %d: err = %v, want fail@3", trial, err)
+		}
+	}
+	if err := pool.Run(64, errAt()); err != nil {
+		t.Fatalf("all-ok run: %v", err)
+	}
+}
+
+// Inline short-circuit (n < parallelMin or nil pool) stops at the first
+// error; the pooled barrier still joins everything but reports the same
+// error. Either way the observable result matches a serial loop.
+func TestVerifyPoolInlineStopsEarly(t *testing.T) {
+	var calls atomic.Int32
+	err := (*VerifyPool)(nil).Run(10, func(i int) error {
+		calls.Add(1)
+		if i == 2 {
+			return errors.New("stop")
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "stop" {
+		t.Fatalf("err = %v", err)
+	}
+	if calls.Load() != 3 {
+		t.Errorf("inline run made %d calls after error at index 2, want 3", calls.Load())
+	}
+}
+
+// CountDistinctPar must agree with the serial CountDistinct on every mix of
+// valid, forged, duplicate, and non-member attestations.
+func TestCountDistinctParMatchesSerial(t *testing.T) {
+	s := macSchemes(t, 1, 2, 3, 4, 5)
+	d := types.DigestBytes([]byte("count"))
+	attest := func(from types.NodeID) Attestation {
+		att, err := s[from].Attest(KindCommit, d, []types.NodeID{1, 2, 3, 4, 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return att
+	}
+	forged := attest(3)
+	forged.Proof = append([]byte(nil), forged.Proof...)
+	forged.Proof[len(forged.Proof)-1] ^= 1
+	atts := []Attestation{
+		attest(2), attest(2), // duplicate node
+		attest(3), forged, // valid beats nothing: dedup keeps first
+		attest(4),
+		attest(5), // filtered out by allowed set
+	}
+	allowed := map[types.NodeID]bool{2: true, 3: true, 4: true}
+	want := CountDistinct(s[1], KindCommit, d, atts, allowed)
+	if want != 3 {
+		t.Fatalf("serial count = %d, want 3", want)
+	}
+	for _, workers := range []int{2, 3, 8} {
+		if got := CountDistinctPar(NewVerifyPool(workers), s[1], KindCommit, d, atts, allowed); got != want {
+			t.Errorf("workers=%d: count = %d, want %d", workers, got, want)
+		}
+	}
+	if got := CountDistinctPar(NewVerifyPool(4), s[1], KindCommit, d, atts, nil); got != 4 {
+		t.Errorf("nil allowed set: count = %d, want 4", got)
+	}
+}

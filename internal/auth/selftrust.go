@@ -1,0 +1,48 @@
+package auth
+
+import "repro/internal/types"
+
+// selfTrust wraps a Scheme so that attestations claiming to come from the
+// wrapping node itself verify unconditionally.
+//
+// MAC authenticator vectors carry no slot for their own author — a node
+// cannot (and need not) check a MAC it would have computed itself. That is
+// fine on the live vote paths, where a replica never receives its own votes
+// back, but relayed certificates legitimately contain the validator's own
+// attestation: a commit proof served to a lagging replica includes its own
+// commit, view-change evidence includes its own prepare or pre-prepare, and
+// a recovering primary re-validates the NEW-VIEW it built. Under a
+// signature scheme those entries verify like any other; under MACs they are
+// structurally unverifiable and would sink the whole certificate.
+//
+// SelfTrust is therefore sound ONLY on certificate-validation paths, where
+// the digest being attested is recomputed from the certificate's own
+// contents and the quorum rule still demands the usual complement of
+// verifiable third-party attestations. It must never guard a live vote
+// handler: there, accepting a spoofed "own" attestation would let a peer
+// inject votes under the victim's identity. A forged self-entry in a
+// certificate inflates its count by at most one and is accepted only by the
+// node it impersonates, which the 2f/2f+1 quorum margins absorb — the same
+// bound Castro–Liskov's MAC-authenticated PBFT accepts.
+type selfTrust struct {
+	inner Scheme
+	self  types.NodeID
+}
+
+// SelfTrust returns s with self-attestations short-circuited to valid, for
+// certificate validation. See the selfTrust doc comment for the safety
+// argument and the paths where this is (and is not) sound.
+func SelfTrust(s Scheme, self types.NodeID) Scheme {
+	return selfTrust{inner: s, self: self}
+}
+
+func (s selfTrust) Attest(kind Kind, d types.Digest, dests []types.NodeID) (Attestation, error) {
+	return s.inner.Attest(kind, d, dests)
+}
+
+func (s selfTrust) Verify(kind Kind, d types.Digest, att Attestation) error {
+	if att.Node == s.self {
+		return nil
+	}
+	return s.inner.Verify(kind, d, att)
+}

@@ -1,0 +1,120 @@
+package auth
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/types"
+)
+
+// The transferability split is the safety boundary of the MAC fast path:
+// certificates that are replayed beyond their original destination set
+// (view changes, new views, checkpoint-stability proofs) must be backed by
+// signatures a third party can check. These tests pin both halves of the
+// enforcement — the compile-time interface split and the runtime refusal.
+
+// Compile-time: SigScheme is a TransferScheme; the pbft/execnode configs
+// type their view-change and checkpoint scheme fields as TransferScheme, so
+// a MACScheme can never be wired there.
+var _ TransferScheme = (*SigScheme)(nil)
+
+// Runtime pin of the negative half: if *MACScheme ever grows a Transferable
+// method, the compile-time split silently widens to admit MAC vectors into
+// view-change certificates. An interface type-assertion catches that the
+// moment it happens.
+func TestMACSchemeIsNotTransferable(t *testing.T) {
+	var s Scheme = NewMACScheme(NewKeyRing(master, 1, []types.NodeID{1, 2}))
+	if _, ok := s.(TransferScheme); ok {
+		t.Fatal("*MACScheme implements TransferScheme; MAC vectors must never back transferable certificates")
+	}
+}
+
+func TestMACSchemeRefusesTransferableKinds(t *testing.T) {
+	s := macSchemes(t, 1, 2, 3, 4)
+	d := types.DigestBytes([]byte("transferable"))
+	dests := []types.NodeID{2, 3, 4}
+	transferable := []Kind{KindViewChange, KindNewView, KindAgreeCheckpoint, KindExecCheckpoint}
+	for _, kind := range transferable {
+		if _, err := s[1].Attest(kind, d, dests); !errors.Is(err, ErrNonTransferable) {
+			t.Errorf("Attest(kind %d) = %v, want ErrNonTransferable", kind, err)
+		}
+	}
+	// Even a hand-built vector is refused at the verifier: a Byzantine
+	// replica that bypasses its own Attest guard gains nothing.
+	att, err := s[1].Attest(KindCommit, d, dests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range transferable {
+		if err := s[2].Verify(kind, d, att); !errors.Is(err, ErrNonTransferable) {
+			t.Errorf("Verify(kind %d) = %v, want ErrNonTransferable", kind, err)
+		}
+	}
+}
+
+// The agreement-vote and order kinds stay MAC-able: the fast path the mode
+// exists for, plus the legacy MACOrders option.
+func TestMACSchemeAllowsAgreementKinds(t *testing.T) {
+	s := macSchemes(t, 1, 2)
+	d := types.DigestBytes([]byte("vote"))
+	for _, kind := range []Kind{KindRequest, KindPrePrepare, KindPrepare, KindCommit, KindOrder, KindReply} {
+		att, err := s[1].Attest(kind, d, []types.NodeID{2})
+		if err != nil {
+			t.Fatalf("Attest(kind %d): %v", kind, err)
+		}
+		if err := s[2].Verify(kind, d, att); err != nil {
+			t.Errorf("Verify(kind %d): %v", kind, err)
+		}
+	}
+}
+
+// Signatures back transferable certificates, and stay verifiable by a node
+// outside the original destination set — the property view changes rely on.
+func TestSigSchemeTransferableKinds(t *testing.T) {
+	s := sigSchemes(t, 1, 2, 3)
+	d := types.DigestBytes([]byte("view-change"))
+	for _, kind := range []Kind{KindViewChange, KindNewView, KindAgreeCheckpoint, KindExecCheckpoint} {
+		att, err := s[1].Attest(kind, d, []types.NodeID{2})
+		if err != nil {
+			t.Fatalf("Attest(kind %d): %v", kind, err)
+		}
+		// Node 3 was not a destination; a transferable proof verifies anyway.
+		if err := s[3].Verify(kind, d, att); err != nil {
+			t.Errorf("third-party Verify(kind %d): %v", kind, err)
+		}
+	}
+	if !s[1].Transferable() {
+		t.Error("SigScheme.Transferable() = false")
+	}
+}
+
+// Instrumentation wrappers must not change the transferability split:
+// Instrument always returns a plain Scheme (even around a SigScheme), and
+// InstrumentTransfer preserves the TransferScheme marker.
+func TestInstrumentPreservesTransferSplit(t *testing.T) {
+	reg := obs.NewRegistry()
+	sig := sigSchemes(t, 1, 2)[1]
+	mac := NewMACScheme(NewKeyRing(master, 1, []types.NodeID{1, 2}))
+
+	if _, ok := Instrument(mac, reg, "mac", 1).(TransferScheme); ok {
+		t.Error("Instrument(MACScheme) implements TransferScheme")
+	}
+	// Instrument deliberately erases the marker even around a SigScheme:
+	// transferable-typed fields must be fed through InstrumentTransfer.
+	if _, ok := Instrument(sig, reg, "ed25519", 1).(TransferScheme); ok {
+		t.Error("Instrument(SigScheme) leaks the TransferScheme marker")
+	}
+	ts := InstrumentTransfer(sig, reg, "ed25519", 1)
+	if !ts.Transferable() {
+		t.Error("InstrumentTransfer lost the Transferable marker")
+	}
+	d := types.DigestBytes([]byte("wrapped"))
+	att, err := ts.Attest(KindViewChange, d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.Verify(KindViewChange, d, att); err != nil {
+		t.Error(err)
+	}
+}

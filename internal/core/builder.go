@@ -70,6 +70,30 @@ func (b *Builder) replyAuth(id types.NodeID) auth.Scheme {
 	return nil
 }
 
+// replicaAuth selects the scheme backing the three-phase agreement votes:
+// pairwise MAC vectors under MACAgreement (the hot-path fast mode), Ed25519
+// otherwise. Either way the scheme is instrumented with per-scheme
+// sign/verify latency histograms when a registry is configured.
+func (b *Builder) replicaAuth(id types.NodeID) auth.Scheme {
+	if b.Opts.MACAgreement {
+		return auth.Instrument(b.Mat.MACScheme(id, b.Top.Agreement), b.Opts.Obs, "mac", id)
+	}
+	return auth.Instrument(b.Mat.SigScheme(id), b.Opts.Obs, "ed25519", id)
+}
+
+// transferAuth is always a signature scheme: it backs the certificates that
+// are shown beyond their original destinations (view changes, new views,
+// checkpoint proofs), which MAC vectors cannot authenticate.
+func (b *Builder) transferAuth(id types.NodeID) auth.TransferScheme {
+	return auth.InstrumentTransfer(b.Mat.SigScheme(id), b.Opts.Obs, "ed25519", id)
+}
+
+// verifyPool builds the node's bounded verification worker pool (nil — i.e.
+// inline verification — unless VerifyWorkers >= 2).
+func (b *Builder) verifyPool() *auth.VerifyPool {
+	return auth.NewVerifyPool(b.Opts.VerifyWorkers)
+}
+
 // nodeStore opens (or builds via the injected factory) the durable store
 // for one node identity; (nil, nil) when persistence is not configured.
 func (b *Builder) nodeStore(id types.NodeID) (storage.Store, error) {
@@ -107,8 +131,10 @@ func (b *Builder) AgreementNode(id types.NodeID, send transport.Sender) (transpo
 	engineCfg := pbft.Config{
 		ID:                 id,
 		Topology:           b.Top,
-		ReplicaAuth:        b.Mat.SigScheme(id),
+		ReplicaAuth:        b.replicaAuth(id),
+		TransferAuth:       b.transferAuth(id),
 		ClientAuth:         b.clientAuth(id),
+		Verify:             b.verifyPool(),
 		BatchSize:          b.Opts.BatchSize,
 		BatchBytes:         b.Opts.BatchBytes,
 		BatchWait:          b.Opts.BatchWait,
@@ -206,6 +232,7 @@ func (b *Builder) ExecNode(id types.NodeID, send transport.Sender) (*execnode.Re
 		ReplyAuth:            b.replyAuth(id),
 		ExecAuth:             b.Mat.SigScheme(id),
 		ClientAuth:           b.clientAuth(id),
+		Verify:               b.verifyPool(),
 		ReplyMode:            b.Opts.ReplyMode,
 		ThresholdShare:       b.Mat.ThresholdShare(id),
 		ShareRand:            threshold.NewSeededReader(fmt.Sprintf("%s-share-%d", b.Opts.Seed, id)),

@@ -30,6 +30,19 @@ type Options struct {
 	// pieces sent to executors.
 	MACRequests bool
 	MACOrders   bool
+	// MACAgreement authenticates the three-phase agreement votes
+	// (pre-prepare, prepare, commit) with MAC vectors — the Castro-Liskov
+	// fast path for the traffic that dominates the hot loop. View changes,
+	// new views, and checkpoint-stability proofs always stay transferably
+	// signed regardless of this knob: the pbft.Config.TransferAuth type
+	// forbids MAC vectors there.
+	MACAgreement bool
+
+	// VerifyWorkers sizes the bounded pool that batch attestation checks
+	// (client request certificates, order/commit certificates) fan out
+	// over. 0 or 1 verifies inline; the pool always joins before protocol
+	// state advances, so parallelism never perturbs determinism.
+	VerifyWorkers int
 
 	// DirectReply lets executors send reply shares straight to clients
 	// (§3.1.3 optimization; ignored — forced off — behind the firewall).

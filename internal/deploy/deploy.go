@@ -29,16 +29,22 @@ import (
 
 // Config is the on-disk deployment descriptor.
 type Config struct {
-	Seed          string            `json:"seed"`
-	Mode          string            `json:"mode"` // "base", "separate", "firewall"
-	App           string            `json:"app"`  // "kv", "counter", "nfs", "null"
-	F             int               `json:"f"`
-	G             int               `json:"g"`
-	H             int               `json:"h"`
-	Clients       int               `json:"clients"`
-	ReplyMode     string            `json:"replyMode"` // "quorum", "threshold"
-	MACRequests   bool              `json:"macRequests"`
-	MACOrders     bool              `json:"macOrders"`
+	Seed        string `json:"seed"`
+	Mode        string `json:"mode"` // "base", "separate", "firewall"
+	App         string `json:"app"`  // "kv", "counter", "nfs", "null"
+	F           int    `json:"f"`
+	G           int    `json:"g"`
+	H           int    `json:"h"`
+	Clients     int    `json:"clients"`
+	ReplyMode   string `json:"replyMode"` // "quorum", "threshold"
+	MACRequests bool   `json:"macRequests"`
+	MACOrders   bool   `json:"macOrders"`
+	// Crypto selects agreement-vote authentication: "ed25519" (or empty,
+	// the default) signs every vote; "mac" uses pairwise-MAC authenticator
+	// vectors for pre-prepare/prepare/commit. View-change, new-view, and
+	// checkpoint certificates stay Ed25519 either way. Shared config: all
+	// agreement replicas must agree on it.
+	Crypto        string            `json:"crypto,omitempty"`
 	BatchSize     int               `json:"batchSize"`
 	ThresholdBits int               `json:"thresholdBits"`
 	Addrs         map[string]string `json:"addrs"` // NodeID (decimal) → host:port
@@ -247,6 +253,13 @@ func (c *Config) Options() (core.Options, error) {
 	default:
 		return core.Options{}, fmt.Errorf("deploy: unknown reply mode %q", c.ReplyMode)
 	}
+	switch c.Crypto {
+	case "mac":
+		opts.MACAgreement = true
+	case "ed25519", "":
+	default:
+		return core.Options{}, fmt.Errorf("deploy: unknown crypto mode %q", c.Crypto)
+	}
 	return opts, nil
 }
 
@@ -321,6 +334,10 @@ type NodeOptions struct {
 	// DisableTLS forces plaintext links even when the config has a TLS
 	// section (loopback debugging only).
 	DisableTLS bool
+	// VerifyWorkers sizes this process's bounded certificate-verification
+	// pool (core.Options.VerifyWorkers). Per-process tuning, not protocol
+	// surface: peers need not agree on it. 0 or 1 verifies inline.
+	VerifyWorkers int
 	// Obs, when non-nil, is the process-wide metrics registry every layer
 	// of this node records into (core.Options.Obs); Trace is the bounded
 	// per-operation lifecycle ring. Both are optional.
@@ -361,6 +378,7 @@ func StartNodeOpts(cfg *Config, id types.NodeID, nopts NodeOptions) (*RunningNod
 	}
 	opts.DataDir = nopts.DataDir
 	opts.VolatileVotes = nopts.VolatileVotes
+	opts.VerifyWorkers = nopts.VerifyWorkers
 	opts.Obs = nopts.Obs
 	opts.Trace = nopts.Trace
 	b, err := core.NewBuilder(opts)

@@ -1,0 +1,37 @@
+package pbft
+
+import (
+	"testing"
+
+	"repro/internal/auth"
+)
+
+// The crypto-mode test matrix: the Byzantine-recovery and view-change crash
+// suites run once with the default Ed25519 vote scheme and once with
+// pairwise MAC authenticator vectors backing the three-phase votes — the
+// hot-path fast mode. Under either mode the view-change and checkpoint
+// certificates stay transferably signed (Config.TransferAuth), so every
+// scenario must reach the same safety verdicts; only the vote attestation
+// bytes differ.
+
+// macMatrixMaster seeds the pairwise secrets of the MAC-mode clusters.
+var macMatrixMaster = []byte("pbft-mac-matrix-master")
+
+// macAgreement converts a cluster Config from the test default (Ed25519
+// everywhere) to MAC agreement mode: the signature scheme remains as the
+// transferable scheme for view changes and checkpoint proofs, and the vote
+// scheme becomes a MAC vector over the agreement cluster.
+func macAgreement(cfg *Config) {
+	ts, ok := cfg.ReplicaAuth.(auth.TransferScheme)
+	if !ok {
+		panic("macAgreement: cluster default ReplicaAuth is not transferable")
+	}
+	cfg.TransferAuth = ts
+	cfg.ReplicaAuth = auth.NewMACScheme(auth.NewKeyRing(macMatrixMaster, cfg.ID, cfg.Topology.Agreement))
+}
+
+// forEachCryptoMode runs the scenario once per agreement-vote scheme.
+func forEachCryptoMode(t *testing.T, run func(t *testing.T, crypto func(*Config))) {
+	t.Run("ed25519", func(t *testing.T) { run(t, func(*Config) {}) })
+	t.Run("mac", func(t *testing.T) { run(t, macAgreement) })
+}

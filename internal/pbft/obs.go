@@ -24,6 +24,7 @@ type metrics struct {
 	viewChanges   *obs.Counter
 	checkpoints   *obs.Counter
 	equivocations *obs.Counter
+	fsyncsSaved   *obs.Counter
 
 	batchSize  *obs.Histogram
 	prepareLat *obs.Histogram // pre-prepare accepted -> prepared
@@ -56,6 +57,8 @@ func newPBFTMetrics(reg *obs.Registry, id types.NodeID) metrics {
 			"local checkpoints completed", node),
 		equivocations: reg.Counter("saebft_pbft_equivocations_total",
 			"primary equivocation evidence observed (conflicting pre-prepares)", node),
+		fsyncsSaved: reg.Counter("saebft_pbft_vote_fsyncs_saved_total",
+			"vote fsyncs absorbed by a delivery burst's group commit", node),
 		batchSize: reg.Histogram("saebft_pbft_batch_size",
 			"requests per proposed batch", obs.CountBuckets, node),
 		prepareLat: phase("prepare"),

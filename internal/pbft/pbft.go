@@ -64,12 +64,26 @@ type Config struct {
 	ID       types.NodeID
 	Topology *types.Topology
 
-	// ReplicaAuth signs/verifies agreement-internal messages. It must be
-	// a signature scheme: view-change and checkpoint proofs are shown to
-	// third parties.
+	// ReplicaAuth signs/verifies the three-phase agreement votes
+	// (pre-prepare, prepare, commit). These certificates never leave the
+	// agreement cluster's destination set, so MAC authenticator vectors —
+	// the paper's fast path — are as safe as signatures here, and a MAC
+	// scheme may be wired in (core's MACAgreement mode does).
 	ReplicaAuth auth.Scheme
+	// TransferAuth signs/verifies the certificates that are shown to
+	// parties beyond their original destinations: view changes, new views,
+	// and checkpoint proofs of stability. The type requires a transferable
+	// (signature) scheme, so MAC vectors cannot be wired here even by
+	// mistake. Nil defaults to ReplicaAuth when — and only when —
+	// ReplicaAuth is itself transferable.
+	TransferAuth auth.TransferScheme
 	// ClientAuth verifies client request certificates (MAC or signature).
 	ClientAuth auth.Scheme
+	// Verify, when non-nil, fans batch attestation checks (client request
+	// certificates in pre-prepares, commit-proof vote sets) out across a
+	// bounded worker pool. Results join before any handler proceeds, so
+	// protocol state stays a pure function of inputs. Nil verifies inline.
+	Verify *auth.VerifyPool
 
 	BatchSize          int        // max requests per batch (paper's bundle size)
 	BatchBytes         int        // max request-body bytes per batch (multi-op requests can be large)
@@ -227,15 +241,30 @@ type clientState struct {
 	pendingSince types.Time    // for the backup suspicion timer
 }
 
+// outMsg is one transmission deferred until the current delivery burst's
+// group commit (see beginBurst/endBurst).
+type outMsg struct {
+	to    types.NodeID
+	bcast bool
+	data  []byte
+}
+
 // Replica is one agreement-cluster member.
 type Replica struct {
 	cfg  Config
-	send transport.Sender
+	xmit transport.Sender // raw transmitter; all sends funnel through send/broadcast
 	app  App
 	top  *types.Topology
 	f    int
 	n    int
 	idx  int // own index in the agreement cluster
+
+	// certAuth is ReplicaAuth with this replica's own attestations trusted
+	// unconditionally. Relayed certificates (commit proofs, prepared
+	// evidence, re-proposed pre-prepares in a NEW-VIEW) legitimately carry
+	// the validator's own vote, and MAC vectors hold no self slot — see
+	// auth.SelfTrust. Live vote handlers keep the raw scheme.
+	certAuth auth.Scheme
 
 	view         types.View
 	inViewChange bool
@@ -267,6 +296,15 @@ type Replica struct {
 	voted      map[types.SeqNum]votedSlot
 	loggedView types.View // last view transition written to the WAL
 	loggedVC   bool       // ... and whether it was a campaign start
+
+	// group commit: while a delivery burst is open, syncVotes defers the
+	// real fsync and sends queue in the outbox; endBurst performs one sync
+	// for the whole burst before releasing any queued transmission, so the
+	// durability-before-externalization contract holds with fewer fsyncs.
+	burstDepth    int
+	outbox        []outMsg
+	walDirty      bool // appended records not yet covered by a Store.Sync
+	deferredSyncs int  // syncVotes calls absorbed by the burst's group commit
 
 	// view change state (viewchange.go)
 	vcs           map[types.View]map[types.NodeID]*wire.ViewChange
@@ -311,10 +349,18 @@ func New(cfg Config, app App, send transport.Sender) (*Replica, error) {
 	if cfg.WindowSize <= cfg.CheckpointInterval {
 		return nil, fmt.Errorf("pbft: window %d must exceed checkpoint interval %d", cfg.WindowSize, cfg.CheckpointInterval)
 	}
+	if cfg.TransferAuth == nil {
+		ts, ok := cfg.ReplicaAuth.(auth.TransferScheme)
+		if !ok {
+			return nil, fmt.Errorf("pbft: Config.TransferAuth is required when ReplicaAuth is not transferable (MACs cannot back view-change or checkpoint certificates)")
+		}
+		cfg.TransferAuth = ts
+	}
 	r := &Replica{
 		cfg:       cfg,
-		send:      send,
+		xmit:      send,
 		app:       app,
+		certAuth:  auth.SelfTrust(cfg.ReplicaAuth, cfg.ID),
 		top:       top,
 		f:         top.F(),
 		n:         len(top.Agreement),
@@ -358,12 +404,71 @@ func (r *Replica) inWindow(n types.SeqNum) bool {
 	return n > r.lastStable && n <= r.lastStable+r.cfg.WindowSize
 }
 
-// broadcast sends to every other agreement replica.
+// send transmits to one peer, or queues the transmission until the burst's
+// group commit when a delivery burst is open.
+func (r *Replica) send(to types.NodeID, data []byte) {
+	if r.burstDepth > 0 {
+		r.outbox = append(r.outbox, outMsg{to: to, data: data})
+		return
+	}
+	r.xmit(to, data)
+}
+
+// broadcast sends to every other agreement replica (or queues the fan-out,
+// as one outbox entry, until the burst's group commit).
 func (r *Replica) broadcast(data []byte) {
+	if r.burstDepth > 0 {
+		r.outbox = append(r.outbox, outMsg{bcast: true, data: data})
+		return
+	}
 	for _, id := range r.top.Agreement {
 		if id != r.cfg.ID {
-			r.send(id, data)
+			r.xmit(id, data)
 		}
+	}
+}
+
+// beginBurst opens a delivery burst: until the matching endBurst, syncVotes
+// calls defer to one group-commit fsync and sends queue in the outbox.
+func (r *Replica) beginBurst() { r.burstDepth++ }
+
+// endBurst closes a delivery burst. When the outermost burst closes, any
+// deferred vote/view records are made durable with a single Store.Sync and
+// only then are the queued transmissions released, in FIFO order. If the
+// sync fails the replica fail-stops and every queued send is dropped — no
+// message externalizing undurable state ever leaves the node.
+func (r *Replica) endBurst() {
+	r.burstDepth--
+	if r.burstDepth > 0 {
+		return
+	}
+	saved := r.deferredSyncs
+	r.deferredSyncs = 0
+	if r.walDirty {
+		saved-- // the group commit below is a real sync
+		if !r.syncNow() {
+			r.outbox = r.outbox[:0]
+			r.om.fsyncsSaved.Add(uint64(max(saved, 0)))
+			return
+		}
+	}
+	if saved > 0 {
+		r.om.fsyncsSaved.Add(uint64(saved))
+	}
+	out := r.outbox
+	r.outbox = r.outbox[:0]
+	for i := range out {
+		m := &out[i]
+		if m.bcast {
+			for _, id := range r.top.Agreement {
+				if id != r.cfg.ID {
+					r.xmit(id, m.data)
+				}
+			}
+		} else {
+			r.xmit(m.to, m.data)
+		}
+		m.data = nil // release the payload; the backing array is reused
 	}
 }
 
@@ -427,6 +532,7 @@ func (r *Replica) logVote(v types.View, n types.SeqNum, od types.Digest, phase w
 		r.storeErr = err
 		return false
 	}
+	r.walDirty = true
 	return true
 }
 
@@ -447,6 +553,7 @@ func (r *Replica) logPrepared(in *instance) bool {
 		r.storeErr = err
 		return false
 	}
+	r.walDirty = true
 	return true
 }
 
@@ -469,13 +576,39 @@ func (r *Replica) logView(v types.View, inChange bool) bool {
 		r.storeErr = err
 		return false
 	}
+	r.walDirty = true
 	r.loggedView, r.loggedVC = v, inChange
+	return true
+}
+
+// logNewView appends the installed NEW-VIEW message so a restarted replica
+// keeps re-serving it to lagging peers: without the record, a primary that
+// crashed after installing view v could never retransmit NEW-VIEW(v), and a
+// straggler stuck in an older view would stall until yet another view
+// change. Like view records it is logged at stable watermark + 1 so the
+// replay cursor keeps it, and persistStable re-logs it above each new
+// watermark before pruning. Nil or stale messages are a no-op.
+func (r *Replica) logNewView(m *wire.NewView) bool {
+	if m == nil || m.View != r.view || !r.voteWAL() {
+		return true
+	}
+	if r.storeErr != nil {
+		return false
+	}
+	if err := r.cfg.Store.Append(storage.RecNewView, r.lastStable+1, wire.Marshal(m)); err != nil {
+		r.storeErr = err
+		return false
+	}
+	r.walDirty = true
 	return true
 }
 
 // syncVotes makes pending vote/view records durable before the message
 // they cover is externalized. One call covers every append since the last
-// sync, so a handler that logs several votes pays one sync.
+// sync, so a handler that logs several votes pays one sync. Inside a
+// delivery burst the fsync is deferred: the matching sends are queued in
+// the outbox too, and endBurst's single group commit syncs before any of
+// them leave the node, so deferring never weakens the durability contract.
 func (r *Replica) syncVotes() bool {
 	if !r.voteWAL() {
 		return true
@@ -483,10 +616,22 @@ func (r *Replica) syncVotes() bool {
 	if r.storeErr != nil {
 		return false
 	}
+	if r.burstDepth > 0 {
+		if r.walDirty {
+			r.deferredSyncs++
+		}
+		return true
+	}
+	return r.syncNow()
+}
+
+// syncNow performs the real fsync, unconditionally.
+func (r *Replica) syncNow() bool {
 	if err := r.cfg.Store.Sync(); err != nil {
 		r.storeErr = err
 		return false
 	}
+	r.walDirty = false
 	return true
 }
 
@@ -532,11 +677,15 @@ func (r *Replica) Deliver(from types.NodeID, data []byte, now types.Time) {
 	r.Receive(from, msg, now)
 }
 
-// Receive dispatches one decoded message.
+// Receive dispatches one decoded message. Each delivery is one burst: every
+// vote the handler logs rides a single group-commit fsync, performed before
+// any message the handler produced is released to the network.
 func (r *Replica) Receive(from types.NodeID, msg wire.Message, now types.Time) {
 	if now > r.now {
 		r.now = now
 	}
+	r.beginBurst()
+	defer r.endBurst()
 	switch m := msg.(type) {
 	case *wire.Request:
 		r.onRequest(m, now)
@@ -732,15 +881,21 @@ func (r *Replica) validatePrePrepare(m *wire.PrePrepare, now types.Time) (types.
 		}
 	}
 	// Request certificates must be valid: the agreement cluster only
-	// orders authentic client requests (§3.4 safety (a)).
+	// orders authentic client requests (§3.4 safety (a)). Role checks stay
+	// inline; the certificate checks — the expensive part of a full batch —
+	// fan out across the verify pool and join before the verdict, so the
+	// handler remains a pure function of its inputs.
 	for i := range m.Requests {
+		if role, _, ok := r.top.RoleOf(m.Requests[i].Client); !ok || role != types.RoleClient {
+			return types.ZeroDigest, false
+		}
+	}
+	err := r.cfg.Verify.Run(len(m.Requests), func(i int) error {
 		req := &m.Requests[i]
-		if role, _, ok := r.top.RoleOf(req.Client); !ok || role != types.RoleClient {
-			return types.ZeroDigest, false
-		}
-		if r.cfg.ClientAuth.Verify(auth.KindRequest, req.Digest(), req.Att) != nil {
-			return types.ZeroDigest, false
-		}
+		return r.cfg.ClientAuth.Verify(auth.KindRequest, req.Digest(), req.Att)
+	})
+	if err != nil {
+		return types.ZeroDigest, false
 	}
 	return od, true
 }
@@ -913,6 +1068,8 @@ func (r *Replica) checkCommitted(in *instance, now types.Time) {
 		rec := wire.Marshal(&wire.CommitProof{PP: *in.pp, Commits: in.commitAtts()})
 		if err := r.cfg.Store.Append(storage.RecCommit, in.seq, rec); err != nil {
 			r.storeErr = err
+		} else {
+			r.walDirty = true
 		}
 	}
 	if r.cfg.OnCommitted != nil {
@@ -935,13 +1092,14 @@ func (r *Replica) executeReady(now types.Time) {
 	}
 	// With a store configured, make every logged commit durable before its
 	// execution can externalize effects (the message queue sending order
-	// certificates to executors). One fsync covers the whole burst.
+	// certificates to executors). One fsync covers the whole burst — and,
+	// since it clears walDirty, it doubles as the group commit for any vote
+	// records deferred earlier in the same delivery burst.
 	if r.cfg.Store != nil && !r.recovering {
 		if r.storeErr != nil {
 			return
 		}
-		if err := r.cfg.Store.Sync(); err != nil {
-			r.storeErr = err
+		if r.walDirty && !r.syncNow() {
 			return
 		}
 	}
@@ -1005,6 +1163,10 @@ func (r *Replica) completeCheckpoint(n types.SeqNum, digest types.Digest, payloa
 	if !r.syncing || r.syncSeq != n {
 		return
 	}
+	// The app's Sync callback may fire asynchronously, outside any delivery
+	// burst; open one so the checkpoint broadcast rides a group commit too.
+	r.beginBurst()
+	defer r.endBurst()
 	r.syncing = false
 	// The replica's own dedup table rides along with the app state: it is
 	// a deterministic function of the executed log, and a state-
@@ -1020,7 +1182,10 @@ func (r *Replica) completeCheckpoint(n types.SeqNum, digest types.Digest, payloa
 	if n == r.lastStable {
 		r.persistStable(n)
 	}
-	att, err := r.cfg.ReplicaAuth.Attest(auth.KindAgreeCheckpoint, wire.CheckpointDigest(n, digest), r.top.Agreement)
+	// Checkpoint-stability proofs are persisted, served to state-
+	// transferring peers, and embedded in view changes — transferable by
+	// construction, hence TransferAuth even when agreement votes are MACs.
+	att, err := r.cfg.TransferAuth.Attest(auth.KindAgreeCheckpoint, wire.CheckpointDigest(n, digest), r.top.Agreement)
 	if err != nil {
 		return
 	}
@@ -1039,7 +1204,7 @@ func (r *Replica) onCheckpoint(m *wire.AgreeCheckpoint, now types.Time) {
 	if role, _, ok := r.top.RoleOf(m.Replica); !ok || role != types.RoleAgreement {
 		return
 	}
-	if r.cfg.ReplicaAuth.Verify(auth.KindAgreeCheckpoint, wire.CheckpointDigest(m.Seq, m.State), m.Att) != nil {
+	if r.cfg.TransferAuth.Verify(auth.KindAgreeCheckpoint, wire.CheckpointDigest(m.Seq, m.State), m.Att) != nil {
 		return
 	}
 	r.recordCheckpointVote(*m)
@@ -1137,7 +1302,13 @@ func (r *Replica) persistStable(n types.SeqNum) {
 	// record at n+1 is harmless if the checkpoint never lands, and pruning
 	// (which could delete the segment holding the old record) comes last.
 	r.loggedView, r.loggedVC = 0, false // force a fresh record
-	if !r.logView(r.view, r.inViewChange) || !r.syncVotes() {
+	if !r.logView(r.view, r.inViewChange) || !r.logNewView(r.lastNewView) {
+		return
+	}
+	// This sync must not defer to a burst's group commit: SaveCheckpoint
+	// advances the replay cursor the moment it hits disk, so the re-logged
+	// records have to be durable first, not merely queued.
+	if r.voteWAL() && !r.syncNow() {
 		return
 	}
 	err := r.cfg.Store.SaveCheckpoint(storage.Checkpoint{
@@ -1300,14 +1471,14 @@ func (r *Replica) onCommitProof(m *wire.CommitProof, now types.Time) {
 	if m.PP.Att.Node != r.top.Primary(m.PP.View) {
 		return
 	}
-	if r.cfg.ReplicaAuth.Verify(auth.KindPrePrepare, od, m.PP.Att) != nil {
+	if r.certAuth.Verify(auth.KindPrePrepare, od, m.PP.Att) != nil {
 		return
 	}
 	allowed := make(map[types.NodeID]bool, r.n)
 	for _, id := range r.top.Agreement {
 		allowed[id] = true
 	}
-	if auth.CountDistinct(r.cfg.ReplicaAuth, auth.KindCommit, od, m.Commits, allowed) < 2*r.f+1 {
+	if auth.CountDistinctPar(r.cfg.Verify, r.certAuth, auth.KindCommit, od, m.Commits, allowed) < 2*r.f+1 {
 		return
 	}
 	in := r.inst(m.PP.View, n)
@@ -1320,6 +1491,8 @@ func (r *Replica) onCommitProof(m *wire.CommitProof, now types.Time) {
 	if r.cfg.Store != nil && !r.recovering && !in.committed && r.storeErr == nil {
 		if err := r.cfg.Store.Append(storage.RecCommit, n, wire.Marshal(m)); err != nil {
 			r.storeErr = err
+		} else {
+			r.walDirty = true
 		}
 	}
 	pp := m.PP
@@ -1375,7 +1548,7 @@ func (r *Replica) Recover(now types.Time) error {
 			}
 		}
 		cd := wire.CheckpointDigest(ck.Seq, ck.Digest)
-		if auth.CountDistinct(r.cfg.ReplicaAuth, auth.KindAgreeCheckpoint, cd, atts, allowed) < 2*r.f+1 {
+		if auth.CountDistinctPar(r.cfg.Verify, r.cfg.TransferAuth, auth.KindAgreeCheckpoint, cd, atts, allowed) < 2*r.f+1 {
 			continue
 		}
 		dedup, appPayload, err := r.unwrapCheckpoint(ck.Payload)
@@ -1406,6 +1579,7 @@ func (r *Replica) Recover(now types.Time) error {
 	// (liveness, absorbed by the cluster), never break agreement safety.
 	maxSeen := r.lastExec
 	var viewRec *wire.ViewRecord
+	var nvRec *wire.NewView
 	err = st.Replay(r.lastStable, func(kind storage.RecordKind, seq types.SeqNum, payload []byte) error {
 		switch kind {
 		case storage.RecCommit:
@@ -1446,6 +1620,12 @@ func (r *Replica) Recover(now types.Time) error {
 			if err == nil {
 				viewRec = &v // append order: the last one is current
 			}
+		case storage.RecNewView:
+			if msg, err := wire.Unmarshal(payload); err == nil {
+				if nv, ok := msg.(*wire.NewView); ok {
+					nvRec = nv // append order: the last one is current
+				}
+			}
 		}
 		return nil
 	})
@@ -1472,6 +1652,16 @@ func (r *Replica) Recover(now types.Time) error {
 			r.sentVC = vc
 			r.storeViewChange(vc)
 			r.vcDeadline = 0 // rebroadcast immediately
+		}
+	}
+	// Restore the NEW-VIEW this replica installed before the crash, re-
+	// validating it end to end — the WAL is untrusted input, and a forged
+	// record must not be re-served to peers. Only the retransmission cache
+	// is restored here (the view itself came from the view record above);
+	// it re-arms the onStatus/onViewChange straggler catch-up paths.
+	if nvRec != nil && nvRec.View == r.view && !r.inViewChange {
+		if _, _, ok := r.validateNewView(nvRec); ok {
+			r.lastNewView = nvRec
 		}
 	}
 	return err
@@ -1540,6 +1730,8 @@ func (r *Replica) Tick(now types.Time) {
 	if now > r.now {
 		r.now = now
 	}
+	r.beginBurst()
+	defer r.endBurst()
 	r.maybePropose(now)
 	r.executeReady(now)
 

@@ -212,9 +212,14 @@ func (e *equivocator) Tick(now types.Time) {
 // cluster commits no conflicting batches, and (c) the backup rejoins and
 // contributes to quorums in the new view.
 func TestByzantineRecoverySingleBackup(t *testing.T) {
+	forEachCryptoMode(t, testByzantineRecoverySingleBackup)
+}
+
+func testByzantineRecoverySingleBackup(t *testing.T, crypto func(*Config)) {
 	dir := recoveryDir(t, "byz-backup")
 	c := durableCluster(t, 77, dir, func(cfg *Config) {
 		cfg.BatchSize = 1
+		crypto(cfg)
 	})
 	votes := newVoteLog()
 	c.net.Tap(votes.observe)
@@ -329,8 +334,12 @@ func TestByzantineRecoverySingleBackup(t *testing.T) {
 // changing), refuse any vote in the abandoned view, and then complete the
 // view change with the others.
 func TestViewChangeDurabilityMidCampaign(t *testing.T) {
+	forEachCryptoMode(t, testViewChangeDurabilityMidCampaign)
+}
+
+func testViewChangeDurabilityMidCampaign(t *testing.T, crypto func(*Config)) {
 	dir := recoveryDir(t, "vc-campaign")
-	c := durableCluster(t, 78, dir, nil)
+	c := durableCluster(t, 78, dir, crypto)
 	votes := newVoteLog()
 	c.net.Tap(votes.observe)
 
@@ -411,8 +420,12 @@ func TestViewChangeDurabilityMidCampaign(t *testing.T) {
 // re-prepares broadcast). The restart must land in the installed view — not
 // the campaign, not the old view — and keep contributing there.
 func TestViewChangeDurabilityDuringInstall(t *testing.T) {
+	forEachCryptoMode(t, testViewChangeDurabilityDuringInstall)
+}
+
+func testViewChangeDurabilityDuringInstall(t *testing.T, crypto func(*Config)) {
 	dir := recoveryDir(t, "vc-install")
-	c := durableCluster(t, 79, dir, nil)
+	c := durableCluster(t, 79, dir, crypto)
 	votes := newVoteLog()
 	c.net.Tap(votes.observe)
 

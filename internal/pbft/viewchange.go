@@ -80,7 +80,10 @@ func (r *Replica) buildViewChange(target types.View) *wire.ViewChange {
 		Prepared:   entries,
 		Replica:    r.cfg.ID,
 	}
-	att, err := r.cfg.ReplicaAuth.Attest(auth.KindViewChange, vc.SigningDigest(), r.top.Agreement)
+	// View changes are forwarded between replicas inside NEW-VIEW messages,
+	// i.e. shown to parties that were not their destination: they must be
+	// transferably signed, never MAC vectors, whatever ReplicaAuth is.
+	att, err := r.cfg.TransferAuth.Attest(auth.KindViewChange, vc.SigningDigest(), r.top.Agreement)
 	if err == nil {
 		vc.Att = att
 	}
@@ -103,7 +106,7 @@ func (r *Replica) validateViewChange(m *wire.ViewChange) bool {
 	if !ok || role != types.RoleAgreement || m.Att.Node != m.Replica {
 		return false
 	}
-	if r.cfg.ReplicaAuth.Verify(auth.KindViewChange, m.SigningDigest(), m.Att) != nil {
+	if r.cfg.TransferAuth.Verify(auth.KindViewChange, m.SigningDigest(), m.Att) != nil {
 		return false
 	}
 	allowed := make(map[types.NodeID]bool, r.n)
@@ -120,7 +123,7 @@ func (r *Replica) validateViewChange(m *wire.ViewChange) bool {
 			}
 			atts = append(atts, c.Att)
 		}
-		if auth.CountDistinct(r.cfg.ReplicaAuth, auth.KindAgreeCheckpoint, cd, atts, allowed) < 2*r.f+1 {
+		if auth.CountDistinctPar(r.cfg.Verify, r.cfg.TransferAuth, auth.KindAgreeCheckpoint, cd, atts, allowed) < 2*r.f+1 {
 			return false
 		}
 	}
@@ -147,7 +150,7 @@ func (r *Replica) verifyPreparedEvidence(e *wire.PreparedEntry) bool {
 	if e.PrimaryAtt.Node != primary {
 		return false
 	}
-	if r.cfg.ReplicaAuth.Verify(auth.KindPrePrepare, od, e.PrimaryAtt) != nil {
+	if r.certAuth.Verify(auth.KindPrePrepare, od, e.PrimaryAtt) != nil {
 		return false
 	}
 	// 2f distinct valid prepares from backups of that view.
@@ -157,7 +160,7 @@ func (r *Replica) verifyPreparedEvidence(e *wire.PreparedEntry) bool {
 			backups[id] = true
 		}
 	}
-	if auth.CountDistinct(r.cfg.ReplicaAuth, auth.KindPrepare, od, e.Prepares, backups) < 2*r.f {
+	if auth.CountDistinctPar(r.cfg.Verify, r.certAuth, auth.KindPrepare, od, e.Prepares, backups) < 2*r.f {
 		return false
 	}
 	// The nondeterminism must be the canonical function of (seq, time);
@@ -248,7 +251,9 @@ func (r *Replica) maybeBuildNewView(now types.Time) {
 
 	pps, minS, maxS := r.computeNewViewPrePrepares(r.view, selected)
 	nv := &wire.NewView{View: r.view, ViewChanges: selected, PrePrepares: pps, Primary: r.cfg.ID}
-	att, err := r.cfg.ReplicaAuth.Attest(auth.KindNewView, nv.SigningDigest(), r.top.Agreement)
+	// The NEW-VIEW is retransmitted to stragglers in arbitrary later
+	// views — transferable signature, like the view changes it carries.
+	att, err := r.cfg.TransferAuth.Attest(auth.KindNewView, nv.SigningDigest(), r.top.Agreement)
 	if err != nil {
 		return
 	}
@@ -321,44 +326,59 @@ func (r *Replica) computeNewViewPrePrepares(v types.View, vcs []wire.ViewChange)
 	return pps, minS, maxS
 }
 
-func (r *Replica) onNewView(m *wire.NewView, now types.Time) {
-	if m.View < r.view || (m.View == r.view && !r.inViewChange) {
-		return
-	}
+// validateNewView checks a NEW-VIEW end to end: primary attribution and
+// transferable signature, the embedded 2f+1 distinct valid VIEW-CHANGEs,
+// and digest-for-digest equality of the carried re-proposals against an
+// independent recomputation of the O set. Shared by live delivery
+// (onNewView) and WAL recovery, where the stored message is untrusted
+// input. Returns the O-set sequence bounds on success.
+func (r *Replica) validateNewView(m *wire.NewView) (minS, maxS types.SeqNum, ok bool) {
 	if m.Primary != r.top.Primary(m.View) || m.Att.Node != m.Primary {
-		return
+		return 0, 0, false
 	}
-	if r.cfg.ReplicaAuth.Verify(auth.KindNewView, m.SigningDigest(), m.Att) != nil {
-		return
+	if r.cfg.TransferAuth.Verify(auth.KindNewView, m.SigningDigest(), m.Att) != nil {
+		return 0, 0, false
 	}
 	// Validate the 2f+1 view changes.
 	seen := make(map[types.NodeID]bool)
 	for i := range m.ViewChanges {
 		vc := &m.ViewChanges[i]
 		if vc.NewView != m.View || seen[vc.Replica] || !r.validateViewChange(vc) {
-			return
+			return 0, 0, false
 		}
 		seen[vc.Replica] = true
 	}
 	if len(seen) < 2*r.f+1 {
-		return
+		return 0, 0, false
 	}
 	// Independently recompute O and require digest-for-digest equality.
-	want, minS, maxS := r.computeNewViewPrePrepares(m.View, m.ViewChanges)
+	var want []wire.PrePrepare
+	want, minS, maxS = r.computeNewViewPrePrepares(m.View, m.ViewChanges)
 	if len(want) != len(m.PrePrepares) {
-		return
+		return 0, 0, false
 	}
 	for i := range want {
 		got := &m.PrePrepares[i]
 		if got.View != m.View || got.Seq != want[i].Seq || got.Primary != m.Primary {
-			return
+			return 0, 0, false
 		}
 		if got.OrderDigest() != want[i].OrderDigest() {
-			return
+			return 0, 0, false
 		}
-		if r.cfg.ReplicaAuth.Verify(auth.KindPrePrepare, got.OrderDigest(), got.Att) != nil || got.Att.Node != m.Primary {
-			return
+		if r.certAuth.Verify(auth.KindPrePrepare, got.OrderDigest(), got.Att) != nil || got.Att.Node != m.Primary {
+			return 0, 0, false
 		}
+	}
+	return minS, maxS, true
+}
+
+func (r *Replica) onNewView(m *wire.NewView, now types.Time) {
+	if m.View < r.view || (m.View == r.view && !r.inViewChange) {
+		return
+	}
+	minS, maxS, ok := r.validateNewView(m)
+	if !ok {
+		return
 	}
 	// Adopt the new-view checkpoint if it is ahead of ours.
 	if minS > r.lastStable {
@@ -402,10 +422,12 @@ func (r *Replica) installNewView(m *wire.NewView, minS, maxS types.SeqNum, now t
 	}
 	// Make the install durable before this replica's first message in the
 	// new view (for the new primary maybeBuildNewView already logged it;
-	// logView dedups). The backups' re-prepares for the O set are all
-	// logged under one sync and broadcast only afterwards. A storage
-	// failure fail-stops the install like every other vote path.
-	if !r.logView(r.view, false) {
+	// logView dedups). The NEW-VIEW message itself is logged too, so a
+	// post-crash incarnation can still re-serve the proof that the view
+	// advanced to peers stuck behind. The backups' re-prepares for the O
+	// set are all logged under one sync and broadcast only afterwards. A
+	// storage failure fail-stops the install like every other vote path.
+	if !r.logView(r.view, false) || !r.logNewView(m) {
 		return
 	}
 	isPrimary := r.isPrimary()

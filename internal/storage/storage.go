@@ -58,6 +58,12 @@ const (
 	// checkpoint) so the latest view survives both the replay cursor's
 	// seq > stable filter and segment GC.
 	RecView RecordKind = 5
+	// RecNewView is the NEW-VIEW message this replica installed
+	// (wire.Marshal'd wire.NewView), logged at stable watermark + 1 like
+	// view records (and re-logged above each new stable checkpoint) so a
+	// restarted replica keeps re-serving the proof that the view advanced
+	// to peers stuck in older views.
+	RecNewView RecordKind = 6
 )
 
 // FsyncMode selects when appended WAL records reach stable media.

@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/types"
 )
@@ -26,6 +27,25 @@ import (
 // is ready to use.
 type Writer struct {
 	B []byte
+}
+
+// scratch pools Writers for encodings whose buffer dies inside the
+// function that built it — digest computations hash the bytes and discard
+// them, so the hot path (every Request digest, order digest, and signing
+// digest of every message handled) need not allocate at all once the pool
+// is warm. Buffers keep their grown capacity across uses; the contents are
+// never observable, so pooling cannot perturb the deterministic encoding.
+var scratch = sync.Pool{New: func() any { return &Writer{B: make([]byte, 0, 1024)} }}
+
+// digestOf hashes the encoding produced by fill using a pooled scratch
+// buffer.
+func digestOf(fill func(w *Writer)) types.Digest {
+	w := scratch.Get().(*Writer)
+	w.B = w.B[:0]
+	fill(w)
+	d := types.DigestBytes(w.B)
+	scratch.Put(w)
+	return d
 }
 
 // U8 appends one byte.

@@ -202,11 +202,11 @@ func (m *Request) Type() MsgType { return TRequest }
 // timestamp, operation) but not reply routing, so a retransmission with a
 // different ReplyTo is recognized as the same request.
 func (m *Request) Digest() types.Digest {
-	var w Writer
-	w.Node(m.Client)
-	w.TS(m.Timestamp)
-	w.Bytes(m.Op)
-	return types.DigestBytes(w.B)
+	return digestOf(func(w *Writer) {
+		w.Node(m.Client)
+		w.TS(m.Timestamp)
+		w.Bytes(m.Op)
+	})
 }
 
 func (m *Request) marshalTo(w *Writer) {
@@ -249,12 +249,12 @@ func getRequests(r *Reader) []Request {
 // BatchDigest names an ordered batch of requests: the digest of the
 // concatenated request digests.
 func BatchDigest(reqs []Request) types.Digest {
-	var w Writer
-	w.Len(len(reqs))
-	for i := range reqs {
-		w.Digest(reqs[i].Digest())
-	}
-	return types.DigestBytes(w.B)
+	return digestOf(func(w *Writer) {
+		w.Len(len(reqs))
+		for i := range reqs {
+			w.Digest(reqs[i].Digest())
+		}
+	})
 }
 
 // OrderDigest binds a batch to its slot in the total order together with the
@@ -263,13 +263,13 @@ func BatchDigest(reqs []Request) types.Digest {
 // labels), so a primary cannot equivocate on the nondeterminism without
 // breaking the certificate.
 func OrderDigest(v types.View, n types.SeqNum, batch types.Digest, nd types.NonDet) types.Digest {
-	var w Writer
-	w.View(v)
-	w.Seq(n)
-	w.Digest(batch)
-	w.TS(nd.Time)
-	w.Digest(nd.Rand)
-	return types.DigestBytes(w.B)
+	return digestOf(func(w *Writer) {
+		w.View(v)
+		w.Seq(n)
+		w.Digest(batch)
+		w.TS(nd.Time)
+		w.Digest(nd.Rand)
+	})
 }
 
 // --- PBFT three-phase messages ----------------------------------------------
@@ -384,10 +384,10 @@ func (m *AgreeCheckpoint) Type() MsgType { return TAgreeCheckpoint }
 
 // CheckpointDigest is the value checkpoint attestations cover.
 func CheckpointDigest(n types.SeqNum, state types.Digest) types.Digest {
-	var w Writer
-	w.Seq(n)
-	w.Digest(state)
-	return types.DigestBytes(w.B)
+	return digestOf(func(w *Writer) {
+		w.Seq(n)
+		w.Digest(state)
+	})
 }
 
 func (m *AgreeCheckpoint) marshalTo(w *Writer) {
@@ -477,9 +477,9 @@ func (m *ViewChange) marshalBody(w *Writer) {
 
 // SigningDigest is the digest the view change's signature covers.
 func (m *ViewChange) SigningDigest() types.Digest {
-	var w Writer
-	m.marshalBody(&w)
-	return types.DigestBytes(w.B)
+	return digestOf(func(w *Writer) {
+		m.marshalBody(w)
+	})
 }
 
 func (m *ViewChange) marshalTo(w *Writer) {
@@ -538,9 +538,9 @@ func (m *NewView) marshalBody(w *Writer) {
 
 // SigningDigest is the digest the new-view signature covers.
 func (m *NewView) SigningDigest() types.Digest {
-	var w Writer
-	m.marshalBody(&w)
-	return types.DigestBytes(w.B)
+	return digestOf(func(w *Writer) {
+		m.marshalBody(w)
+	})
 }
 
 func (m *NewView) marshalTo(w *Writer) {
@@ -681,12 +681,12 @@ func (m *Reply) unmarshalFrom(r *Reader) {
 // replies all cover this value, amortizing one expensive operation over the
 // whole bundle (§5.3).
 func BundleDigest(entries []Reply) types.Digest {
-	var w Writer
-	w.Len(len(entries))
-	for i := range entries {
-		entries[i].marshalTo(&w)
-	}
-	return types.DigestBytes(w.B)
+	return digestOf(func(w *Writer) {
+		w.Len(len(entries))
+		for i := range entries {
+			entries[i].marshalTo(w)
+		}
+	})
 }
 
 // ExecReply is one executor's share of a reply certificate for a bundle of

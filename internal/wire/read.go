@@ -62,12 +62,12 @@ func (m *ReadRequest) unmarshalFrom(r *Reader) {
 // Digest covers the request fields the client attests (everything but the
 // attestation itself).
 func (m *ReadRequest) Digest() types.Digest {
-	var w Writer
-	w.Node(m.Client)
-	w.TS(m.Nonce)
-	w.Bytes(m.Op)
-	w.Seq(m.Floor)
-	return types.DigestBytes(w.B)
+	return digestOf(func(w *Writer) {
+		w.Node(m.Client)
+		w.TS(m.Nonce)
+		w.Bytes(m.Op)
+		w.Seq(m.Floor)
+	})
 }
 
 // ReadReply is one execution replica's answer to a ReadRequest, computed
@@ -119,22 +119,22 @@ func (m *ReadReply) unmarshalFrom(r *Reader) {
 // Digest covers everything the executor signs: the answer and the watermark
 // it was computed at, bound to the probe that asked.
 func (m *ReadReply) Digest() types.Digest {
-	var w Writer
-	w.Node(m.Client)
-	w.TS(m.Nonce)
-	w.Seq(m.AppliedSeq)
-	w.Bool(m.Refused)
-	w.Bytes(m.Body)
-	w.Node(m.Executor)
-	return types.DigestBytes(w.B)
+	return digestOf(func(w *Writer) {
+		w.Node(m.Client)
+		w.TS(m.Nonce)
+		w.Seq(m.AppliedSeq)
+		w.Bool(m.Refused)
+		w.Bytes(m.Body)
+		w.Node(m.Executor)
+	})
 }
 
 // AnswerDigest covers only the answer content (refusal flag and body), the
 // key replies are matched on for the g+1 read quorum: replicas at different
 // watermarks still agree on the answer when the state they read is the same.
 func (m *ReadReply) AnswerDigest() types.Digest {
-	var w Writer
-	w.Bool(m.Refused)
-	w.Bytes(m.Body)
-	return types.DigestBytes(w.B)
+	return digestOf(func(w *Writer) {
+		w.Bool(m.Refused)
+		w.Bytes(m.Body)
+	})
 }

@@ -24,6 +24,11 @@ func TestBatchingThroughputGain(t *testing.T) {
 	var unbatched, batched *BenchPoint
 	for i := range rep.Points {
 		p := &rep.Points[i]
+		if p.Crypto != "" {
+			// The sweep appends the wall-clock crypto comparison pair;
+			// this test is about the virtual-time batching grid.
+			continue
+		}
 		switch p.BatchOps {
 		case 0:
 			unbatched = p

@@ -36,6 +36,15 @@ type DeployParams struct {
 	BatchSize     int
 	ThresholdBits int
 
+	// Crypto selects the agreement-vote authenticator scheme: "ed25519"
+	// (or empty) for transferable signatures, "mac" for pairwise MAC
+	// vectors on pre-prepare/prepare/commit traffic. View changes, new
+	// views, and checkpoint certificates stay Ed25519 either way — they
+	// are shown beyond their original destination, which MAC vectors
+	// cannot support. Shared protocol surface: every agreement replica
+	// follows this field.
+	Crypto string
+
 	// BasePort assigns consecutive ports starting here; Host defaults to
 	// 127.0.0.1. Edit the saved file for multi-machine layouts.
 	BasePort int
@@ -88,6 +97,11 @@ func GenerateConfig(p DeployParams) (*Config, error) {
 	if p.Mode == ModeFirewall {
 		p.ReplyMode = ReplyThreshold
 	}
+	switch p.Crypto {
+	case "", "ed25519", "mac":
+	default:
+		return nil, fmt.Errorf("saebft: unknown crypto mode %q (want \"ed25519\" or \"mac\")", p.Crypto)
+	}
 	d := &deploy.Config{
 		Seed:          p.Seed,
 		Mode:          p.Mode.String(),
@@ -99,6 +113,7 @@ func GenerateConfig(p DeployParams) (*Config, error) {
 		ReplyMode:     p.ReplyMode.String(),
 		MACRequests:   p.MACRequests,
 		MACOrders:     p.MACOrders,
+		Crypto:        p.Crypto,
 		BatchSize:     p.BatchSize,
 		ThresholdBits: p.ThresholdBits,
 		Addrs:         make(map[string]string),
@@ -134,6 +149,11 @@ func LoadConfig(path string) (*Config, error) {
 	}
 	if _, err := ParseReplyMode(d.ReplyMode); err != nil {
 		return nil, err
+	}
+	switch d.Crypto {
+	case "", "ed25519", "mac":
+	default:
+		return nil, fmt.Errorf("saebft: config names unknown crypto mode %q (want \"ed25519\" or \"mac\")", d.Crypto)
 	}
 	if _, ok := registry.Lookup(d.App); !ok {
 		return nil, fmt.Errorf("saebft: config names unknown app %q (have %v)", d.App, registry.Names())

@@ -31,6 +31,7 @@ type Node struct {
 	tlsKey        string
 	noTLS         bool
 	metricsAddr   string
+	verifyWorkers int
 	obsReg        *obs.Registry
 	obsTrace      *obs.Tracer
 
@@ -76,6 +77,16 @@ func NodeTLS(caFile, certFile, keyFile string) NodeOption {
 // Loopback debugging only: a plaintext node cannot talk to TLS peers.
 func NodeInsecure() NodeOption {
 	return func(n *Node) { n.noTLS = true }
+}
+
+// NodeVerifyWorkers sizes this process's bounded certificate-verification
+// pool, the deployment-side analogue of CryptoConfig.VerifyWorkers: batch
+// certificate checks (client requests in a pre-prepare, order and commit
+// certificates) fan out across n workers and join before any protocol state
+// advances. Per-process tuning, not protocol surface — peers need not
+// agree. 0 or 1 verifies inline.
+func NodeVerifyWorkers(n int) NodeOption {
+	return func(nd *Node) { nd.verifyWorkers = n }
 }
 
 // NodeMetricsAddr serves the node's ops HTTP endpoint on addr once Start
@@ -161,6 +172,7 @@ func (n *Node) Start(ctx context.Context) error {
 	rn, err := deploy.StartNodeOpts(n.cfg.d, n.id, deploy.NodeOptions{
 		DataDir:       n.dataDir,
 		VolatileVotes: n.volatileVotes,
+		VerifyWorkers: n.verifyWorkers,
 		TLSCA:         n.tlsCA,
 		TLSCert:       n.tlsCert,
 		TLSKey:        n.tlsKey,

@@ -26,6 +26,7 @@ type options struct {
 	clientBatch   clientBatching
 	macRequests   bool
 	macOrders     bool
+	crypto        CryptoConfig
 	directReply   bool
 	thresholdBits int
 	ckptInterval  int
@@ -138,6 +139,43 @@ func WithPipeline(n int) Option { return func(o *options) { o.pipeline = n } }
 func WithMACs(requests, orders bool) Option {
 	return func(o *options) { o.macRequests = requests; o.macOrders = orders }
 }
+
+// CryptoMode selects how agreement-cluster votes are authenticated.
+type CryptoMode int
+
+const (
+	// CryptoEd25519 (the default) signs every agreement vote. Slowest,
+	// but every message is transferable and independently auditable.
+	CryptoEd25519 CryptoMode = iota
+	// CryptoMAC authenticates the three-phase votes (pre-prepare, prepare,
+	// commit) with pairwise-MAC authenticator vectors — the Castro-Liskov
+	// fast path for the traffic that dominates the hot loop. View changes,
+	// new views, and checkpoint-stability proofs remain Ed25519-signed
+	// regardless: those certificates are shown to parties beyond their
+	// original destinations, which MAC vectors cannot support (the type
+	// system enforces the split; see auth.TransferScheme). Trade-off: a
+	// Byzantine replica can craft a vector whose slots verify for some
+	// receivers and not others, which costs at most liveness (an extra
+	// view change), never safety.
+	CryptoMAC
+)
+
+// CryptoConfig tunes the hot-path cryptography of the agreement cluster.
+type CryptoConfig struct {
+	// Mode selects signature or MAC authentication for agreement votes.
+	Mode CryptoMode
+	// VerifyWorkers sizes the bounded worker pool that batch certificate
+	// checks (client requests in a pre-prepare, order/commit certificates)
+	// fan out over. The pool joins before any protocol state advances, so
+	// results — and simulated runs — stay deterministic. 0 or 1 verifies
+	// inline.
+	VerifyWorkers int
+}
+
+// WithCrypto configures agreement-vote authentication and parallel
+// certificate verification. The zero config keeps today's behavior:
+// Ed25519 votes, inline verification.
+func WithCrypto(c CryptoConfig) Option { return func(o *options) { o.crypto = c } }
 
 // WithDirectReply lets executors send reply shares straight to clients
 // (§3.1.3 optimization; ignored behind the firewall).
@@ -295,6 +333,8 @@ func (o *options) coreOptions() (core.Options, error) {
 		Mode:               o.mode.coreMode(),
 		MACRequests:        o.macRequests,
 		MACOrders:          o.macOrders,
+		MACAgreement:       o.crypto.Mode == CryptoMAC,
+		VerifyWorkers:      o.crypto.VerifyWorkers,
 		DirectReply:        o.directReply,
 		BatchSize:          o.batchSize,
 		BatchBytes:         o.batchBytes,
